@@ -1,0 +1,95 @@
+//! Performance benchmarks of the individual pipeline stages: frontend,
+//! HLS, placement, routing, back-tracing + feature extraction, and model
+//! training.
+
+use congestion_core::dataset::Target;
+use congestion_core::pipeline::CongestionFlow;
+use congestion_core::predict::{CongestionPredictor, ModelKind, TrainOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_fabric::place::{place, PlacerOptions};
+use fpga_fabric::route::{route, RouterOptions};
+use fpga_fabric::Device;
+use hls_ir::frontend::compile_named;
+use hls_synth::{HlsFlow, HlsOptions};
+use rosetta_gen::{face_detection, suite, Preset};
+
+fn fd_module() -> hls_ir::Module {
+    face_detection::benchmark(face_detection::FdVariant::Optimized)
+        .build()
+        .unwrap()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let bench = face_detection::benchmark(face_detection::FdVariant::Optimized);
+    c.bench_function("frontend/compile_face_detection", |b| {
+        b.iter(|| bench.build().unwrap())
+    });
+}
+
+fn bench_hls(c: &mut Criterion) {
+    let m = fd_module();
+    let flow = HlsFlow::new(HlsOptions::default());
+    c.bench_function("hls/synthesize_face_detection", |b| {
+        b.iter(|| flow.run(&m).unwrap())
+    });
+}
+
+fn bench_par(c: &mut Criterion) {
+    let m = fd_module();
+    let design = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
+    let device = Device::xc7z020();
+    let mut g = c.benchmark_group("par");
+    g.sample_size(10);
+    g.bench_function("place_face_detection", |b| {
+        b.iter(|| place(&design.rtl, &device, &PlacerOptions::fast()))
+    });
+    let placement = place(&design.rtl, &device, &PlacerOptions::fast());
+    g.bench_function("route_face_detection", |b| {
+        b.iter(|| route(&design.rtl, &placement, &device, &RouterOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let flow = CongestionFlow::fast();
+    let m = compile_named(
+        "int32 f(int32 a[64], int32 k) {\n#pragma HLS unroll factor=8\nfor (i = 0; i < 64; i++) { a[i] = a[i] * k; } return a[0]; }",
+        "feat",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("features");
+    g.sample_size(10);
+    g.bench_function("dataset_from_design", |b| {
+        b.iter(|| flow.build_dataset(std::slice::from_ref(&m)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let flow = CongestionFlow::fast();
+    let modules: Vec<hls_ir::Module> = suite::groups(Preset::Plain)
+        .into_iter()
+        .map(|b| b.build().unwrap())
+        .collect();
+    let ds = flow.build_dataset(&modules).unwrap();
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    for kind in [ModelKind::Linear, ModelKind::Ann, ModelKind::Gbrt] {
+        g.bench_function(format!("train_{}", kind.name()), |b| {
+            b.iter(|| {
+                CongestionPredictor::train(kind, Target::Vertical, &ds, &TrainOptions::fast())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_hls,
+    bench_par,
+    bench_features,
+    bench_training
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Ablations of the design choices called out in DESIGN.md §6:
+//! two-hop features, shared-node merging, router refinement passes, and
+//! per-category feature knock-outs.
+
+use crate::designs::Effort;
+use congestion_core::dataset::Target;
+use congestion_core::features::FeatureCategory;
+use congestion_core::predict::{CongestionPredictor, ModelKind};
+use congestion_core::CongestionDataset;
+use serde::Serialize;
+
+/// MAE with a feature subset zeroed out vs the full vector.
+#[derive(Debug, Clone, Serialize)]
+pub struct KnockoutResult {
+    /// Knocked-out category.
+    pub category: String,
+    /// Test MAE with that category zeroed.
+    pub mae: f64,
+    /// Baseline MAE with all features.
+    pub baseline_mae: f64,
+}
+
+impl KnockoutResult {
+    /// MAE degradation caused by removing the category.
+    pub fn delta(&self) -> f64 {
+        self.mae - self.baseline_mae
+    }
+}
+
+/// Zero out one feature category in a dataset copy.
+pub fn knock_out(data: &CongestionDataset, cat: FeatureCategory) -> CongestionDataset {
+    let mut out = data.clone();
+    for s in &mut out.samples {
+        for i in cat.range() {
+            s.features[i] = 0.0;
+        }
+    }
+    out
+}
+
+/// Run the category knock-out ablation: train GBRT on the vertical target
+/// with each category removed in turn.
+pub fn category_knockout(data: &CongestionDataset, effort: Effort) -> Vec<KnockoutResult> {
+    let opts = effort.train(false);
+    let (train, test) = data.split(0.2, 23);
+    let baseline = CongestionPredictor::train(ModelKind::Gbrt, Target::Vertical, &train, &opts)
+        .evaluate(&test)
+        .mae;
+    FeatureCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let ko_train = knock_out(&train, cat);
+            let ko_test = knock_out(&test, cat);
+            let mae =
+                CongestionPredictor::train(ModelKind::Gbrt, Target::Vertical, &ko_train, &opts)
+                    .evaluate(&ko_test)
+                    .mae;
+            KnockoutResult {
+                category: cat.name().to_string(),
+                mae,
+                baseline_mae: baseline,
+            }
+        })
+        .collect()
+}
+
+/// MAE when training only on 1-hop features (two-hop ablation): zeroes the
+/// 2-hop halves of the Interconnection / Resource / #Resource-ΔTcs
+/// categories.
+pub fn without_two_hop(data: &CongestionDataset) -> CongestionDataset {
+    let mut out = data.clone();
+    for s in &mut out.samples {
+        // Interconnection: second 9 of 18.
+        let ic = FeatureCategory::Interconnection.range();
+        for i in ic.start + 9..ic.end {
+            s.features[i] = 0.0;
+        }
+        // Resource: per type (25), the last 11 are 2-hop.
+        let rr = FeatureCategory::Resource.range();
+        for t in 0..4 {
+            let base = rr.start + t * 25;
+            for i in base + 14..base + 25 {
+                s.features[i] = 0.0;
+            }
+        }
+        // #Resource/dTcs: per type (18), the last 9 are 2-hop.
+        let rd = FeatureCategory::ResourcePerDtcs.range();
+        for t in 0..4 {
+            let base = rd.start + t * 18;
+            for i in base + 9..base + 18 {
+                s.features[i] = 0.0;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congestion_core::features::FEATURE_COUNT;
+    use congestion_core::Sample;
+    use hls_ir::{FuncId, OpId};
+
+    fn toy() -> CongestionDataset {
+        let mut ds = CongestionDataset::new();
+        for i in 0..200usize {
+            let mut features = vec![1.0; FEATURE_COUNT];
+            features[0] = (i % 9) as f64;
+            ds.samples.push(Sample {
+                design: "t".into(),
+                func: FuncId(0),
+                op: OpId(i as u32),
+                line: 1,
+                replica: None,
+                features,
+                vertical: 10.0 * (i % 9) as f64,
+                horizontal: 5.0,
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn knockout_zeroes_category() {
+        let ds = toy();
+        let ko = knock_out(&ds, FeatureCategory::Bitwidth);
+        assert!(ko.samples.iter().all(|s| s.features[0] == 0.0));
+        // Other categories untouched.
+        assert!(ko.samples.iter().all(|s| s.features[1] == 1.0));
+    }
+
+    #[test]
+    fn removing_the_informative_category_hurts() {
+        let results = category_knockout(&toy(), Effort::Fast);
+        let bitwidth = results
+            .iter()
+            .find(|r| r.category == "Bitwidth")
+            .unwrap();
+        assert!(
+            bitwidth.delta() > 1.0,
+            "label depends on bitwidth; knockout must hurt (delta {})",
+            bitwidth.delta()
+        );
+    }
+
+    #[test]
+    fn two_hop_ablation_zeroes_expected_slices() {
+        let ds = toy();
+        let ab = without_two_hop(&ds);
+        let s = &ab.samples[0];
+        let ic = FeatureCategory::Interconnection.range();
+        assert_eq!(s.features[ic.start + 8], 1.0, "1-hop kept");
+        assert_eq!(s.features[ic.start + 9], 0.0, "2-hop zeroed");
+        let rr = FeatureCategory::Resource.range();
+        assert_eq!(s.features[rr.start + 13], 1.0);
+        assert_eq!(s.features[rr.start + 14], 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|ablation|all>
+//! ```
+//!
+//! Reports are printed to stdout and written under `reports/`.
+
+use congestion_bench::designs::Effort;
+use congestion_bench::*;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let grid = args.iter().any(|a| a == "--grid-search");
+    let effort = if fast { Effort::Fast } else { Effort::Full };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    fs::create_dir_all("reports").ok();
+
+    let run_one = |name: &str| match name {
+        "table1" => {
+            let t = table1::run(effort);
+            emit("table1", &t.render());
+            println!("shape holds: {}", t.shape_holds());
+        }
+        "fig1" => {
+            let f = fig1::run(effort);
+            for fig in [&f.with_directives, &f.without_directives] {
+                emit(
+                    &format!("fig1_{}_vertical", fig.label),
+                    &fig.vertical_art,
+                );
+                emit(
+                    &format!("fig1_{}_horizontal", fig.label),
+                    &fig.horizontal_art,
+                );
+                write_file(&format!("fig1_{}.csv", fig.label), &fig.csv);
+                println!("{}: max congestion {:.2}%", fig.label, fig.max_congestion);
+            }
+        }
+        "table3" => {
+            let (t, _) = table3::run(effort);
+            emit("table3", &t.render());
+        }
+        "table4" => {
+            let (t3, ds) = table3::run(effort);
+            emit("table3", &t3.render());
+            let t = table4::run_on(&ds, effort, grid);
+            emit("table4", &t.render());
+            println!(
+                "GBRT wins: {}, filtering helps: {}",
+                t.gbrt_wins(),
+                t.filtering_helps()
+            );
+        }
+        "table5" => {
+            let (_, ds) = table3::run(effort);
+            let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
+            let t = table5::run_on(&filtered.kept, effort);
+            emit("table5", &t.render());
+        }
+        "table6" => {
+            let t = table6::run(effort);
+            emit("table6", &t.render());
+            println!("shape holds: {}", t.shape_holds());
+        }
+        "fig5" => {
+            let f = fig5::run(effort);
+            emit("fig5", &f.render());
+            println!("center exceeds margin: {}", f.center_exceeds_margin());
+        }
+        "fig6" => {
+            let f = fig6::run(effort);
+            let mut summary = String::from("FIG 6. RESOLVING ROUTING CONGESTION\n");
+            for s in &f.steps {
+                emit(&format!("fig6_{}_vertical", s.label), &s.vertical_art);
+                emit(&format!("fig6_{}_horizontal", s.label), &s.horizontal_art);
+                summary.push_str(&format!(
+                    "{}: {} tiles over 100%\n",
+                    s.label, s.congested_tiles
+                ));
+            }
+            emit("fig6_summary", &summary);
+            println!("congested area shrinks: {}", f.area_shrinks());
+        }
+        "ablation" => {
+            let (_, ds) = table3::run(effort);
+            let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
+            let results = ablation::category_knockout(&filtered.kept, effort);
+            let mut text = String::from("ABLATION: CATEGORY KNOCK-OUT (GBRT, vertical)\n");
+            for r in &results {
+                text.push_str(&format!(
+                    "  -{:<20} MAE {:>6.2} (baseline {:>6.2}, delta {:+.2})\n",
+                    r.category,
+                    r.mae,
+                    r.baseline_mae,
+                    r.delta()
+                ));
+            }
+            // Two-hop ablation.
+            let no2 = ablation::without_two_hop(&filtered.kept);
+            let opts = effort.train(false);
+            let (tr, te) = no2.split(0.2, 23);
+            let mae_no2 = congestion_core::predict::CongestionPredictor::train(
+                congestion_core::ModelKind::Gbrt,
+                congestion_core::Target::Vertical,
+                &tr,
+                &opts,
+            )
+            .evaluate(&te)
+            .mae;
+            text.push_str(&format!("  1-hop-only features: MAE {mae_no2:.2}\n"));
+            emit("ablation", &text);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    if what == "all" {
+        for name in [
+            "table1", "fig1", "table3", "table4", "table5", "table6", "fig5", "fig6", "ablation",
+        ] {
+            println!("=== {name} ===");
+            run_one(name);
+        }
+    } else {
+        run_one(&what);
+    }
+}
+
+fn emit(name: &str, text: &str) {
+    println!("{text}");
+    write_file(&format!("{name}.txt"), text);
+}
+
+fn write_file(name: &str, text: &str) {
+    let path = Path::new("reports").join(name);
+    if let Err(e) = fs::write(&path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

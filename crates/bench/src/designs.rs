@@ -1,0 +1,83 @@
+//! Shared design construction and flow configuration for all experiments.
+
+use congestion_core::pipeline::CongestionFlow;
+use fpga_fabric::par::ParOptions;
+use hls_ir::Module;
+use rosetta_gen::{face_detection::FdVariant, suite, Preset};
+
+/// Experiment effort level: `Fast` for tests/benches, `Full` for the
+/// numbers recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced placer effort and small models.
+    Fast,
+    /// Paper-protocol effort.
+    Full,
+}
+
+impl Effort {
+    /// The implementation flow for this effort.
+    pub fn flow(&self) -> CongestionFlow {
+        let mut flow = CongestionFlow::new();
+        flow.par = match self {
+            Effort::Fast => ParOptions::fast(),
+            Effort::Full => ParOptions::default(),
+        };
+        flow
+    }
+
+    /// Training options for this effort.
+    pub fn train(&self, grid_search: bool) -> congestion_core::predict::TrainOptions {
+        match self {
+            Effort::Fast => congestion_core::predict::TrainOptions {
+                grid_search: false,
+                ..congestion_core::predict::TrainOptions::fast()
+            },
+            Effort::Full => congestion_core::predict::TrainOptions {
+                grid_search,
+                cv_folds: 10,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Compile a Face Detection variant.
+///
+/// # Panics
+/// Panics if the generator emits invalid MiniHLS (a bug).
+pub fn face_detection(variant: FdVariant) -> Module {
+    rosetta_gen::face_detection::benchmark(variant)
+        .build()
+        .expect("face detection generator must compile")
+}
+
+/// The paper's three training-suite groups in the optimized configuration.
+///
+/// # Panics
+/// Panics if a generator emits invalid MiniHLS (a bug).
+pub fn training_suite() -> Vec<Module> {
+    suite::groups(Preset::Optimized)
+        .into_iter()
+        .map(|b| b.build().expect("suite generator must compile"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_three_groups() {
+        let s = training_suite();
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|m| m.total_ops() > 100));
+    }
+
+    #[test]
+    fn efforts_differ_in_placer_moves() {
+        let fast = Effort::Fast.flow();
+        let full = Effort::Full.flow();
+        assert!(fast.par.placer.moves_per_cell < full.par.placer.moves_per_cell);
+    }
+}

@@ -1,0 +1,64 @@
+//! **Fig 1** — congestion maps of the two Face Detection implementations
+//! (rendered as ASCII heat maps and CSV).
+
+use crate::designs::{face_detection, Effort};
+use rosetta_gen::face_detection::FdVariant;
+
+/// One implementation's rendered maps.
+#[derive(Debug, Clone)]
+pub struct CongestionFigure {
+    /// Variant label.
+    pub label: String,
+    /// ASCII vertical-congestion heat map.
+    pub vertical_art: String,
+    /// ASCII horizontal-congestion heat map.
+    pub horizontal_art: String,
+    /// Full CSV (x, y, vertical, horizontal).
+    pub csv: String,
+    /// Max congestion in either direction.
+    pub max_congestion: f64,
+}
+
+/// Fig 1 result: maps of the optimized and plain implementations.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// "With Directives" maps.
+    pub with_directives: CongestionFigure,
+    /// "Without Directives" maps.
+    pub without_directives: CongestionFigure,
+}
+
+/// Run the Fig 1 experiment.
+pub fn run(effort: Effort) -> Fig1 {
+    let flow = effort.flow();
+    let render = |variant: FdVariant, label: &str| -> CongestionFigure {
+        let (_, res) = flow
+            .implement(&face_detection(variant))
+            .expect("synthesis must succeed");
+        CongestionFigure {
+            label: label.to_string(),
+            vertical_art: res.congestion.render(true),
+            horizontal_art: res.congestion.render(false),
+            csv: res.congestion.to_csv(),
+            max_congestion: res.congestion.max_any(),
+        }
+    };
+    Fig1 {
+        with_directives: render(FdVariant::Optimized, "with_directives"),
+        without_directives: render(FdVariant::Plain, "without_directives"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_render_with_device_dimensions() {
+        let f = run(Effort::Fast);
+        let rows = f.with_directives.vertical_art.lines().count();
+        assert_eq!(rows, 120, "one text row per device row");
+        assert!(f.with_directives.csv.starts_with("x,y,"));
+        assert!(f.with_directives.max_congestion >= f.without_directives.max_congestion);
+    }
+}

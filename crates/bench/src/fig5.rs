@@ -1,0 +1,105 @@
+//! **Fig 5** — spatial distribution of the vertical congestion metrics for
+//! Face Detection: low at the device margins, high in the middle.
+
+use crate::designs::{face_detection, Effort};
+use rosetta_gen::face_detection::FdVariant;
+use serde::Serialize;
+use std::fmt::Write;
+
+/// Fig 5 result: the per-row vertical-congestion profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// Mean vertical congestion per device row (bottom to top).
+    pub row_profile: Vec<f64>,
+    /// Mean over the margin rows (bottom/top 15 %).
+    pub margin_mean: f64,
+    /// Mean over the central rows (middle 40 %).
+    pub center_mean: f64,
+}
+
+impl Fig5 {
+    /// The paper's observation: "lower congestion metrics are distributed at
+    /// the margin of the device compared to the higher values in the middle".
+    pub fn center_exceeds_margin(&self) -> bool {
+        self.center_mean > self.margin_mean
+    }
+
+    /// Render as an ASCII bar chart (one bar per row band).
+    pub fn render(&self) -> String {
+        let mut out = String::from("FIG 5. VERTICAL CONGESTION BY DEVICE ROW\n");
+        let max = self.row_profile.iter().copied().fold(1e-9, f64::max);
+        let bands = 20usize;
+        let per = self.row_profile.len().div_ceil(bands).max(1);
+        for (b, chunk) in self.row_profile.chunks(per).enumerate() {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let width = ((mean / max) * 50.0).round() as usize;
+            let _ = writeln!(out, "row {:>3}+ {:>7.2}% |{}", b * per, mean, "#".repeat(width));
+        }
+        let _ = writeln!(
+            out,
+            "margin mean = {:.2}%, center mean = {:.2}%",
+            self.margin_mean, self.center_mean
+        );
+        out
+    }
+}
+
+/// Run the Fig 5 experiment.
+pub fn run(effort: Effort) -> Fig5 {
+    let flow = effort.flow();
+    let (_, res) = flow
+        .implement(&face_detection(FdVariant::Optimized))
+        .expect("synthesis must succeed");
+    let profile = res.congestion.row_profile(true);
+    from_profile(profile)
+}
+
+/// Compute the margin/center statistics of a row profile.
+pub fn from_profile(row_profile: Vec<f64>) -> Fig5 {
+    let n = row_profile.len();
+    let margin_n = (n as f64 * 0.15).round() as usize;
+    let margin: Vec<f64> = row_profile[..margin_n]
+        .iter()
+        .chain(row_profile[n - margin_n..].iter())
+        .copied()
+        .collect();
+    let c0 = (n as f64 * 0.3) as usize;
+    let c1 = (n as f64 * 0.7) as usize;
+    let center = &row_profile[c0..c1];
+    Fig5 {
+        margin_mean: margin.iter().sum::<f64>() / margin.len().max(1) as f64,
+        center_mean: center.iter().sum::<f64>() / center.len().max(1) as f64,
+        row_profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_statistics() {
+        // A synthetic center-heavy profile.
+        let profile: Vec<f64> = (0..100)
+            .map(|y| {
+                let d = (y as f64 - 50.0).abs();
+                100.0 - d
+            })
+            .collect();
+        let f = from_profile(profile);
+        assert!(f.center_exceeds_margin());
+        assert!(f.render().contains("FIG 5"));
+    }
+
+    #[test]
+    fn fd_profile_is_center_heavy() {
+        let f = run(Effort::Fast);
+        assert_eq!(f.row_profile.len(), 120);
+        assert!(
+            f.center_exceeds_margin(),
+            "center {:.2} vs margin {:.2}",
+            f.center_mean,
+            f.margin_mean
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! **Fig 6** — congestion maps of the case-study steps (Baseline /
+//! Not Inline / Replication), vertical and horizontal.
+
+use crate::designs::{face_detection, Effort};
+use rosetta_gen::face_detection::FdVariant;
+
+/// One step's rendered maps.
+#[derive(Debug, Clone)]
+pub struct StepMaps {
+    /// Step label.
+    pub label: String,
+    /// Vertical ASCII heat map.
+    pub vertical_art: String,
+    /// Horizontal ASCII heat map.
+    pub horizontal_art: String,
+    /// Tiles over 100 %.
+    pub congested_tiles: usize,
+}
+
+/// Fig 6 result.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Baseline, Not Inline, Replication.
+    pub steps: Vec<StepMaps>,
+}
+
+impl Fig6 {
+    /// Whether the congested area shrinks across the steps.
+    pub fn area_shrinks(&self) -> bool {
+        self.steps
+            .windows(2)
+            .all(|w| w[0].congested_tiles >= w[1].congested_tiles)
+    }
+}
+
+/// Run the Fig 6 experiment.
+pub fn run(effort: Effort) -> Fig6 {
+    let flow = effort.flow();
+    let steps = [
+        (FdVariant::Optimized, "baseline"),
+        (FdVariant::NoInline, "not_inline"),
+        (FdVariant::Replicated, "replication"),
+    ]
+    .into_iter()
+    .map(|(variant, label)| {
+        let (_, res) = flow
+            .implement(&face_detection(variant))
+            .expect("synthesis must succeed");
+        StepMaps {
+            label: label.to_string(),
+            vertical_art: res.congestion.render(true),
+            horizontal_art: res.congestion.render(false),
+            congested_tiles: res.congestion.tiles_over(100.0),
+        }
+    })
+    .collect();
+    Fig6 { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_steps_rendered() {
+        let f = run(Effort::Fast);
+        assert_eq!(f.steps.len(), 3);
+        for s in &f.steps {
+            assert_eq!(s.vertical_art.lines().count(), 120);
+            assert_eq!(s.horizontal_art.lines().count(), 120);
+        }
+        assert!(
+            f.steps[0].congested_tiles >= f.steps[2].congested_tiles,
+            "replication must not be more congested than baseline: {} vs {}",
+            f.steps[0].congested_tiles,
+            f.steps[2].congested_tiles
+        );
+    }
+}

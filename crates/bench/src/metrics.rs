@@ -1,0 +1,77 @@
+//! Design-level implementation metrics shared by several tables.
+
+use congestion_core::pipeline::CongestionFlow;
+use fpga_fabric::ImplResult;
+use hls_ir::Module;
+use hls_synth::SynthesizedDesign;
+use serde::Serialize;
+
+/// Implementation summary of one design (the columns of Tables I/VI).
+#[derive(Debug, Clone, Serialize)]
+pub struct DesignMetrics {
+    /// Design name.
+    pub name: String,
+    /// Worst negative slack (ns).
+    pub wns_ns: f64,
+    /// Maximum frequency (MHz).
+    pub fmax_mhz: f64,
+    /// Latency (cycles).
+    pub latency_cycles: u64,
+    /// Maximum vertical congestion (%).
+    pub max_vertical: f64,
+    /// Maximum horizontal congestion (%).
+    pub max_horizontal: f64,
+    /// Number of tiles over 100 % in either direction.
+    pub congested_tiles: usize,
+}
+
+impl DesignMetrics {
+    /// Gather metrics from an implemented design.
+    pub fn from_impl(name: &str, design: &SynthesizedDesign, res: &ImplResult) -> DesignMetrics {
+        DesignMetrics {
+            name: name.to_string(),
+            wns_ns: res.timing.wns_ns,
+            fmax_mhz: res.timing.fmax_mhz,
+            latency_cycles: design.report.latency_cycles(),
+            max_vertical: res.congestion.max_vertical(),
+            max_horizontal: res.congestion.max_horizontal(),
+            congested_tiles: res.congestion.tiles_over(100.0),
+        }
+    }
+
+    /// Implement `module` with `flow` and gather metrics.
+    ///
+    /// # Panics
+    /// Panics if synthesis fails (generator bug).
+    pub fn measure(flow: &CongestionFlow, module: &Module) -> (DesignMetrics, SynthesizedDesign, ImplResult) {
+        let (design, res) = flow.implement(module).expect("synthesis must succeed");
+        let m = DesignMetrics::from_impl(&module.name, &design, &res);
+        (m, design, res)
+    }
+
+    /// The larger of the two max congestion values ("Max Congestion").
+    pub fn max_congestion(&self) -> f64 {
+        self.max_vertical.max(self.max_horizontal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::Effort;
+    use hls_ir::frontend::compile_named;
+
+    #[test]
+    fn metrics_are_finite() {
+        let flow = Effort::Fast.flow();
+        let m = compile_named(
+            "int32 f(int32 a[16]) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i]; } return s; }",
+            "tiny",
+        )
+        .unwrap();
+        let (metrics, _, _) = DesignMetrics::measure(&flow, &m);
+        assert!(metrics.fmax_mhz > 0.0);
+        assert!(metrics.latency_cycles > 0);
+        assert!(metrics.max_congestion() >= 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! **Table I** — performance comparison of Face Detection with and without
+//! HLS directives.
+//!
+//! Expected shape (paper): the directive-optimized implementation has far
+//! lower latency but much worse WNS/Fmax and much higher max congestion.
+
+use crate::designs::{face_detection, Effort};
+use crate::metrics::DesignMetrics;
+use rosetta_gen::face_detection::FdVariant;
+use serde::Serialize;
+use std::fmt::Write;
+
+/// Table I result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// "With Directives" row.
+    pub with_directives: DesignMetrics,
+    /// "Without Directives" row.
+    pub without_directives: DesignMetrics,
+}
+
+impl Table1 {
+    /// Whether the paper's qualitative shape holds.
+    pub fn shape_holds(&self) -> bool {
+        let w = &self.with_directives;
+        let wo = &self.without_directives;
+        w.latency_cycles < wo.latency_cycles
+            && w.fmax_mhz < wo.fmax_mhz
+            && w.max_congestion() > wo.max_congestion()
+    }
+
+    /// Render as the paper's table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TABLE I. PERFORMANCE COMPARISON (Face Detection)\n\
+             {:<22} {:>9} {:>14} {:>16} {:>18}",
+            "Implementation", "WNS(ns)", "Max Freq.(MHz)", "Latency(cycles)", "Max Congestion(%)"
+        );
+        for (label, m) in [
+            ("With Directives", &self.with_directives),
+            ("Without Directives", &self.without_directives),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>9.3} {:>14.1} {:>16} {:>18.2}",
+                label,
+                m.wns_ns,
+                m.fmax_mhz,
+                m.latency_cycles,
+                m.max_congestion()
+            );
+        }
+        out
+    }
+}
+
+/// Run the Table I experiment.
+pub fn run(effort: Effort) -> Table1 {
+    let flow = effort.flow();
+    let (with_directives, _, _) =
+        DesignMetrics::measure(&flow, &face_detection(FdVariant::Optimized));
+    let (without_directives, _, _) =
+        DesignMetrics::measure(&flow, &face_detection(FdVariant::Plain));
+    Table1 {
+        with_directives,
+        without_directives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        let t = run(Effort::Fast);
+        assert!(
+            t.with_directives.latency_cycles < t.without_directives.latency_cycles,
+            "directives must cut latency: {} vs {}",
+            t.with_directives.latency_cycles,
+            t.without_directives.latency_cycles
+        );
+        assert!(
+            t.with_directives.max_congestion() > t.without_directives.max_congestion(),
+            "directives must increase congestion: {} vs {}",
+            t.with_directives.max_congestion(),
+            t.without_directives.max_congestion()
+        );
+        let text = t.render();
+        assert!(text.contains("With Directives"));
+    }
+}

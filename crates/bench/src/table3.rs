@@ -1,0 +1,133 @@
+//! **Table III** — property summary of the benchmark suite: max/min/avg of
+//! WNS, Fmax over the three implementations, and of the per-CLB congestion
+//! labels over the whole dataset.
+
+use crate::designs::{training_suite, Effort};
+use crate::metrics::DesignMetrics;
+use congestion_core::CongestionDataset;
+use serde::Serialize;
+use std::fmt::Write;
+
+/// Max/min/avg triple.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Maximum.
+    pub max: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub avg: f64,
+}
+
+impl Summary {
+    fn of(values: &[f64]) -> Summary {
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        let min = values.iter().copied().fold(f64::MAX, f64::min);
+        let avg = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        Summary { max, min, avg }
+    }
+}
+
+/// Table III result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3 {
+    /// Per-design metrics (three groups).
+    pub designs: Vec<DesignMetrics>,
+    /// WNS summary over designs.
+    pub wns: Summary,
+    /// Fmax summary over designs.
+    pub freq: Summary,
+    /// Vertical congestion summary over dataset samples.
+    pub vertical: Summary,
+    /// Horizontal congestion summary over dataset samples.
+    pub horizontal: Summary,
+    /// Avg(V,H) summary over dataset samples.
+    pub average: Summary,
+    /// Total dataset size (paper: 8111 samples).
+    pub samples: usize,
+}
+
+impl Table3 {
+    /// Render as the paper's table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TABLE III. PROPERTY SUMMARY OF BENCHMARKS ({} samples)\n\
+             {:<8} {:>9} {:>10} {:>16} {:>18} {:>14}",
+            self.samples, "Metrics", "WNS(ns)", "Freq.(MHz)", "Vertical Cong(%)", "Horizontal Cong(%)", "Avg.(V,H)(%)"
+        );
+        for (label, pick) in [
+            ("Max", 0usize),
+            ("Min", 1),
+            ("Avg.", 2),
+        ] {
+            let get = |s: &Summary| match pick {
+                0 => s.max,
+                1 => s.min,
+                _ => s.avg,
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9.3} {:>10.1} {:>16.2} {:>18.2} {:>14.2}",
+                label,
+                get(&self.wns),
+                get(&self.freq),
+                get(&self.vertical),
+                get(&self.horizontal),
+                get(&self.average)
+            );
+        }
+        out
+    }
+}
+
+/// Run the Table III experiment; also returns the dataset so downstream
+/// experiments (Table IV/V) can reuse it.
+pub fn run(effort: Effort) -> (Table3, CongestionDataset) {
+    let flow = effort.flow();
+    let mut designs = Vec::new();
+    let mut ds = CongestionDataset::new();
+    for module in training_suite() {
+        let (metrics, design, res) = DesignMetrics::measure(&flow, &module);
+        ds.add_design(&design, &res, &flow.device);
+        designs.push(metrics);
+    }
+    let wns = Summary::of(&designs.iter().map(|d| d.wns_ns).collect::<Vec<_>>());
+    let freq = Summary::of(&designs.iter().map(|d| d.fmax_mhz).collect::<Vec<_>>());
+    let v: Vec<f64> = ds.samples.iter().map(|s| s.vertical).collect();
+    let h: Vec<f64> = ds.samples.iter().map(|s| s.horizontal).collect();
+    let a: Vec<f64> = ds.samples.iter().map(|s| s.average()).collect();
+    let table = Table3 {
+        wns,
+        freq,
+        vertical: Summary::of(&v),
+        horizontal: Summary::of(&h),
+        average: Summary::of(&a),
+        samples: ds.len(),
+        designs,
+    };
+    (table, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_stats() {
+        let s = Summary::of(&[1.0, 5.0, 3.0]);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.avg, 3.0);
+    }
+
+    #[test]
+    #[ignore = "multi-minute full-suite run; exercised by the experiments binary"]
+    fn table3_full() {
+        let (t, ds) = run(Effort::Fast);
+        assert_eq!(t.designs.len(), 3);
+        assert!(ds.len() > 500);
+        assert!(t.vertical.max >= t.vertical.avg);
+    }
+}

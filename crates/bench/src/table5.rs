@@ -1,0 +1,137 @@
+//! **Table V** — important feature categories per congestion metric,
+//! measured by GBRT split counts aggregated per category (the paper's
+//! importance definition), excluding the trivial Bitwidth/Timing singletons
+//! from the ranking just as the paper lists only the informative groups.
+//!
+//! Expected shape: #Resource/ΔTcs and Resource lead for every metric, with
+//! Interconnection and Global following.
+
+use crate::designs::Effort;
+use congestion_core::dataset::Target;
+use congestion_core::features::FeatureCategory;
+use congestion_core::predict::{CongestionPredictor, ModelKind};
+use congestion_core::CongestionDataset;
+use serde::Serialize;
+use std::fmt::Write;
+
+/// Ranked categories for one target metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct CategoryRanking {
+    /// Target name.
+    pub target: String,
+    /// `(category name, importance share)` in descending importance.
+    pub ranking: Vec<(String, f64)>,
+}
+
+/// Table V result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5 {
+    /// One ranking per target (V, H, Avg).
+    pub rankings: Vec<CategoryRanking>,
+}
+
+impl Table5 {
+    /// The top-`k` category names for a target index.
+    pub fn top(&self, target: usize, k: usize) -> Vec<&str> {
+        self.rankings[target]
+            .ranking
+            .iter()
+            .take(k)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Render as the paper's table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "TABLE V. IMPORTANT FEATURE CATEGORIES");
+        for r in &self.rankings {
+            let _ = writeln!(out, "{}:", r.target);
+            for (i, (name, share)) in r.ranking.iter().enumerate() {
+                let _ = writeln!(out, "  {}. {:<20} {:>6.1}%", i + 1, name, share * 100.0);
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate per-feature importance into per-category shares.
+pub fn category_importance(importance: &[f64]) -> Vec<(FeatureCategory, f64)> {
+    let mut by_cat: Vec<(FeatureCategory, f64)> = FeatureCategory::ALL
+        .iter()
+        .map(|&c| {
+            let share: f64 = c.range().map(|i| importance[i]).sum();
+            (c, share)
+        })
+        .collect();
+    by_cat.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    by_cat
+}
+
+/// Run Table V on a prebuilt dataset.
+pub fn run_on(dataset: &CongestionDataset, effort: Effort) -> Table5 {
+    let opts = effort.train(false);
+    let mut rankings = Vec::new();
+    for target in Target::ALL {
+        let p = CongestionPredictor::train(ModelKind::Gbrt, target, dataset, &opts);
+        let importance = p
+            .feature_importance()
+            .expect("GBRT always reports importance");
+        let ranking = category_importance(&importance)
+            .into_iter()
+            .filter(|(c, _)| {
+                // The paper's table lists the informative multi-feature
+                // groups; singleton categories are omitted.
+                !matches!(c, FeatureCategory::Bitwidth | FeatureCategory::Timing)
+            })
+            .map(|(c, share)| {
+                if c == FeatureCategory::Global {
+                    // The paper annotates the Global row with its dominant
+                    // subgroup: multiplexer vs memory statistics.
+                    let g = c.range();
+                    let mem: f64 = (g.end - 8..g.end - 4).map(|i| importance[i]).sum();
+                    let mux: f64 = (g.end - 4..g.end).map(|i| importance[i]).sum();
+                    let label = if mux >= mem {
+                        "Global (Mux)"
+                    } else {
+                        "Global (Memory)"
+                    };
+                    (label.to_string(), share)
+                } else {
+                    (c.name().to_string(), share)
+                }
+            })
+            .collect();
+        rankings.push(CategoryRanking {
+            target: target.name().to_string(),
+            ranking,
+        });
+    }
+    Table5 { rankings }
+}
+
+/// Build the dataset and run Table V.
+pub fn run(effort: Effort) -> Table5 {
+    let (_, ds) = crate::table3::run(effort);
+    let filtered =
+        congestion_core::filter::filter_marginal(&ds, &Default::default());
+    run_on(&filtered.kept, effort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_aggregation_sums_ranges() {
+        let mut imp = vec![0.0; congestion_core::FEATURE_COUNT];
+        // Put all mass in the Resource range.
+        for i in FeatureCategory::Resource.range() {
+            imp[i] = 1.0 / FeatureCategory::Resource.range().len() as f64;
+        }
+        let by_cat = category_importance(&imp);
+        assert_eq!(by_cat[0].0, FeatureCategory::Resource);
+        assert!((by_cat[0].1 - 1.0).abs() < 1e-9);
+        assert!(by_cat[1].1.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! **Table VI** — the Face Detection case study: Baseline → Not Inline →
+//! Replication, each resolving congestion further.
+//!
+//! Expected shape (paper): max congestion and #congested CLBs drop
+//! monotonically, Fmax rises, while latency increases only slightly.
+
+use crate::designs::{face_detection, Effort};
+use crate::metrics::DesignMetrics;
+use rosetta_gen::face_detection::FdVariant;
+use serde::Serialize;
+use std::fmt::Write;
+
+/// Table VI result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table6 {
+    /// Baseline (optimized, inlined).
+    pub baseline: DesignMetrics,
+    /// Step 1: remove inlining.
+    pub not_inline: DesignMetrics,
+    /// Step 2: replicate the shared window buffer.
+    pub replication: DesignMetrics,
+}
+
+impl Table6 {
+    /// The three steps in order.
+    pub fn steps(&self) -> [&DesignMetrics; 3] {
+        [&self.baseline, &self.not_inline, &self.replication]
+    }
+
+    /// Whether the paper's qualitative shape holds: congestion falls and
+    /// Fmax rises across the steps.
+    pub fn shape_holds(&self) -> bool {
+        let s = self.steps();
+        s[0].congested_tiles >= s[1].congested_tiles
+            && s[1].congested_tiles >= s[2].congested_tiles
+            && s[0].fmax_mhz <= s[2].fmax_mhz
+    }
+
+    /// Render as the paper's table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TABLE VI. CASE STUDY: PERFORMANCE IMPROVEMENT\n\
+             {:<14} {:>9} {:>12} {:>16} {:>22} {:>18}",
+            "Implementation",
+            "WNS(ns)",
+            "MaxFreq(MHz)",
+            "dLatency(cycles)",
+            "Max Cong Vert,Hori(%)",
+            "#Congested CLBs"
+        );
+        let base_latency = self.baseline.latency_cycles as i64;
+        for (label, m) in [
+            ("Baseline", &self.baseline),
+            ("Not Inline", &self.not_inline),
+            ("Replication", &self.replication),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>9.3} {:>12.1} {:>+16} {:>11.2},{:>9.2} {:>18}",
+                label,
+                m.wns_ns,
+                m.fmax_mhz,
+                m.latency_cycles as i64 - base_latency,
+                m.max_vertical,
+                m.max_horizontal,
+                m.congested_tiles
+            );
+        }
+        out
+    }
+}
+
+/// Run the Table VI experiment.
+pub fn run(effort: Effort) -> Table6 {
+    let flow = effort.flow();
+    let measure = |v: FdVariant| DesignMetrics::measure(&flow, &face_detection(v)).0;
+    Table6 {
+        baseline: measure(FdVariant::Optimized),
+        not_inline: measure(FdVariant::NoInline),
+        replication: measure(FdVariant::Replicated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_reduces_congestion() {
+        let t = run(Effort::Fast);
+        assert!(
+            t.baseline.max_congestion() > t.replication.max_congestion(),
+            "resolution steps must cut congestion: {} -> {}",
+            t.baseline.max_congestion(),
+            t.replication.max_congestion()
+        );
+        assert!(
+            t.baseline.congested_tiles >= t.replication.congested_tiles,
+            "congested CLBs must not grow: {} -> {}",
+            t.baseline.congested_tiles,
+            t.replication.congested_tiles
+        );
+        let text = t.render();
+        assert!(text.contains("Replication"));
+    }
+}

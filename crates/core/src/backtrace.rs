@@ -1,0 +1,114 @@
+//! Back-tracing (paper §III-A1): from per-CLB congestion metrics through
+//! placed RTL cells back to IR operations.
+//!
+//! The RTL netlist records each cell's IR provenance, and placement records
+//! each cell's tile footprint; the label of an operation is the mean
+//! vertical/horizontal congestion over the CLBs its cells occupy (an
+//! operation replicated by unrolling or multi-instance calls averages over
+//! all its hardware, matching the paper's per-CLB-to-op linkage).
+
+use fpga_fabric::ImplResult;
+use hls_ir::{FuncId, OpId};
+use hls_synth::SynthesizedDesign;
+use std::collections::HashMap;
+
+/// The congestion label of one IR operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpLabel {
+    /// Mean vertical congestion (%) over the op's CLBs.
+    pub vertical: f64,
+    /// Mean horizontal congestion (%).
+    pub horizontal: f64,
+    /// Number of cells carrying the op.
+    pub cells: usize,
+}
+
+impl OpLabel {
+    /// The paper's "Avg (V, H)" metric.
+    pub fn average(&self) -> f64 {
+        (self.vertical + self.horizontal) / 2.0
+    }
+}
+
+/// Back-trace congestion labels for every IR op that materialized into
+/// hardware. Ops that vanished in RTL (constants, casts) get no label.
+pub fn backtrace_labels(
+    design: &SynthesizedDesign,
+    impl_result: &ImplResult,
+) -> HashMap<(FuncId, OpId), OpLabel> {
+    let op_cells = design.rtl.op_cells();
+    let mut labels = HashMap::with_capacity(op_cells.len());
+    for (key, cells) in op_cells {
+        let mut v = 0.0;
+        let mut h = 0.0;
+        let mut n = 0usize;
+        for &cell in &cells {
+            let (cv, ch) = impl_result.cell_congestion(cell);
+            v += cv;
+            h += ch;
+            n += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        labels.insert(
+            key,
+            OpLabel {
+                vertical: v / n as f64,
+                horizontal: h / n as f64,
+                cells: n,
+            },
+        );
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::{par::run_par, par::ParOptions, Device};
+    use hls_ir::frontend::compile;
+    use hls_ir::OpKind;
+    use hls_synth::{HlsFlow, HlsOptions};
+
+    fn labels_for(src: &str) -> (SynthesizedDesign, HashMap<(FuncId, OpId), OpLabel>) {
+        let m = compile(src).unwrap();
+        let d = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
+        let r = run_par(&d, &Device::xc7z020(), &ParOptions::fast());
+        let l = backtrace_labels(&d, &r);
+        (d, l)
+    }
+
+    #[test]
+    fn hardware_ops_get_labels() {
+        let (d, labels) = labels_for(
+            "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+        );
+        let f = d.module.top_function();
+        let mul = f.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+        let key = (f.id, mul.id);
+        let label = labels.get(&key).expect("multiplier must be labeled");
+        assert!(label.vertical >= 0.0 && label.horizontal >= 0.0);
+        assert!(label.cells >= 1);
+        assert!(label.average() >= 0.0);
+    }
+
+    #[test]
+    fn pure_wiring_ops_get_no_label() {
+        let (d, labels) = labels_for("int32 f(int32 x) { return x + 1; }");
+        let f = d.module.top_function();
+        let c = f.ops.iter().find(|o| o.kind == OpKind::Const).unwrap();
+        assert!(!labels.contains_key(&(f.id, c.id)), "consts have no cells");
+    }
+
+    #[test]
+    fn callee_ops_labeled_once_across_instances() {
+        let (d, labels) = labels_for(
+            "int32 g(int32 x) { return x * x; }\nint32 f(int32 x) { return g(x) + g(x + 1); }",
+        );
+        let g = d.module.function_by_name("g").unwrap();
+        let mul = g.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+        let label = labels.get(&(g.id, mul.id)).expect("mul labeled");
+        assert_eq!(label.cells, 2, "two instances average into one label");
+    }
+}

@@ -1,0 +1,225 @@
+//! Dataset assembly: one sample per dependency-graph node that materialized
+//! into hardware, with its 302 features and (V, H) congestion labels.
+
+use crate::backtrace::{backtrace_labels, OpLabel};
+use crate::features::{ExtractCtx, FEATURE_COUNT};
+use crate::graph::DepGraph;
+use fpga_fabric::{Device, ImplResult};
+use hls_ir::{FuncId, OpId, ReplicaTag};
+use hls_synth::SynthesizedDesign;
+use mlkit::dataset::Dataset;
+
+/// One labelled sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Design name.
+    pub design: String,
+    /// Function the op belongs to.
+    pub func: FuncId,
+    /// Representative op of the graph node.
+    pub op: OpId,
+    /// Source line of the op (0 = unknown).
+    pub line: u32,
+    /// Unroll provenance (for the marginal filter).
+    pub replica: Option<ReplicaTag>,
+    /// The 302 features.
+    pub features: Vec<f64>,
+    /// Vertical congestion label (%).
+    pub vertical: f64,
+    /// Horizontal congestion label (%).
+    pub horizontal: f64,
+}
+
+impl Sample {
+    /// The paper's Avg(V, H) label.
+    pub fn average(&self) -> f64 {
+        (self.vertical + self.horizontal) / 2.0
+    }
+}
+
+/// Which congestion metric a model is trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Vertical congestion.
+    Vertical,
+    /// Horizontal congestion.
+    Horizontal,
+    /// Mean of the two.
+    Average,
+}
+
+impl Target {
+    /// All targets in the paper's column order.
+    pub const ALL: [Target; 3] = [Target::Vertical, Target::Horizontal, Target::Average];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::Vertical => "Vertical",
+            Target::Horizontal => "Horizontal",
+            Target::Average => "Avg(V,H)",
+        }
+    }
+
+    /// The label of a sample under this target.
+    pub fn of(&self, s: &Sample) -> f64 {
+        match self {
+            Target::Vertical => s.vertical,
+            Target::Horizontal => s.horizontal,
+            Target::Average => s.average(),
+        }
+    }
+}
+
+/// The congestion dataset (paper §IV: 8111 samples over the suite).
+#[derive(Debug, Clone, Default)]
+pub struct CongestionDataset {
+    /// All samples.
+    pub samples: Vec<Sample>,
+}
+
+impl CongestionDataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Add every hardware-backed graph node of `design` as a sample.
+    pub fn add_design(
+        &mut self,
+        design: &SynthesizedDesign,
+        impl_result: &ImplResult,
+        device: &Device,
+    ) {
+        let labels = backtrace_labels(design, impl_result);
+        for fid in design.module.bottom_up_order() {
+            let f = design.module.function(fid);
+            let binding = &design.bindings[&fid];
+            let graph = DepGraph::build(f, Some(binding), true);
+            let ctx = ExtractCtx::new(&graph, design, fid, device);
+            for (ni, node) in graph.nodes.iter().enumerate() {
+                if node.is_port {
+                    continue;
+                }
+                // A node is labelled if any member op has hardware.
+                let Some((op, label)) = node.ops.iter().find_map(|&o| {
+                    labels.get(&(fid, o)).map(|l| (o, *l))
+                }) else {
+                    continue;
+                };
+                let OpLabel {
+                    vertical,
+                    horizontal,
+                    ..
+                } = label;
+                let op_ref = f.op(op);
+                self.samples.push(Sample {
+                    design: design.module.name.clone(),
+                    func: fid,
+                    op,
+                    line: op_ref.loc.map(|l| l.line).unwrap_or(0),
+                    replica: op_ref.replica,
+                    features: ctx.extract(ni),
+                    vertical,
+                    horizontal,
+                });
+            }
+        }
+    }
+
+    /// Convert to an [`mlkit`] dataset for a given target metric.
+    pub fn to_ml(&self, target: Target) -> Dataset {
+        let mut d = Dataset::with_cols(FEATURE_COUNT);
+        for s in &self.samples {
+            d.push(&s.features, target.of(s));
+        }
+        d
+    }
+
+    /// Deterministic train/test split at the sample level.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (CongestionDataset, CongestionDataset) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = ((self.len() as f64) * test_fraction).round() as usize;
+        let (test, train) = idx.split_at(n_test.min(self.len()));
+        let pick = |ids: &[usize]| CongestionDataset {
+            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+        };
+        (pick(train), pick(test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::par::{run_par, ParOptions};
+    use hls_ir::frontend::compile;
+    use hls_synth::{HlsFlow, HlsOptions};
+
+    fn build_dataset(srcs: &[&str]) -> CongestionDataset {
+        let device = Device::xc7z020();
+        let mut ds = CongestionDataset::new();
+        for (i, src) in srcs.iter().enumerate() {
+            let m = hls_ir::frontend::compile_named(src, &format!("d{i}")).unwrap();
+            let d = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
+            let r = run_par(&d, &device, &ParOptions::fast());
+            ds.add_design(&d, &r, &device);
+        }
+        ds
+    }
+
+    const SRC: &str =
+        "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }";
+
+    #[test]
+    fn samples_have_302_features() {
+        let ds = build_dataset(&[SRC]);
+        assert!(!ds.is_empty());
+        for s in &ds.samples {
+            assert_eq!(s.features.len(), FEATURE_COUNT);
+            assert!(s.features.iter().all(|v| v.is_finite()));
+            assert!(s.vertical >= 0.0 && s.horizontal >= 0.0);
+        }
+    }
+
+    #[test]
+    fn multiple_designs_accumulate() {
+        let one = build_dataset(&[SRC]).len();
+        let two = build_dataset(&[SRC, "int32 g(int32 x, int32 y) { return x * y - x; }"]).len();
+        assert!(two > one);
+    }
+
+    #[test]
+    fn to_ml_respects_target() {
+        let ds = build_dataset(&[SRC]);
+        let v = ds.to_ml(Target::Vertical);
+        let h = ds.to_ml(Target::Horizontal);
+        let a = ds.to_ml(Target::Average);
+        assert_eq!(v.len(), ds.len());
+        for i in 0..ds.len() {
+            assert!((a.y[i] - (v.y[i] + h.y[i]) / 2.0).abs() < 1e-9);
+        }
+        let _ = compile(SRC).unwrap();
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let ds = build_dataset(&[SRC]);
+        let (train, test) = ds.split(0.2, 42);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert!(!test.is_empty());
+    }
+}

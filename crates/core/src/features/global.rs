@@ -1,0 +1,84 @@
+//! Global-information features (26): top-function and own-function resource
+//! usage, clock settings, memory statistics and multiplexer statistics from
+//! the HLS report (paper Table II, last row).
+
+use super::ExtractCtx;
+use hls_synth::Resources;
+
+/// Number of features in this category.
+pub const COUNT: usize = 26;
+
+pub(super) fn extract(ctx: &ExtractCtx<'_>, _node: usize, out: &mut Vec<f64>) {
+    let top = &ctx.report.functions[&ctx.report.top];
+    let fop = &ctx.report.functions[&ctx.func_id];
+
+    // Ftop resources (4).
+    for t in 0..Resources::KINDS {
+        out.push(top.resources.get(t) as f64);
+    }
+    // Fop resources (4) and share of Ftop (4).
+    for t in 0..Resources::KINDS {
+        out.push(fop.resources.get(t) as f64);
+    }
+    for t in 0..Resources::KINDS {
+        let denom = top.resources.get(t) as f64;
+        out.push(if denom < 1e-12 {
+            0.0
+        } else {
+            fop.resources.get(t) as f64 / denom
+        });
+    }
+    // Clocks: target / estimated / uncertainty for Ftop and Fop (6).
+    out.push(ctx.report.clock_target_ns);
+    out.push(top.estimated_clock_ns);
+    out.push(ctx.report.clock_uncertainty_ns);
+    out.push(ctx.report.clock_target_ns);
+    out.push(fop.estimated_clock_ns);
+    out.push(ctx.report.clock_uncertainty_ns);
+    // Memory stats of Fop (4).
+    out.push(fop.memory.words as f64);
+    out.push(fop.memory.banks as f64);
+    out.push(fop.memory.bits as f64);
+    out.push(fop.memory.primitives as f64);
+    // Mux stats of Fop (4).
+    out.push(fop.mux.count as f64);
+    out.push(fop.mux.luts as f64);
+    out.push(fop.mux.input_size as f64);
+    out.push(fop.mux.bits as f64);
+}
+
+pub(super) fn push_names(names: &mut Vec<String>) {
+    for t in Resources::NAMES {
+        names.push(format!("glob_top_{t}"));
+    }
+    for t in Resources::NAMES {
+        names.push(format!("glob_fn_{t}"));
+    }
+    for t in Resources::NAMES {
+        names.push(format!("glob_fn_share_{t}"));
+    }
+    for scope in ["top", "fn"] {
+        for c in ["clock_target", "clock_est", "clock_unc"] {
+            names.push(format!("glob_{scope}_{c}"));
+        }
+    }
+    for m in ["mem_words", "mem_banks", "mem_bits", "mem_primitives"] {
+        names.push(format!("glob_{m}"));
+    }
+    for m in ["mux_count", "mux_luts", "mux_inputs", "mux_bits"] {
+        names.push(format!("glob_{m}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_layout() {
+        assert_eq!(COUNT, super::super::FeatureCategory::Global.range().len());
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), COUNT);
+    }
+}

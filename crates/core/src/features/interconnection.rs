@@ -1,0 +1,119 @@
+//! Interconnection features (18): fan-in/out, neighbor counts, and
+//! max-wire shares, over the 1-hop and 2-hop neighborhoods.
+
+use super::ExtractCtx;
+
+/// Number of features in this category.
+pub const COUNT: usize = 18;
+
+pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
+    let g = ctx.graph;
+
+    // 1-hop.
+    let fan_in = g.fan_in(node) as f64;
+    let fan_out = g.fan_out(node) as f64;
+    let n_pred = g.inc[node].len() as f64;
+    let n_succ = g.out[node].len() as f64;
+    let max_wire = g.inc[node]
+        .iter()
+        .chain(g.out[node].iter())
+        .map(|&(_, w)| w)
+        .max()
+        .unwrap_or(0) as f64;
+    out.extend_from_slice(&[
+        fan_in,
+        fan_out,
+        fan_in + fan_out,
+        n_pred,
+        n_succ,
+        n_pred + n_succ,
+        max_wire,
+        ratio(max_wire, fan_in),
+        ratio(max_wire, fan_out),
+    ]);
+
+    // 2-hop: fan metrics accumulate over the 1-hop neighbors' own edges.
+    let fan_in2 = fan_in
+        + g.preds(node)
+            .map(|p| g.fan_in(p) as f64)
+            .sum::<f64>();
+    let fan_out2 = fan_out
+        + g.succs(node)
+            .map(|s| g.fan_out(s) as f64)
+            .sum::<f64>();
+    let n_pred2 = ctx.preds2[node].len() as f64;
+    let n_succ2 = ctx.succs2[node].len() as f64;
+    let max_wire2 = {
+        let mut m = max_wire;
+        for &p in g
+            .preds(node)
+            .chain(g.succs(node))
+            .collect::<Vec<_>>()
+            .iter()
+        {
+            for &(_, w) in g.inc[p].iter().chain(g.out[p].iter()) {
+                m = m.max(w as f64);
+            }
+        }
+        m
+    };
+    out.extend_from_slice(&[
+        fan_in2,
+        fan_out2,
+        fan_in2 + fan_out2,
+        n_pred2,
+        n_succ2,
+        n_pred2 + n_succ2,
+        max_wire2,
+        ratio(max_wire2, fan_in2),
+        ratio(max_wire2, fan_out2),
+    ]);
+}
+
+pub(super) fn push_names(names: &mut Vec<String>) {
+    for hop in ["1hop", "2hop"] {
+        for base in [
+            "fan_in",
+            "fan_out",
+            "fan_total",
+            "n_pred",
+            "n_succ",
+            "n_neighbors",
+            "max_wire",
+            "max_wire_per_fan_in",
+            "max_wire_per_fan_out",
+        ] {
+            names.push(format!("ic_{base}_{hop}"));
+        }
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b.abs() < 1e-12 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_layout() {
+        assert_eq!(
+            COUNT,
+            super::super::FeatureCategory::Interconnection.range().len()
+        );
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), COUNT);
+    }
+
+    #[test]
+    fn ratio_guards_division() {
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(5.0, 2.0), 2.5);
+    }
+}

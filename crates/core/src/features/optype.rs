@@ -1,0 +1,53 @@
+//! Operator-type features (83): a one-hot encoding of the node's own kind
+//! (41), the histogram of kinds among its 1-hop neighbors (41), and the
+//! number of distinct neighbor kinds (1).
+
+use super::ExtractCtx;
+use hls_ir::OpKind;
+
+/// Number of features in this category.
+pub const COUNT: usize = 2 * OpKind::COUNT + 1;
+
+pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
+    let g = ctx.graph;
+    // One-hot of the node's kind.
+    let own = g.nodes[node].kind.index();
+    for k in 0..OpKind::COUNT {
+        out.push(if k == own { 1.0 } else { 0.0 });
+    }
+    // Neighbor kind histogram.
+    let mut hist = [0.0f64; OpKind::COUNT];
+    for n in g.preds(node).chain(g.succs(node)) {
+        hist[g.nodes[n].kind.index()] += 1.0;
+    }
+    out.extend_from_slice(&hist);
+    // Distinct neighbor kinds.
+    out.push(hist.iter().filter(|&&c| c > 0.0).count() as f64);
+}
+
+pub(super) fn push_names(names: &mut Vec<String>) {
+    for k in OpKind::ALL {
+        names.push(format!("op_is_{k}"));
+    }
+    for k in OpKind::ALL {
+        names.push(format!("op_neighbors_{k}"));
+    }
+    names.push("op_distinct_neighbor_kinds".into());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_layout() {
+        assert_eq!(
+            COUNT,
+            super::super::FeatureCategory::OperatorType.range().len()
+        );
+        assert_eq!(COUNT, 83);
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), COUNT);
+    }
+}

@@ -1,0 +1,114 @@
+//! Resource features (100 = 25 × 4 types): usage and utilization ratios of
+//! the node itself and its 1-hop/2-hop neighborhoods, per resource type
+//! (LUT, FF, DSP, BRAM).
+
+use super::ExtractCtx;
+use hls_synth::Resources;
+
+/// Number of features in this category.
+pub const COUNT: usize = 100;
+
+/// Features per resource type.
+pub const PER_TYPE: usize = 25;
+
+pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
+    let fop_res = &ctx.report.functions[&ctx.func_id].resources;
+    for t in 0..Resources::KINDS {
+        let dev = ctx.device_totals.get(t) as f64;
+        let fnr = fop_res.get(t) as f64;
+        let usage = |n: usize| ctx.node_res[n].get(t) as f64;
+
+        let own = usage(node);
+        // Self (3).
+        out.push(own);
+        out.push(ratio(own, dev));
+        out.push(ratio(own, fnr));
+
+        // 1-hop (11).
+        let preds: Vec<usize> = ctx.graph.preds(node).collect();
+        let succs: Vec<usize> = ctx.graph.succs(node).collect();
+        push_neighborhood(out, &preds, &succs, &usage, dev, fnr);
+
+        // 2-hop (11).
+        push_neighborhood(out, &ctx.preds2[node], &ctx.succs2[node], &usage, dev, fnr);
+    }
+}
+
+/// The 11 neighborhood features: pred/succ/both usage sums, their
+/// device-utilization and function-utilization ratios, and the max-usage
+/// neighbor with its share.
+fn push_neighborhood(
+    out: &mut Vec<f64>,
+    preds: &[usize],
+    succs: &[usize],
+    usage: &impl Fn(usize) -> f64,
+    dev: f64,
+    fnr: f64,
+) {
+    let pred_sum: f64 = preds.iter().map(|&p| usage(p)).sum();
+    let succ_sum: f64 = succs.iter().map(|&s| usage(s)).sum();
+    let both = pred_sum + succ_sum;
+    out.push(pred_sum);
+    out.push(succ_sum);
+    out.push(both);
+    out.push(ratio(pred_sum, dev));
+    out.push(ratio(succ_sum, dev));
+    out.push(ratio(both, dev));
+    out.push(ratio(pred_sum, fnr));
+    out.push(ratio(succ_sum, fnr));
+    out.push(ratio(both, fnr));
+    let max = preds
+        .iter()
+        .chain(succs.iter())
+        .map(|&n| usage(n))
+        .fold(0.0f64, f64::max);
+    out.push(max);
+    out.push(ratio(max, both));
+}
+
+pub(super) fn push_names(names: &mut Vec<String>) {
+    for t in Resources::NAMES {
+        names.push(format!("res_{t}_usage"));
+        names.push(format!("res_{t}_util_dev"));
+        names.push(format!("res_{t}_util_fn"));
+        for hop in ["1hop", "2hop"] {
+            for base in [
+                "pred_sum",
+                "succ_sum",
+                "both_sum",
+                "pred_util_dev",
+                "succ_util_dev",
+                "both_util_dev",
+                "pred_util_fn",
+                "succ_util_fn",
+                "both_util_fn",
+                "max_neighbor",
+                "max_neighbor_share",
+            ] {
+                names.push(format!("res_{t}_{base}_{hop}"));
+            }
+        }
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b.abs() < 1e-12 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_layout() {
+        assert_eq!(COUNT, super::super::FeatureCategory::Resource.range().len());
+        assert_eq!(PER_TYPE * Resources::KINDS, COUNT);
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), COUNT);
+    }
+}

@@ -1,0 +1,115 @@
+//! #Resource/ΔTcs features (72 = 18 × 4 types): neighbor resource
+//! quantities divided by the control-state distance to the node (paper
+//! §III-B3) — "the combined effects of resource usage/utilization ratios and
+//! timing information".
+
+use super::ExtractCtx;
+use hls_synth::Resources;
+
+/// Number of features in this category.
+pub const COUNT: usize = 72;
+
+/// Features per resource type.
+pub const PER_TYPE: usize = 18;
+
+pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
+    let fop_res = &ctx.report.functions[&ctx.func_id].resources;
+    for t in 0..Resources::KINDS {
+        let dev = ctx.device_totals.get(t) as f64;
+        let fnr = fop_res.get(t) as f64;
+
+        // 1-hop (9).
+        let preds: Vec<usize> = ctx.graph.preds(node).collect();
+        let succs: Vec<usize> = ctx.graph.succs(node).collect();
+        push_scaled(ctx, node, t, out, &preds, &succs, dev, fnr);
+        // 2-hop (9).
+        push_scaled(
+            ctx,
+            node,
+            t,
+            out,
+            &ctx.preds2[node],
+            &ctx.succs2[node],
+            dev,
+            fnr,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_scaled(
+    ctx: &ExtractCtx<'_>,
+    node: usize,
+    t: usize,
+    out: &mut Vec<f64>,
+    preds: &[usize],
+    succs: &[usize],
+    dev: f64,
+    fnr: f64,
+) {
+    // Σ usage(p) / ΔTcs(p, node) over predecessors (and symmetrically for
+    // successors).
+    let pred: f64 = preds
+        .iter()
+        .map(|&p| ctx.node_res[p].get(t) as f64 / ctx.delta_tcs(p, node))
+        .sum();
+    let succ: f64 = succs
+        .iter()
+        .map(|&s| ctx.node_res[s].get(t) as f64 / ctx.delta_tcs(node, s))
+        .sum();
+    let both = pred + succ;
+    out.push(pred);
+    out.push(succ);
+    out.push(both);
+    out.push(ratio(pred, dev));
+    out.push(ratio(succ, dev));
+    out.push(ratio(both, dev));
+    out.push(ratio(pred, fnr));
+    out.push(ratio(succ, fnr));
+    out.push(ratio(both, fnr));
+}
+
+pub(super) fn push_names(names: &mut Vec<String>) {
+    for t in Resources::NAMES {
+        for hop in ["1hop", "2hop"] {
+            for base in [
+                "pred_per_dtcs",
+                "succ_per_dtcs",
+                "both_per_dtcs",
+                "pred_util_dev_per_dtcs",
+                "succ_util_dev_per_dtcs",
+                "both_util_dev_per_dtcs",
+                "pred_util_fn_per_dtcs",
+                "succ_util_fn_per_dtcs",
+                "both_util_fn_per_dtcs",
+            ] {
+                names.push(format!("rdt_{t}_{base}_{hop}"));
+            }
+        }
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b.abs() < 1e-12 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_layout() {
+        assert_eq!(
+            COUNT,
+            super::super::FeatureCategory::ResourcePerDtcs.range().len()
+        );
+        assert_eq!(PER_TYPE * Resources::KINDS, COUNT);
+        let mut names = Vec::new();
+        push_names(&mut names);
+        assert_eq!(names.len(), COUNT);
+    }
+}

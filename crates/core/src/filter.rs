@@ -1,0 +1,170 @@
+//! Marginal-operation sample filtering (paper §III-C1).
+//!
+//! Loop unrolling creates replicas of the same operation whose features are
+//! near-identical but whose labels diverge when some replicas land at the
+//! device margin where congestion is low. Within each replica group, samples
+//! whose label falls far *below* the group median are dropped ("lower
+//! congestion metrics are distributed at the margin of the device compared
+//! to the higher values in the middle").
+
+use crate::dataset::{CongestionDataset, Sample};
+use std::collections::HashMap;
+
+/// Filter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterOptions {
+    /// Minimum replica-group size considered.
+    pub min_group: usize,
+    /// Drop a sample when its label is below `median × (1 − rel_drop)`.
+    pub rel_drop: f64,
+    /// …and the absolute gap to the median exceeds this many percent.
+    pub abs_gap: f64,
+}
+
+impl Default for FilterOptions {
+    fn default() -> Self {
+        FilterOptions {
+            min_group: 6,
+            rel_drop: 0.6,
+            abs_gap: 20.0,
+        }
+    }
+}
+
+/// The outcome of filtering.
+#[derive(Debug, Clone)]
+pub struct FilterReport {
+    /// Samples kept.
+    pub kept: CongestionDataset,
+    /// Number of samples removed.
+    pub removed: usize,
+    /// Fraction removed (paper: ~3.4 % of all operations).
+    pub removed_fraction: f64,
+}
+
+/// Apply the marginal-operation filter.
+pub fn filter_marginal(data: &CongestionDataset, opts: &FilterOptions) -> FilterReport {
+    // Group replicas: (design, func, replica group id).
+    let mut groups: HashMap<(String, u32, u32), Vec<usize>> = HashMap::new();
+    for (i, s) in data.samples.iter().enumerate() {
+        if let Some(tag) = s.replica {
+            groups
+                .entry((s.design.clone(), s.func.0, tag.group))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    let mut drop = vec![false; data.len()];
+    for idx in groups.values() {
+        if idx.len() < opts.min_group {
+            continue;
+        }
+        let mut labels: Vec<f64> = idx.iter().map(|&i| data.samples[i].average()).collect();
+        labels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = labels[labels.len() / 2];
+        for &i in idx {
+            let v = data.samples[i].average();
+            if v < median * (1.0 - opts.rel_drop) && median - v > opts.abs_gap {
+                drop[i] = true;
+            }
+        }
+    }
+
+    let kept: Vec<Sample> = data
+        .samples
+        .iter()
+        .zip(&drop)
+        .filter(|(_, &d)| !d)
+        .map(|(s, _)| s.clone())
+        .collect();
+    let removed = data.len() - kept.len();
+    FilterReport {
+        removed,
+        removed_fraction: if data.is_empty() {
+            0.0
+        } else {
+            removed as f64 / data.len() as f64
+        },
+        kept: CongestionDataset { samples: kept },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_COUNT;
+    use hls_ir::{FuncId, OpId, ReplicaTag};
+
+    fn sample(design: &str, group: u32, index: u32, label: f64) -> Sample {
+        Sample {
+            design: design.into(),
+            func: FuncId(0),
+            op: OpId(index),
+            line: 1,
+            replica: Some(ReplicaTag {
+                group,
+                index,
+                total: 8,
+            }),
+            features: vec![0.0; FEATURE_COUNT],
+            vertical: label,
+            horizontal: label,
+        }
+    }
+
+    fn unreplicated(label: f64) -> Sample {
+        Sample {
+            replica: None,
+            ..sample("d", 0, 0, label)
+        }
+    }
+
+    #[test]
+    fn marginal_replicas_dropped() {
+        let mut ds = CongestionDataset::new();
+        for i in 0..7 {
+            ds.samples.push(sample("d", 1, i, 80.0));
+        }
+        // One replica at the device margin with a tiny label.
+        ds.samples.push(sample("d", 1, 7, 10.0));
+        let rep = filter_marginal(&ds, &FilterOptions::default());
+        assert_eq!(rep.removed, 1);
+        assert_eq!(rep.kept.len(), 7);
+        assert!((rep.removed_fraction - 1.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_groups_untouched() {
+        let mut ds = CongestionDataset::new();
+        for i in 0..8 {
+            ds.samples.push(sample("d", 1, i, 75.0 + i as f64));
+        }
+        let rep = filter_marginal(&ds, &FilterOptions::default());
+        assert_eq!(rep.removed, 0);
+    }
+
+    #[test]
+    fn small_groups_and_unreplicated_kept() {
+        let mut ds = CongestionDataset::new();
+        ds.samples.push(sample("d", 1, 0, 80.0));
+        ds.samples.push(sample("d", 1, 1, 1.0)); // group of 2 < min_group
+        ds.samples.push(unreplicated(0.5));
+        let rep = filter_marginal(&ds, &FilterOptions::default());
+        assert_eq!(rep.removed, 0);
+    }
+
+    #[test]
+    fn groups_do_not_mix_across_designs() {
+        let mut ds = CongestionDataset::new();
+        for i in 0..4 {
+            ds.samples.push(sample("a", 1, i, 90.0));
+        }
+        for i in 0..4 {
+            ds.samples.push(sample("b", 1, i, 5.0));
+        }
+        // Same group id, different designs: neither group has outliers.
+        let rep = filter_marginal(&ds, &FilterOptions::default());
+        assert_eq!(rep.removed, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The operation dependency graph (paper §III-A2).
+//!
+//! Nodes are IR operations plus *port* nodes for the function interface;
+//! edge weights are the number of wires each connection actually carries
+//! ("if one of its successors takes eight of the total 32 bits … the actual
+//! number of wires for this connection is eight"). Operations bound to the
+//! same shared RTL module are merged into one combined node (paper Fig 4).
+
+use hls_ir::{Function, OpId, OpKind};
+use hls_synth::Binding;
+use std::collections::HashMap;
+
+/// A graph node: one IR operation, a merged group of shared operations, or
+/// an interface port.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Operations represented by this node (empty for pure port nodes).
+    pub ops: Vec<OpId>,
+    /// Operation kind ([`OpKind::Port`] for interface nodes).
+    pub kind: OpKind,
+    /// Result bitwidth.
+    pub bits: u16,
+    /// Whether this is an interface port node.
+    pub is_port: bool,
+}
+
+/// The dependency graph of one function.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// All nodes.
+    pub nodes: Vec<GraphNode>,
+    /// Map op arena index → node index.
+    pub node_of_op: Vec<usize>,
+    /// Outgoing edges: `(target node, wires)`.
+    pub out: Vec<Vec<(usize, u32)>>,
+    /// Incoming edges: `(source node, wires)`.
+    pub inc: Vec<Vec<(usize, u32)>>,
+}
+
+impl DepGraph {
+    /// Build the graph for `f`. When `merge_shared` is set, operations that
+    /// share a functional unit in `binding` collapse into one node.
+    pub fn build(f: &Function, binding: Option<&Binding>, merge_shared: bool) -> DepGraph {
+        let n_ops = f.ops.len();
+        let mut node_of_op = vec![usize::MAX; n_ops];
+        let mut nodes: Vec<GraphNode> = Vec::new();
+
+        // Assign ops to nodes, merging shared groups.
+        for op in &f.ops {
+            if node_of_op[op.id.index()] != usize::MAX {
+                continue;
+            }
+            let group: Vec<OpId> = match (merge_shared, binding) {
+                (true, Some(b)) => {
+                    let g = b.sharing_group(op.id);
+                    if g.len() > 1 {
+                        g.to_vec()
+                    } else {
+                        vec![op.id]
+                    }
+                }
+                _ => vec![op.id],
+            };
+            let node_idx = nodes.len();
+            let bits = group
+                .iter()
+                .map(|&o| f.op(o).ty.bits())
+                .max()
+                .unwrap_or(1);
+            nodes.push(GraphNode {
+                ops: group.clone(),
+                kind: op.kind,
+                bits,
+                is_port: false,
+            });
+            for o in group {
+                node_of_op[o.index()] = node_idx;
+            }
+        }
+
+        // Data edges (deduplicated per node pair by accumulating wires).
+        let mut out: Vec<HashMap<usize, u32>> = vec![HashMap::new(); nodes.len()];
+        for op in &f.ops {
+            let dst = node_of_op[op.id.index()];
+            for operand in &op.operands {
+                let src = node_of_op[operand.src.index()];
+                if src == dst {
+                    continue; // merged self-loop
+                }
+                *out[src].entry(dst).or_insert(0) += operand.width as u32;
+            }
+        }
+
+        // Port nodes: one per parameter; array ports connect to their
+        // loads/stores, scalar ports to their Read op's node.
+        let grow = |nodes: &mut Vec<GraphNode>, out: &mut Vec<HashMap<usize, u32>>| -> usize {
+            nodes.push(GraphNode {
+                ops: Vec::new(),
+                kind: OpKind::Port,
+                bits: 1,
+                is_port: true,
+            });
+            out.push(HashMap::new());
+            nodes.len() - 1
+        };
+        for param in &f.params {
+            match param.kind {
+                hls_ir::ParamKind::Scalar => {
+                    let port = grow(&mut nodes, &mut out);
+                    nodes[port].bits = param.ty.bits();
+                    // Connect to every Read op of this parameter index.
+                    for op in &f.ops {
+                        if op.kind == OpKind::Read
+                            && op.name == param.name
+                        {
+                            let dst = node_of_op[op.id.index()];
+                            *out[port].entry(dst).or_insert(0) += param.ty.bits() as u32;
+                        }
+                    }
+                }
+                hls_ir::ParamKind::Array { array } => {
+                    let port = grow(&mut nodes, &mut out);
+                    let elem_bits = f.array(array).elem.bits() as u32;
+                    nodes[port].bits = f.array(array).elem.bits();
+                    for op in &f.ops {
+                        if op.kind.is_memory() && op.array == Some(array) {
+                            let dst = node_of_op[op.id.index()];
+                            match op.kind {
+                                OpKind::Load => {
+                                    *out[port].entry(dst).or_insert(0) += elem_bits;
+                                }
+                                _ => {
+                                    *out[dst].entry(port).or_insert(0) += elem_bits;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Return port.
+        if f.ret.is_some() {
+            let port = grow(&mut nodes, &mut out);
+            for op in &f.ops {
+                if op.kind == OpKind::Return && !op.operands.is_empty() {
+                    let src = node_of_op[op.id.index()];
+                    nodes[port].bits = op.ty.bits();
+                    *out[src].entry(port).or_insert(0) += op.ty.bits() as u32;
+                }
+            }
+        }
+
+        // Finalize adjacency.
+        let n = nodes.len();
+        let mut out_v: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        let mut inc_v: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for (src, targets) in out.iter().enumerate() {
+            let mut ts: Vec<(usize, u32)> = targets.iter().map(|(&t, &w)| (t, w)).collect();
+            ts.sort_unstable();
+            for (dst, w) in ts {
+                out_v[src].push((dst, w));
+                inc_v[dst].push((src, w));
+            }
+        }
+
+        DepGraph {
+            nodes,
+            node_of_op,
+            out: out_v,
+            inc: inc_v,
+        }
+    }
+
+    /// Node index of an op.
+    pub fn node_of(&self, op: OpId) -> usize {
+        self.node_of_op[op.index()]
+    }
+
+    /// Total incoming wires of a node (fan-in).
+    pub fn fan_in(&self, node: usize) -> u32 {
+        self.inc[node].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total outgoing wires of a node (fan-out).
+    pub fn fan_out(&self, node: usize) -> u32 {
+        self.out[node].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Distinct predecessor nodes.
+    pub fn preds(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.inc[node].iter().map(|&(s, _)| s)
+    }
+
+    /// Distinct successor nodes.
+    pub fn succs(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.out[node].iter().map(|&(t, _)| t)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::frontend::compile;
+    use hls_synth::{bind::bind_function, schedule::schedule_function, CharLib};
+    use std::collections::HashMap as Map;
+
+    fn graph_of(src: &str, merge: bool) -> (hls_ir::Module, DepGraph) {
+        let m = compile(src).unwrap();
+        let f = m.top_function();
+        let sched = schedule_function(f, &CharLib::zynq7(), &Default::default(), &Map::new());
+        let binding = bind_function(f, &sched);
+        let g = DepGraph::build(f, Some(&binding), merge);
+        (m, g)
+    }
+
+    #[test]
+    fn wire_weights_follow_operand_widths() {
+        let (m, g) = graph_of("int32 f(int32 x) { return x + 1; }", false);
+        let f = m.top_function();
+        let read = f.ops.iter().find(|o| o.kind == OpKind::Read).unwrap();
+        let add = f.ops.iter().find(|o| o.kind == OpKind::Add).unwrap();
+        let rn = g.node_of(read.id);
+        let an = g.node_of(add.id);
+        let w = g.out[rn].iter().find(|&&(t, _)| t == an).unwrap().1;
+        assert_eq!(w, 32);
+        assert!(g.fan_in(an) >= 32);
+    }
+
+    #[test]
+    fn port_nodes_added_for_interface() {
+        let (_, g) = graph_of("int32 f(int32 x, int32 a[8]) { return x + a[0]; }", false);
+        let ports = g.nodes.iter().filter(|n| n.is_port).count();
+        // x, a, and the return port.
+        assert_eq!(ports, 3);
+    }
+
+    #[test]
+    fn array_port_connects_loads() {
+        let (m, g) = graph_of("int32 f(int32 a[8]) { return a[0] + a[1]; }", false);
+        let f = m.top_function();
+        let loads: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::Load).collect();
+        let port = (0..g.len()).find(|&i| g.nodes[i].is_port && g.nodes[i].bits == 32).unwrap();
+        for l in loads {
+            let ln = g.node_of(l.id);
+            assert!(g.out[port].iter().any(|&(t, _)| t == ln));
+        }
+    }
+
+    #[test]
+    fn shared_ops_merge_into_one_node() {
+        let src = "int32 f(int32 x, int32 y) { return (x / y) / y; }";
+        let (m, unmerged) = graph_of(src, false);
+        let (_, merged) = graph_of(src, true);
+        let f = m.top_function();
+        let divs: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::SDiv).collect();
+        assert_eq!(divs.len(), 2);
+        assert_ne!(
+            unmerged.node_of(divs[0].id),
+            unmerged.node_of(divs[1].id)
+        );
+        assert_eq!(merged.node_of(divs[0].id), merged.node_of(divs[1].id));
+        assert!(merged.len() < unmerged.len());
+    }
+
+    #[test]
+    fn merged_node_drops_self_loops() {
+        // The two dividers are data-dependent; merging must not create a
+        // self edge.
+        let (_, g) = graph_of("int32 f(int32 x, int32 y) { return (x / y) / y; }", true);
+        for i in 0..g.len() {
+            assert!(g.out[i].iter().all(|&(t, _)| t != i), "self loop at {i}");
+        }
+    }
+
+    #[test]
+    fn fan_in_out_consistent() {
+        let (_, g) = graph_of(
+            "int32 f(int32 a[16]) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i]; } return s; }",
+            false,
+        );
+        let total_out: u64 = (0..g.len()).map(|i| g.fan_out(i) as u64).sum();
+        let total_in: u64 = (0..g.len()).map(|i| g.fan_in(i) as u64).sum();
+        assert_eq!(total_out, total_in);
+        assert!(total_out > 0);
+    }
+}

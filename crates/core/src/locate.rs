@@ -1,0 +1,143 @@
+//! Mapping predicted congestion back to source code (paper §III-D: "the
+//! most congested part of the source code can be recognized").
+
+use crate::predict::OpPrediction;
+use hls_ir::Module;
+use std::collections::HashMap;
+
+/// A source-level congestion hot spot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestedRegion {
+    /// Function name.
+    pub function: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Maximum predicted congestion among the line's ops (%).
+    pub max_congestion: f64,
+    /// Mean predicted congestion.
+    pub mean_congestion: f64,
+    /// Number of operations lowered from this line.
+    pub ops: usize,
+}
+
+/// Aggregate per-op predictions into ranked source regions (descending by
+/// max predicted congestion). Ops with unknown source lines are skipped.
+pub fn locate_congested(module: &Module, predictions: &[OpPrediction]) -> Vec<CongestedRegion> {
+    let mut acc: HashMap<(u32, u32), (f64, f64, usize)> = HashMap::new();
+    for p in predictions {
+        if p.line == 0 {
+            continue;
+        }
+        let e = acc.entry((p.func.0, p.line)).or_insert((0.0, 0.0, 0));
+        e.0 = e.0.max(p.predicted);
+        e.1 += p.predicted;
+        e.2 += 1;
+    }
+    let mut regions: Vec<CongestedRegion> = acc
+        .into_iter()
+        .map(|((func, line), (max, sum, n))| CongestedRegion {
+            function: module.functions[func as usize].name.clone(),
+            line,
+            max_congestion: max,
+            mean_congestion: sum / n as f64,
+            ops: n,
+        })
+        .collect();
+    regions.sort_by(|a, b| {
+        b.max_congestion
+            .partial_cmp(&a.max_congestion)
+            .unwrap()
+            .then(a.line.cmp(&b.line))
+    });
+    regions
+}
+
+/// Render the top-`k` regions as a human-readable report, quoting the
+/// offending source lines when `source` is provided.
+pub fn render_report(
+    regions: &[CongestedRegion],
+    source: Option<&str>,
+    k: usize,
+) -> String {
+    use std::fmt::Write;
+    let lines: Vec<&str> = source.map(|s| s.lines().collect()).unwrap_or_default();
+    let mut out = String::from("rank  max%    mean%   ops  location\n");
+    for (i, r) in regions.iter().take(k).enumerate() {
+        let _ = write!(
+            out,
+            "{:>4}  {:>6.1}  {:>6.1}  {:>3}  {}:{}",
+            i + 1,
+            r.max_congestion,
+            r.mean_congestion,
+            r.ops,
+            r.function,
+            r.line
+        );
+        if let Some(text) = lines.get(r.line as usize - 1) {
+            let _ = write!(out, "    | {}", text.trim());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{FuncId, OpId};
+
+    fn preds() -> Vec<OpPrediction> {
+        vec![
+            OpPrediction {
+                func: FuncId(0),
+                op: OpId(0),
+                line: 3,
+                predicted: 120.0,
+            },
+            OpPrediction {
+                func: FuncId(0),
+                op: OpId(1),
+                line: 3,
+                predicted: 80.0,
+            },
+            OpPrediction {
+                func: FuncId(0),
+                op: OpId(2),
+                line: 7,
+                predicted: 40.0,
+            },
+            OpPrediction {
+                func: FuncId(0),
+                op: OpId(3),
+                line: 0, // unknown -> skipped
+                predicted: 999.0,
+            },
+        ]
+    }
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        m.push_function(hls_ir::Function::new(FuncId(0), "f"));
+        m
+    }
+
+    #[test]
+    fn regions_ranked_by_max() {
+        let regions = locate_congested(&module(), &preds());
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].line, 3);
+        assert_eq!(regions[0].max_congestion, 120.0);
+        assert_eq!(regions[0].mean_congestion, 100.0);
+        assert_eq!(regions[0].ops, 2);
+        assert_eq!(regions[1].line, 7);
+    }
+
+    #[test]
+    fn report_quotes_source() {
+        let regions = locate_congested(&module(), &preds());
+        let src = "line one\nline two\nhot line three\n";
+        let text = render_report(&regions, Some(src), 5);
+        assert!(text.contains("f:3"));
+        assert!(text.contains("hot line three"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The end-to-end congestion-prediction pipeline (paper Fig 2).
+
+use crate::dataset::CongestionDataset;
+use fpga_fabric::par::{run_par, ParOptions};
+use fpga_fabric::{Device, ImplResult};
+use hls_ir::Module;
+use hls_synth::{HlsFlow, HlsOptions, SynthError, SynthesizedDesign};
+
+/// Drives HLS + (for the training phase) simulated PAR over designs.
+#[derive(Debug, Clone)]
+pub struct CongestionFlow {
+    /// HLS options.
+    pub hls: HlsOptions,
+    /// PAR options.
+    pub par: ParOptions,
+    /// Target device.
+    pub device: Device,
+}
+
+impl CongestionFlow {
+    /// Default flow: 10 ns clock on the paper's XC7Z020-like device.
+    pub fn new() -> Self {
+        CongestionFlow {
+            hls: HlsOptions::default(),
+            par: ParOptions::default(),
+            device: Device::xc7z020(),
+        }
+    }
+
+    /// Reduced-effort flow for tests and doc examples.
+    pub fn fast() -> Self {
+        CongestionFlow {
+            par: ParOptions::fast(),
+            ..Self::new()
+        }
+    }
+
+    /// HLS only — the prediction phase's input.
+    ///
+    /// # Errors
+    /// Returns [`SynthError`] when the module fails IR verification.
+    pub fn synthesize(&self, module: &Module) -> Result<SynthesizedDesign, SynthError> {
+        HlsFlow::new(self.hls.clone()).run(module)
+    }
+
+    /// Full C-to-FPGA: HLS plus simulated place-and-route — the training
+    /// phase's label source.
+    ///
+    /// # Errors
+    /// Returns [`SynthError`] when the module fails IR verification.
+    pub fn implement(&self, module: &Module) -> Result<(SynthesizedDesign, ImplResult), SynthError> {
+        let design = self.synthesize(module)?;
+        let impl_result = run_par(&design, &self.device, &self.par);
+        Ok((design, impl_result))
+    }
+
+    /// Build a labelled dataset from several designs (the paper combines
+    /// three suite groups into 8111 samples).
+    ///
+    /// # Errors
+    /// Returns the first synthesis error encountered.
+    pub fn build_dataset(&self, modules: &[Module]) -> Result<CongestionDataset, SynthError> {
+        let mut ds = CongestionDataset::new();
+        for m in modules {
+            let (design, impl_result) = self.implement(m)?;
+            ds.add_design(&design, &impl_result, &self.device);
+        }
+        Ok(ds)
+    }
+}
+
+impl Default for CongestionFlow {
+    fn default() -> Self {
+        CongestionFlow::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Target;
+    use crate::filter::{filter_marginal, FilterOptions};
+    use crate::predict::{CongestionPredictor, ModelKind, TrainOptions};
+    use hls_ir::frontend::compile_named;
+
+    #[test]
+    fn end_to_end_small_training_run() {
+        let flow = CongestionFlow::fast();
+        let sources = [
+            "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+            "int32 f(int32 a[32]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 32; i++) { s = s + a[i]; } return s; }",
+            "int32 f(int32 x, int32 y) { return (x * y) + (x - y) * 3; }",
+        ];
+        let modules: Vec<Module> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| compile_named(s, &format!("d{i}")).unwrap())
+            .collect();
+        let ds = flow.build_dataset(&modules).unwrap();
+        assert!(ds.len() > 20, "dataset too small: {}", ds.len());
+
+        let filtered = filter_marginal(&ds, &FilterOptions::default());
+        assert!(filtered.kept.len() <= ds.len());
+
+        let (train, test) = filtered.kept.split(0.2, 9);
+        let p = CongestionPredictor::train(
+            ModelKind::Gbrt,
+            Target::Vertical,
+            &train,
+            &TrainOptions::fast(),
+        );
+        let acc = p.evaluate(&test);
+        assert!(acc.mae.is_finite() && acc.mae >= 0.0);
+    }
+
+    #[test]
+    fn prediction_phase_needs_no_par() {
+        let flow = CongestionFlow::fast();
+        let m = compile_named(
+            "int32 f(int32 a[16]) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i]; } return s; }",
+            "predict_me",
+        )
+        .unwrap();
+        let ds = flow.build_dataset(std::slice::from_ref(&m)).unwrap();
+        let p = CongestionPredictor::train(
+            ModelKind::Linear,
+            Target::Average,
+            &ds,
+            &TrainOptions::fast(),
+        );
+        // New design: HLS only, then predict.
+        let design = flow.synthesize(&m).unwrap();
+        let preds = p.predict_design(&design, &flow.device);
+        assert!(!preds.is_empty());
+        assert!(preds.iter().all(|q| q.predicted.is_finite()));
+    }
+}

@@ -1,0 +1,220 @@
+//! The congestion-resolution advisor (paper §III-D / §IV-C).
+//!
+//! Inspects the most congested predictions and proposes the source-level
+//! fixes the paper demonstrates: removing function inlining at merge points,
+//! replicating shared input arrays, and partitioning port-starved memories.
+
+use crate::predict::OpPrediction;
+use hls_ir::directives::Partition;
+use hls_ir::{Module, OpKind};
+use std::collections::{HashMap, HashSet};
+
+/// A proposed fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Suggestion {
+    /// Stop inlining `function`: its body dominates a congested region
+    /// (the paper's case-study step 1).
+    RemoveInline {
+        /// The inlined function to un-inline.
+        function: String,
+    },
+    /// Replicate array `array` in `function`: many consumers read the same
+    /// partitioned buffer (case-study step 2).
+    ReplicateArray {
+        /// Owning function.
+        function: String,
+        /// The shared array.
+        array: String,
+        /// Number of distinct readers observed.
+        readers: usize,
+    },
+    /// Partition array `array`: serialized memory ports throttle a hot loop.
+    PartitionArray {
+        /// Owning function.
+        function: String,
+        /// The unpartitioned array.
+        array: String,
+        /// Accesses contending for its ports.
+        accessors: usize,
+    },
+}
+
+/// Advisor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveOptions {
+    /// Predictions above this congestion (%) are considered hot.
+    pub hot_threshold: f64,
+    /// Minimum distinct readers before suggesting replication.
+    pub min_readers: usize,
+}
+
+impl Default for ResolveOptions {
+    fn default() -> Self {
+        ResolveOptions {
+            hot_threshold: 90.0,
+            min_readers: 6,
+        }
+    }
+}
+
+/// Analyze hot predictions and emit suggestions, most impactful first.
+pub fn suggest_fixes(
+    module: &Module,
+    predictions: &[OpPrediction],
+    opts: &ResolveOptions,
+) -> Vec<Suggestion> {
+    let mut suggestions = Vec::new();
+    let hot: Vec<&OpPrediction> = predictions
+        .iter()
+        .filter(|p| p.predicted >= opts.hot_threshold)
+        .collect();
+    if hot.is_empty() {
+        return suggestions;
+    }
+
+    // 1. Inlined-callee residue: lowering names inlined ops "callee.name".
+    let mut inlined_hits: HashMap<String, usize> = HashMap::new();
+    for p in &hot {
+        let f = module.function(p.func);
+        let name = &f.op(p.op).name;
+        if let Some((callee, _)) = name.split_once('.') {
+            if !callee.is_empty() {
+                *inlined_hits.entry(callee.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut by_hits: Vec<(String, usize)> = inlined_hits.into_iter().collect();
+    by_hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (function, hits) in by_hits {
+        if hits >= 3 {
+            suggestions.push(Suggestion::RemoveInline { function });
+        }
+    }
+
+    // 2/3. Array pressure among hot memory ops.
+    let mut hot_arrays: HashMap<(u32, u32), usize> = HashMap::new();
+    for p in &hot {
+        let f = module.function(p.func);
+        let op = f.op(p.op);
+        if op.kind.is_memory() {
+            if let Some(a) = op.array {
+                *hot_arrays.entry((p.func.0, a.0)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut keys: Vec<_> = hot_arrays.keys().copied().collect();
+    keys.sort();
+    for (fid, aid) in keys {
+        let f = &module.functions[fid as usize];
+        let arr = &f.arrays[aid as usize];
+        // Distinct consumer ops of this array's loads.
+        let users = f.users();
+        let mut readers: HashSet<u32> = HashSet::new();
+        let mut accessors = 0usize;
+        for op in &f.ops {
+            if op.kind.is_memory() && op.array == Some(arr.id) {
+                accessors += 1;
+                if op.kind == OpKind::Load {
+                    for u in &users[op.id.index()] {
+                        readers.insert(u.0);
+                    }
+                }
+            }
+        }
+        match arr.partition {
+            Partition::None if accessors > 2 => {
+                suggestions.push(Suggestion::PartitionArray {
+                    function: f.name.clone(),
+                    array: arr.name.clone(),
+                    accessors,
+                });
+            }
+            Partition::Complete if readers.len() >= opts.min_readers => {
+                suggestions.push(Suggestion::ReplicateArray {
+                    function: f.name.clone(),
+                    array: arr.name.clone(),
+                    readers: readers.len(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    suggestions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::directives::Directives;
+    use hls_ir::frontend::compile_with_directives;
+    use hls_ir::FuncId;
+
+    fn hot_everything(m: &Module) -> Vec<OpPrediction> {
+        let mut preds = Vec::new();
+        for f in &m.functions {
+            for op in &f.ops {
+                preds.push(OpPrediction {
+                    func: f.id,
+                    op: op.id,
+                    line: 1,
+                    predicted: 150.0,
+                });
+            }
+        }
+        preds
+    }
+
+    #[test]
+    fn inlined_residue_suggests_un_inlining() {
+        let src = "int32 g(int32 x) { int32 t = x * 3; int32 u = t + 1; int32 v = u * 2; return v; }\nint32 f(int32 x) { return g(x) + g(x + 1); }";
+        let mut d = Directives::new();
+        d.set_inline("g", true);
+        let m = compile_with_directives(src, "t", &d).unwrap();
+        let sugg = suggest_fixes(&m, &hot_everything(&m), &ResolveOptions::default());
+        assert!(
+            sugg.iter()
+                .any(|s| matches!(s, Suggestion::RemoveInline { function } if function == "g")),
+            "{sugg:?}"
+        );
+    }
+
+    #[test]
+    fn unpartitioned_hot_array_suggests_partition() {
+        let src = "int32 f(int32 a[32]) { return a[0] + a[1] + a[2] + a[3]; }";
+        let m = compile_with_directives(src, "t", &Directives::new()).unwrap();
+        let sugg = suggest_fixes(&m, &hot_everything(&m), &ResolveOptions::default());
+        assert!(
+            sugg.iter()
+                .any(|s| matches!(s, Suggestion::PartitionArray { array, .. } if array == "a")),
+            "{sugg:?}"
+        );
+    }
+
+    #[test]
+    fn shared_partitioned_array_suggests_replication() {
+        let src = "int32 f(int32 a[8]) { int32 s = 0;\n#pragma HLS unroll\nfor (i = 0; i < 8; i++) { s = s + a[i] * a[7 - i]; } return s; }";
+        let mut d = Directives::new();
+        d.set_partition("f/a", hls_ir::directives::Partition::Complete);
+        let m = compile_with_directives(src, "t", &d).unwrap();
+        let sugg = suggest_fixes(&m, &hot_everything(&m), &ResolveOptions::default());
+        assert!(
+            sugg.iter()
+                .any(|s| matches!(s, Suggestion::ReplicateArray { array, .. } if array == "a")),
+            "{sugg:?}"
+        );
+    }
+
+    #[test]
+    fn cold_designs_get_no_suggestions() {
+        let src = "int32 f(int32 x) { return x + 1; }";
+        let m = compile_with_directives(src, "t", &Directives::new()).unwrap();
+        let preds = vec![OpPrediction {
+            func: FuncId(0),
+            op: hls_ir::OpId(0),
+            line: 1,
+            predicted: 10.0,
+        }];
+        assert!(suggest_fixes(&m, &preds, &ResolveOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Dataset statistics: the summary the paper's Table III derives its
+//! congestion rows from, computed per design and overall.
+
+use crate::dataset::{CongestionDataset, Target};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Label statistics of one group of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum label.
+    pub min: f64,
+    /// Maximum label.
+    pub max: f64,
+    /// Mean label.
+    pub mean: f64,
+    /// Fraction of samples that are unroll replicas.
+    pub replica_fraction: f64,
+}
+
+impl LabelStats {
+    fn of(labels: &[f64], replicas: usize) -> LabelStats {
+        let count = labels.len();
+        let (mut min, mut max, mut sum) = (f64::MAX, f64::MIN, 0.0);
+        for &v in labels {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        if count == 0 {
+            return LabelStats {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                replica_fraction: 0.0,
+            };
+        }
+        LabelStats {
+            count,
+            min,
+            max,
+            mean: sum / count as f64,
+            replica_fraction: replicas as f64 / count as f64,
+        }
+    }
+}
+
+/// Per-design and overall statistics of a dataset for one target metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Target the labels were taken from.
+    pub target: Target,
+    /// Statistics keyed by design name (sorted).
+    pub per_design: BTreeMap<String, LabelStats>,
+    /// Statistics over the whole dataset.
+    pub overall: LabelStats,
+}
+
+/// Compute statistics of `data` under `target`.
+pub fn dataset_stats(data: &CongestionDataset, target: Target) -> DatasetStats {
+    let mut groups: BTreeMap<String, (Vec<f64>, usize)> = BTreeMap::new();
+    let mut all = Vec::with_capacity(data.len());
+    let mut all_replicas = 0usize;
+    for s in &data.samples {
+        let v = target.of(s);
+        let e = groups.entry(s.design.clone()).or_default();
+        e.0.push(v);
+        if s.replica.is_some() {
+            e.1 += 1;
+            all_replicas += 1;
+        }
+        all.push(v);
+    }
+    DatasetStats {
+        target,
+        per_design: groups
+            .into_iter()
+            .map(|(k, (labels, reps))| (k, LabelStats::of(&labels, reps)))
+            .collect(),
+        overall: LabelStats::of(&all, all_replicas),
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<32} {:>7} {:>8} {:>8} {:>8} {:>9}",
+            format!("design ({})", self.target.name()),
+            "samples",
+            "min%",
+            "max%",
+            "mean%",
+            "replicas"
+        )?;
+        for (name, s) in &self.per_design {
+            writeln!(
+                f,
+                "{:<32} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.1}%",
+                name,
+                s.count,
+                s.min,
+                s.max,
+                s.mean,
+                s.replica_fraction * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<32} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.1}%",
+            "TOTAL",
+            self.overall.count,
+            self.overall.min,
+            self.overall.max,
+            self.overall.mean,
+            self.overall.replica_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::features::FEATURE_COUNT;
+    use hls_ir::{FuncId, OpId, ReplicaTag};
+
+    fn sample(design: &str, v: f64, replica: bool) -> Sample {
+        Sample {
+            design: design.into(),
+            func: FuncId(0),
+            op: OpId(0),
+            line: 1,
+            replica: replica.then_some(ReplicaTag {
+                group: 1,
+                index: 0,
+                total: 2,
+            }),
+            features: vec![0.0; FEATURE_COUNT],
+            vertical: v,
+            horizontal: v / 2.0,
+        }
+    }
+
+    #[test]
+    fn stats_split_by_design() {
+        let mut ds = CongestionDataset::new();
+        ds.samples.push(sample("a", 10.0, false));
+        ds.samples.push(sample("a", 30.0, true));
+        ds.samples.push(sample("b", 100.0, false));
+        let s = dataset_stats(&ds, Target::Vertical);
+        assert_eq!(s.per_design.len(), 2);
+        let a = &s.per_design["a"];
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min, 10.0);
+        assert_eq!(a.max, 30.0);
+        assert_eq!(a.mean, 20.0);
+        assert_eq!(a.replica_fraction, 0.5);
+        assert_eq!(s.overall.count, 3);
+        assert_eq!(s.overall.max, 100.0);
+    }
+
+    #[test]
+    fn horizontal_target_halves_labels() {
+        let mut ds = CongestionDataset::new();
+        ds.samples.push(sample("a", 40.0, false));
+        let v = dataset_stats(&ds, Target::Vertical).overall.mean;
+        let h = dataset_stats(&ds, Target::Horizontal).overall.mean;
+        assert_eq!(h, v / 2.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_harmless() {
+        let s = dataset_stats(&CongestionDataset::new(), Target::Average);
+        assert_eq!(s.overall.count, 0);
+        assert!(s.to_string().contains("TOTAL"));
+    }
+
+    #[test]
+    fn display_lists_each_design() {
+        let mut ds = CongestionDataset::new();
+        ds.samples.push(sample("alpha", 1.0, false));
+        ds.samples.push(sample("beta", 2.0, false));
+        let text = dataset_stats(&ds, Target::Vertical).to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+    }
+}

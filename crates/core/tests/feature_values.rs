@@ -1,0 +1,144 @@
+//! Hand-checked feature values: build a tiny known design, extract features
+//! for specific ops, and verify individual entries against values computed
+//! by hand from the paper's definitions.
+
+use congestion_core::features::{ExtractCtx, FeatureCategory};
+use congestion_core::graph::DepGraph;
+use fpga_fabric::Device;
+use hls_ir::frontend::compile;
+use hls_ir::OpKind;
+use hls_synth::{HlsFlow, HlsOptions};
+
+/// `r = x * y` then `return r + x`: known bitwidths, known graph shape.
+const SRC: &str = "int32 f(int32 x, int32 y) { return x * y + x; }";
+
+fn setup() -> (
+    hls_synth::SynthesizedDesign,
+    Device,
+) {
+    let m = compile(SRC).unwrap();
+    let design = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
+    let device = Device::xc7z020();
+    (design, device)
+}
+
+#[test]
+fn bitwidth_and_optype_features_match_hand_computation() {
+    let (design, device) = setup();
+    let f = design.module.top_function();
+    let binding = design.top_binding();
+    let graph = DepGraph::build(f, Some(binding), true);
+    let ctx = ExtractCtx::new(&graph, &design, f.id, &device);
+
+    let mul = f.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+    let node = graph.node_of(mul.id);
+    let feats = ctx.extract(node);
+
+    // Feature 0: bitwidth. int32 * int32 -> 64-bit product.
+    assert_eq!(feats[0], 64.0);
+
+    // Operator type one-hot: exactly the Mul slot set.
+    let r = FeatureCategory::OperatorType.range();
+    for (k, kind) in OpKind::ALL.iter().enumerate() {
+        let expected = if *kind == OpKind::Mul { 1.0 } else { 0.0 };
+        assert_eq!(feats[r.start + k], expected, "one-hot slot for {kind}");
+    }
+}
+
+#[test]
+fn interconnection_features_match_hand_computation() {
+    let (design, device) = setup();
+    let f = design.module.top_function();
+    let binding = design.top_binding();
+    let graph = DepGraph::build(f, Some(binding), true);
+    let ctx = ExtractCtx::new(&graph, &design, f.id, &device);
+
+    let mul = f.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+    let node = graph.node_of(mul.id);
+    let feats = ctx.extract(node);
+    let r = FeatureCategory::Interconnection.range();
+
+    // The multiply consumes x (32 wires) and y (32 wires): fan-in = 64.
+    assert_eq!(feats[r.start], 64.0, "fan_in");
+    // Its 64-bit product feeds only the add (which consumes all 64 bits).
+    assert_eq!(feats[r.start + 1], 64.0, "fan_out");
+    assert_eq!(feats[r.start + 2], 128.0, "fan_total");
+    // Two predecessors (the two Read nodes), one successor (the Add).
+    assert_eq!(feats[r.start + 3], 2.0, "n_pred");
+    assert_eq!(feats[r.start + 4], 1.0, "n_succ");
+    // Max wire: the 64-bit product edge.
+    assert_eq!(feats[r.start + 6], 64.0, "max_wire");
+    // max_wire / fan_in = 64/64 = 1.
+    assert_eq!(feats[r.start + 7], 1.0);
+}
+
+#[test]
+fn timing_features_match_charlib() {
+    let (design, device) = setup();
+    let f = design.module.top_function();
+    let binding = design.top_binding();
+    let graph = DepGraph::build(f, Some(binding), true);
+    let ctx = ExtractCtx::new(&graph, &design, f.id, &device);
+
+    let mul = f.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+    let feats = ctx.extract(graph.node_of(mul.id));
+    let r = FeatureCategory::Timing.range();
+    let cost = design.lib.cost_of_op(f, mul);
+    assert_eq!(feats[r.start], cost.delay_ns, "delay feature = charlib");
+    assert_eq!(feats[r.start + 1], cost.latency as f64, "latency feature");
+    // A 64-bit product is a multi-cycle DSP operation.
+    assert!(feats[r.start + 1] >= 1.0);
+}
+
+#[test]
+fn global_features_are_constant_within_a_function() {
+    let (design, device) = setup();
+    let f = design.module.top_function();
+    let binding = design.top_binding();
+    let graph = DepGraph::build(f, Some(binding), true);
+    let ctx = ExtractCtx::new(&graph, &design, f.id, &device);
+
+    let r = FeatureCategory::Global.range();
+    let mut reference: Option<Vec<f64>> = None;
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if node.is_port {
+            continue;
+        }
+        let feats = ctx.extract(ni);
+        let globals = feats[r.clone()].to_vec();
+        match &reference {
+            None => reference = Some(globals),
+            Some(prev) => assert_eq!(&globals, prev, "globals differ at node {ni}"),
+        }
+    }
+    // And the clock-target feature matches the flow option.
+    let feats = ctx.extract(
+        (0..graph.len())
+            .find(|&i| !graph.nodes[i].is_port)
+            .unwrap(),
+    );
+    assert_eq!(feats[r.start + 12], design.options.clock_ns);
+}
+
+#[test]
+fn resource_features_know_the_dsp_multiplier() {
+    let (design, device) = setup();
+    let f = design.module.top_function();
+    let binding = design.top_binding();
+    let graph = DepGraph::build(f, Some(binding), true);
+    let ctx = ExtractCtx::new(&graph, &design, f.id, &device);
+
+    let mul = f.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+    let feats = ctx.extract(graph.node_of(mul.id));
+    let r = FeatureCategory::Resource.range();
+    // Resource layout: 25 per type, order LUT, FF, DSP, BRAM; first entry of
+    // a type block is the node's own usage.
+    let dsp_usage = feats[r.start + 2 * 25];
+    let cost = design.lib.cost_of_op(f, mul);
+    assert_eq!(dsp_usage, cost.resources.dsps as f64);
+    assert!(dsp_usage >= 1.0, "64-bit product must use DSPs");
+    // Utilization ratio = usage / device DSP total.
+    let totals = device.totals();
+    let util = feats[r.start + 2 * 25 + 1];
+    assert!((util - dsp_usage / totals.dsps as f64).abs() < 1e-12);
+}

@@ -1,0 +1,241 @@
+//! Per-tile routing congestion maps.
+//!
+//! The congestion level of a tile is the percentage of its routing tracks in
+//! use; "a value over 100 % means … the router has to divert routes around
+//! that area" (paper §II). Both directions are tracked separately, exactly
+//! like the Vivado report the paper back-traces.
+
+use crate::device::Device;
+use crate::route::RouteResult;
+use std::fmt::Write;
+
+/// Vertical + horizontal congestion per tile, in percent.
+#[derive(Debug, Clone)]
+pub struct CongestionMap {
+    /// Grid width (tiles).
+    pub width: u32,
+    /// Grid height (tiles).
+    pub height: u32,
+    /// Vertical congestion (%) per tile, row-major.
+    pub vertical: Vec<f64>,
+    /// Horizontal congestion (%) per tile, row-major.
+    pub horizontal: Vec<f64>,
+}
+
+impl CongestionMap {
+    /// Build the map from router usage and device capacities.
+    pub fn from_route(r: &RouteResult, device: &Device) -> CongestionMap {
+        let vertical = r
+            .v_usage
+            .iter()
+            .map(|&u| u as f64 / device.v_tracks as f64 * 100.0)
+            .collect();
+        let horizontal = r
+            .h_usage
+            .iter()
+            .map(|&u| u as f64 / device.h_tracks as f64 * 100.0)
+            .collect();
+        CongestionMap {
+            width: r.width,
+            height: r.height,
+            vertical,
+            horizontal,
+        }
+    }
+
+    /// Linear index of `(x, y)`.
+    pub fn idx(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    /// Vertical congestion at `(x, y)`.
+    pub fn v_at(&self, x: u32, y: u32) -> f64 {
+        self.vertical[self.idx(x, y)]
+    }
+
+    /// Horizontal congestion at `(x, y)`.
+    pub fn h_at(&self, x: u32, y: u32) -> f64 {
+        self.horizontal[self.idx(x, y)]
+    }
+
+    /// Mean of the two directions at `(x, y)` (the paper's "Avg (V, H)").
+    pub fn avg_at(&self, x: u32, y: u32) -> f64 {
+        (self.v_at(x, y) + self.h_at(x, y)) / 2.0
+    }
+
+    /// Maximum vertical congestion on the device.
+    pub fn max_vertical(&self) -> f64 {
+        self.vertical.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Maximum horizontal congestion on the device.
+    pub fn max_horizontal(&self) -> f64 {
+        self.horizontal.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Maximum congestion in either direction (Table I's "Max Congestion").
+    pub fn max_any(&self) -> f64 {
+        self.max_vertical().max(self.max_horizontal())
+    }
+
+    /// Mean vertical congestion over tiles with any usage.
+    pub fn mean_vertical(&self) -> f64 {
+        mean_nonzero(&self.vertical)
+    }
+
+    /// Mean horizontal congestion over tiles with any usage.
+    pub fn mean_horizontal(&self) -> f64 {
+        mean_nonzero(&self.horizontal)
+    }
+
+    /// Number of tiles whose congestion exceeds `threshold` percent in
+    /// either direction (Table VI's "#Congested CLBs (> 100 %)").
+    pub fn tiles_over(&self, threshold: f64) -> usize {
+        (0..self.vertical.len())
+            .filter(|&i| self.vertical[i] > threshold || self.horizontal[i] > threshold)
+            .count()
+    }
+
+    /// Per-row mean of a direction (`vertical == true` for V) — the spatial
+    /// profile of Fig. 5.
+    pub fn row_profile(&self, vertical: bool) -> Vec<f64> {
+        let data = if vertical {
+            &self.vertical
+        } else {
+            &self.horizontal
+        };
+        (0..self.height)
+            .map(|y| {
+                let row = &data[self.idx(0, y)..self.idx(0, y) + self.width as usize];
+                row.iter().sum::<f64>() / self.width as f64
+            })
+            .collect()
+    }
+
+    /// ASCII heat map (rows top to bottom), one glyph per tile:
+    /// `.` < 25 %, `-` < 50 %, `+` < 75 %, `*` < 100 %, `#` ≥ 100 %.
+    pub fn render(&self, vertical: bool) -> String {
+        let data = if vertical {
+            &self.vertical
+        } else {
+            &self.horizontal
+        };
+        let mut out = String::new();
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let v = data[self.idx(x, y)];
+                let c = if v >= 100.0 {
+                    '#'
+                } else if v >= 75.0 {
+                    '*'
+                } else if v >= 50.0 {
+                    '+'
+                } else if v >= 25.0 {
+                    '-'
+                } else {
+                    '.'
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV dump (x, y, vertical, horizontal).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y,vertical,horizontal\n");
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let _ = writeln!(
+                    out,
+                    "{},{},{:.2},{:.2}",
+                    x,
+                    y,
+                    self.v_at(x, y),
+                    self.h_at(x, y)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn mean_nonzero(data: &[f64]) -> f64 {
+    let used: Vec<f64> = data.iter().copied().filter(|&v| v > 0.0).collect();
+    if used.is_empty() {
+        0.0
+    } else {
+        used.iter().sum::<f64>() / used.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_3x3(v: Vec<f64>, h: Vec<f64>) -> CongestionMap {
+        CongestionMap {
+            width: 3,
+            height: 3,
+            vertical: v,
+            horizontal: h,
+        }
+    }
+
+    #[test]
+    fn stats_computed() {
+        let m = map_3x3(
+            vec![0.0, 50.0, 120.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0; 9],
+        );
+        assert_eq!(m.max_vertical(), 120.0);
+        assert_eq!(m.max_any(), 120.0);
+        assert_eq!(m.tiles_over(100.0), 1);
+        assert!((m.mean_vertical() - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn either_direction_counts_for_over() {
+        let m = map_3x3(vec![0.0; 9], {
+            let mut h = vec![0.0; 9];
+            h[4] = 150.0;
+            h
+        });
+        assert_eq!(m.tiles_over(100.0), 1);
+    }
+
+    #[test]
+    fn row_profile_averages_rows() {
+        let mut v = vec![0.0; 9];
+        v[3] = 30.0; // (0,1)
+        v[4] = 60.0; // (1,1)
+        let m = map_3x3(v, vec![0.0; 9]);
+        let prof = m.row_profile(true);
+        assert_eq!(prof.len(), 3);
+        assert!((prof[1] - 30.0).abs() < 1e-9);
+        assert_eq!(prof[0], 0.0);
+    }
+
+    #[test]
+    fn render_uses_expected_glyphs() {
+        let m = map_3x3(
+            vec![0.0, 30.0, 60.0, 80.0, 120.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0; 9],
+        );
+        let art = m.render(true);
+        assert!(art.contains('#'));
+        assert!(art.contains('-'));
+        assert!(art.contains('+'));
+        assert!(art.contains('*'));
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let m = map_3x3(vec![0.0; 9], vec![0.0; 9]);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("x,y,vertical,horizontal"));
+        assert_eq!(csv.lines().count(), 10);
+    }
+}

@@ -1,0 +1,215 @@
+//! The device model: a column-organized tile grid.
+//!
+//! 7-series devices are columns of CLBs interleaved with DSP and BRAM
+//! columns; routing runs through a switch fabric with a fixed number of
+//! horizontal and vertical tracks per tile. [`Device::xc7z020`] approximates
+//! the paper's Zynq XC7Z020 target at that structure (exact LUT counts are
+//! irrelevant — relative crowding is what the congestion model learns).
+
+/// What a column of tiles holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// Configurable logic blocks (LUTs + FFs).
+    Clb,
+    /// DSP48 slices.
+    Dsp,
+    /// Block RAM.
+    Bram,
+    /// I/O column (device edge).
+    Io,
+}
+
+/// Per-tile site capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileCapacity {
+    /// LUTs per tile.
+    pub luts: u32,
+    /// Flip-flops per tile.
+    pub ffs: u32,
+    /// DSP slices per tile.
+    pub dsps: u32,
+    /// RAMB18 primitives per tile.
+    pub brams: u32,
+}
+
+/// A column-structured FPGA device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Device name.
+    pub name: String,
+    /// Number of columns (x dimension).
+    pub width: u32,
+    /// Number of rows (y dimension).
+    pub height: u32,
+    /// Column kinds, `columns[x]`.
+    pub columns: Vec<ColumnKind>,
+    /// Horizontal routing tracks per tile.
+    pub h_tracks: u32,
+    /// Vertical routing tracks per tile.
+    pub v_tracks: u32,
+}
+
+impl Device {
+    /// A model of the Zynq XC7Z020 (the paper's target): 64×100 tiles with
+    /// DSP and BRAM columns interleaved among CLB columns.
+    pub fn xc7z020() -> Device {
+        let width = 64u32;
+        let height = 120u32;
+        let mut columns = Vec::with_capacity(width as usize);
+        for x in 0..width {
+            let kind = if x == 0 || x == width - 1 {
+                ColumnKind::Io
+            } else if x % 18 == 9 {
+                ColumnKind::Dsp
+            } else if x % 18 == 0 {
+                ColumnKind::Bram
+            } else {
+                ColumnKind::Clb
+            };
+            columns.push(kind);
+        }
+        Device {
+            name: "xc7z020".into(),
+            width,
+            height,
+            columns,
+            h_tracks: 200,
+            v_tracks: 200,
+        }
+    }
+
+    /// A small device for fast unit tests.
+    pub fn tiny(width: u32, height: u32) -> Device {
+        let columns = (0..width)
+            .map(|x| {
+                if x == 0 || x == width - 1 {
+                    ColumnKind::Io
+                } else if width > 8 && x == width / 2 {
+                    ColumnKind::Dsp
+                } else if width > 8 && x == width / 4 {
+                    ColumnKind::Bram
+                } else {
+                    ColumnKind::Clb
+                }
+            })
+            .collect();
+        Device {
+            name: format!("tiny{width}x{height}"),
+            width,
+            height,
+            columns,
+            h_tracks: 60,
+            v_tracks: 60,
+        }
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// The column kind at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is out of range.
+    pub fn column(&self, x: u32) -> ColumnKind {
+        self.columns[x as usize]
+    }
+
+    /// Capacity of the tile at column `x`.
+    pub fn tile_capacity(&self, x: u32) -> TileCapacity {
+        match self.column(x) {
+            ColumnKind::Clb => TileCapacity {
+                luts: 8,
+                ffs: 16,
+                dsps: 0,
+                brams: 0,
+            },
+            ColumnKind::Dsp => TileCapacity {
+                luts: 0,
+                ffs: 0,
+                dsps: 1,
+                brams: 0,
+            },
+            ColumnKind::Bram => TileCapacity {
+                luts: 0,
+                ffs: 0,
+                dsps: 0,
+                brams: 1,
+            },
+            ColumnKind::Io => TileCapacity::default(),
+        }
+    }
+
+    /// Device-wide totals, for utilization ratios.
+    pub fn totals(&self) -> TileCapacity {
+        let mut t = TileCapacity::default();
+        for x in 0..self.width {
+            let c = self.tile_capacity(x);
+            t.luts += c.luts * self.height;
+            t.ffs += c.ffs * self.height;
+            t.dsps += c.dsps * self.height;
+            t.brams += c.brams * self.height;
+        }
+        t
+    }
+
+    /// Columns of a given kind.
+    pub fn columns_of(&self, kind: ColumnKind) -> Vec<u32> {
+        (0..self.width).filter(|&x| self.column(x) == kind).collect()
+    }
+
+    /// Linear tile index for `(x, y)`.
+    pub fn tile_index(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc7z020_has_all_column_kinds() {
+        let d = Device::xc7z020();
+        assert!(!d.columns_of(ColumnKind::Clb).is_empty());
+        assert!(!d.columns_of(ColumnKind::Dsp).is_empty());
+        assert!(!d.columns_of(ColumnKind::Bram).is_empty());
+        assert_eq!(d.columns_of(ColumnKind::Io).len(), 2);
+        assert_eq!(d.columns.len(), d.width as usize);
+    }
+
+    #[test]
+    fn totals_scale_with_height() {
+        let d = Device::xc7z020();
+        let t = d.totals();
+        // Plausible Zynq-scale numbers.
+        assert!(t.luts > 20_000, "luts = {}", t.luts);
+        assert!(t.dsps >= 100, "dsps = {}", t.dsps);
+        assert!(t.brams >= 100, "brams = {}", t.brams);
+        assert_eq!(t.ffs, 2 * t.luts);
+    }
+
+    #[test]
+    fn capacities_match_column_kinds() {
+        let d = Device::xc7z020();
+        for x in 0..d.width {
+            let c = d.tile_capacity(x);
+            match d.column(x) {
+                ColumnKind::Clb => assert_eq!(c.luts, 8),
+                ColumnKind::Dsp => assert_eq!(c.dsps, 1),
+                ColumnKind::Bram => assert_eq!(c.brams, 1),
+                ColumnKind::Io => assert_eq!(c.luts + c.dsps + c.brams, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn tile_index_roundtrip() {
+        let d = Device::tiny(8, 8);
+        assert_eq!(d.tile_index(0, 0), 0);
+        assert_eq!(d.tile_index(7, 0), 7);
+        assert_eq!(d.tile_index(0, 1), 8);
+        assert_eq!(d.tiles(), 64);
+    }
+}

@@ -1,0 +1,125 @@
+//! Post-route static timing: critical path, WNS, Fmax.
+//!
+//! The model composes the HLS-estimated per-state logic delay with placed
+//! wire delays; congestion adds detour delay (wires through overloaded tiles
+//! are diverted, "generating longer delays", paper §I). This reproduces the
+//! paper's headline observation that a heavily congested implementation
+//! misses timing badly (Table I: WNS −13.6 ns at a 10 ns target).
+
+use crate::route::RouteResult;
+
+/// Timing analysis output.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingResult {
+    /// Critical path in ns.
+    pub critical_path_ns: f64,
+    /// Worst negative slack (target − critical); negative when timing fails.
+    pub wns_ns: f64,
+    /// Maximum achievable frequency in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Wire delay model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WireModel {
+    /// Fixed net delay (ns).
+    pub base_ns: f64,
+    /// Delay per tile of routed length (ns).
+    pub per_tile_ns: f64,
+    /// Delay per unit of summed overflow ratio along the path (ns).
+    pub per_overflow_ns: f64,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel {
+            base_ns: 0.15,
+            per_tile_ns: 0.045,
+            per_overflow_ns: 2.4,
+        }
+    }
+}
+
+/// Analyze timing of a routed design.
+///
+/// `logic_delay_ns` is the worst per-state combinational delay from the HLS
+/// schedule; the worst wire (length + congestion detour) is added on top.
+pub fn analyze(
+    route: &RouteResult,
+    logic_delay_ns: f64,
+    clock_target_ns: f64,
+    model: &WireModel,
+) -> TimingResult {
+    // Congestion detour delay saturates: a real router spreads an
+    // over-subscribed region over a bounded neighborhood.
+    let worst_wire = route
+        .conns
+        .iter()
+        .map(|c| {
+            model.base_ns
+                + model.per_tile_ns * c.len as f64
+                + model.per_overflow_ns * c.overflow.min(5.0)
+        })
+        .fold(0.0, f64::max);
+    let critical = (logic_delay_ns + worst_wire).max(0.1);
+    TimingResult {
+        critical_path_ns: critical,
+        wns_ns: clock_target_ns - critical,
+        fmax_mhz: 1000.0 / critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::ConnRoute;
+
+    fn route_with(conns: Vec<ConnRoute>) -> RouteResult {
+        RouteResult {
+            h_usage: vec![],
+            v_usage: vec![],
+            conns,
+            width: 1,
+            height: 1,
+        }
+    }
+
+    #[test]
+    fn uncongested_meets_timing() {
+        let r = route_with(vec![ConnRoute {
+            net: 0,
+            len: 5,
+            overflow: 0.0,
+        }]);
+        let t = analyze(&r, 6.0, 10.0, &WireModel::default());
+        assert!(t.wns_ns > 0.0, "wns = {}", t.wns_ns);
+        assert!(t.fmax_mhz > 100.0);
+    }
+
+    #[test]
+    fn congestion_degrades_timing() {
+        let clean = route_with(vec![ConnRoute {
+            net: 0,
+            len: 10,
+            overflow: 0.0,
+        }]);
+        let congested = route_with(vec![ConnRoute {
+            net: 0,
+            len: 10,
+            overflow: 5.0,
+        }]);
+        let m = WireModel::default();
+        let t1 = analyze(&clean, 8.0, 10.0, &m);
+        let t2 = analyze(&congested, 8.0, 10.0, &m);
+        assert!(t2.critical_path_ns > t1.critical_path_ns);
+        assert!(t2.fmax_mhz < t1.fmax_mhz);
+        assert!(t2.wns_ns < 0.0, "heavy congestion misses timing");
+    }
+
+    #[test]
+    fn empty_route_still_sane() {
+        let t = analyze(&route_with(vec![]), 5.0, 10.0, &WireModel::default());
+        assert!(t.fmax_mhz.is_finite());
+        assert!(t.critical_path_ns >= 5.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Vivado-style post-implementation utilization report.
+
+use crate::device::Device;
+use hls_synth::{Resources, RtlDesign};
+use std::fmt;
+
+/// Used / available / percent for one resource type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationRow {
+    /// Resource name (LUT/FF/DSP/BRAM).
+    pub name: &'static str,
+    /// Units used by the design.
+    pub used: u32,
+    /// Units available on the device.
+    pub available: u32,
+}
+
+impl UtilizationRow {
+    /// Percent utilization (0 when the device has none of this resource).
+    pub fn percent(&self) -> f64 {
+        if self.available == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.available as f64 * 100.0
+        }
+    }
+}
+
+/// A per-resource utilization summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// One row per resource type, in [`Resources::NAMES`] order.
+    pub rows: Vec<UtilizationRow>,
+}
+
+impl UtilizationReport {
+    /// Build the report for a netlist on a device.
+    pub fn new(rtl: &RtlDesign, device: &Device) -> UtilizationReport {
+        let used = rtl.total_resources();
+        let totals = device.totals();
+        let avail = [totals.luts, totals.ffs, totals.dsps, totals.brams];
+        let rows = Resources::NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| UtilizationRow {
+                name,
+                used: used.get(i),
+                available: avail[i],
+            })
+            .collect();
+        UtilizationReport { rows }
+    }
+
+    /// True when any resource type is oversubscribed.
+    pub fn over_capacity(&self) -> bool {
+        self.rows.iter().any(|r| r.used > r.available)
+    }
+
+    /// The most utilized resource type.
+    pub fn bottleneck(&self) -> &UtilizationRow {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.percent().partial_cmp(&b.percent()).unwrap())
+            .expect("report always has four rows")
+    }
+}
+
+impl fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<6} {:>10} {:>12} {:>8}", "Site", "Used", "Available", "Util%")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<6} {:>10} {:>12} {:>7.2}%",
+                r.name,
+                r.used,
+                r.available,
+                r.percent()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::frontend::compile;
+    use hls_synth::{HlsFlow, HlsOptions};
+
+    fn report(src: &str) -> UtilizationReport {
+        let m = compile(src).unwrap();
+        let d = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
+        UtilizationReport::new(&d.rtl, &Device::xc7z020())
+    }
+
+    #[test]
+    fn small_design_fits_easily() {
+        let r = report("int32 f(int32 x) { return x + 1; }");
+        assert!(!r.over_capacity());
+        assert!(r.bottleneck().percent() < 5.0);
+        assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn dsp_design_moves_the_bottleneck() {
+        let r = report(
+            "int64 f(int64 a[16], int64 k) { int64 s = 0;\n#pragma HLS array_partition variable=a complete\n#pragma HLS unroll\nfor (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+        );
+        assert_eq!(r.bottleneck().name, "DSP", "wide parallel muls dominate");
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let r = report("int32 f(int32 x) { return x * x; }");
+        let text = r.to_string();
+        for name in ["LUT", "FF", "DSP", "BRAM"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

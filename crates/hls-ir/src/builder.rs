@@ -1,0 +1,388 @@
+//! Programmatic IR construction.
+//!
+//! [`FunctionBuilder`] maintains a stack of open regions so callers can nest
+//! loops without manipulating [`Region`] trees by hand. It is used by unit
+//! tests and by IR transforms; most users go through the MiniHLS frontend
+//! instead.
+
+use crate::directives::Partition;
+use crate::function::{ArrayDecl, ArrayId, FuncId, Function, Param, ParamKind, Region};
+use crate::op::{CmpPred, OpId, OpKind, Operand, Operation};
+use crate::source::SourceLoc;
+use crate::types::IrType;
+
+/// Builder for one [`Function`].
+///
+/// ```
+/// use hls_ir::{FunctionBuilder, IrType, OpKind};
+/// let mut b = FunctionBuilder::new("mac");
+/// let x = b.scalar_param("x", IrType::int(16));
+/// let y = b.scalar_param("y", IrType::int(16));
+/// let p = b.binary(OpKind::Mul, x, y);
+/// let s = b.binary(OpKind::Add, p, x);
+/// b.ret(Some(s));
+/// let f = b.finish();
+/// assert_eq!(f.name, "mac");
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    /// Stack of open regions; the innermost receives new ops.
+    stack: Vec<Vec<Region>>,
+    /// Pending loop headers matching `stack` entries above the root.
+    loop_headers: Vec<(String, u64, Option<u32>)>,
+    current_loc: Option<SourceLoc>,
+    next_loop: u32,
+}
+
+impl FunctionBuilder {
+    /// Start building a function called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            func: Function::new(FuncId(0), name),
+            stack: vec![Vec::new()],
+            loop_headers: Vec::new(),
+            current_loc: None,
+            next_loop: 0,
+        }
+    }
+
+    /// Set the source location attached to subsequently created ops.
+    pub fn set_loc(&mut self, loc: SourceLoc) {
+        self.current_loc = Some(loc);
+    }
+
+    /// Declare a scalar parameter; returns the `Read` port op for its value.
+    /// The op's `imm` is the *scalar* argument index (array parameters do
+    /// not consume argument slots).
+    pub fn scalar_param(&mut self, name: &str, ty: IrType) -> OpId {
+        let idx = self
+            .func
+            .params
+            .iter()
+            .filter(|p| matches!(p.kind, crate::function::ParamKind::Scalar))
+            .count() as i64;
+        self.func.params.push(Param {
+            name: name.to_string(),
+            ty,
+            kind: ParamKind::Scalar,
+        });
+        let mut op = Operation::new(OpId(0), OpKind::Read, ty);
+        op.name = name.to_string();
+        op.imm = Some(idx);
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Declare an array parameter (interface memory).
+    pub fn array_param(&mut self, name: &str, elem: IrType, len: u32) -> ArrayId {
+        let id = ArrayId(self.func.arrays.len() as u32);
+        self.func.arrays.push(ArrayDecl {
+            id,
+            name: name.to_string(),
+            elem,
+            len,
+            partition: Partition::None,
+            is_param: true,
+        });
+        self.func.params.push(Param {
+            name: name.to_string(),
+            ty: elem,
+            kind: ParamKind::Array { array: id },
+        });
+        id
+    }
+
+    /// Declare a local array.
+    pub fn local_array(&mut self, name: &str, elem: IrType, len: u32) -> ArrayId {
+        let id = ArrayId(self.func.arrays.len() as u32);
+        self.func.arrays.push(ArrayDecl {
+            id,
+            name: name.to_string(),
+            elem,
+            len,
+            partition: Partition::None,
+            is_param: false,
+        });
+        let mut op = Operation::new(OpId(0), OpKind::Alloca, elem);
+        op.name = name.to_string();
+        op.array = Some(id);
+        op.loc = self.current_loc;
+        self.emit(op);
+        id
+    }
+
+    /// Set the return type.
+    pub fn set_ret_type(&mut self, ty: IrType) {
+        self.func.ret = Some(ty);
+    }
+
+    /// Emit an integer constant.
+    pub fn constant(&mut self, v: i64, ty: IrType) -> OpId {
+        let mut op = Operation::new(OpId(0), OpKind::Const, ty);
+        op.imm = Some(v);
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit a binary op; result type follows the kind's width rule.
+    pub fn binary(&mut self, kind: OpKind, a: OpId, b: OpId) -> OpId {
+        let ta = self.func.op(a).ty;
+        let tb = self.func.op(b).ty;
+        let ty = match kind {
+            OpKind::Add | OpKind::Sub => IrType::add_result(ta, tb),
+            OpKind::Mul => IrType::mul_result(ta, tb),
+            OpKind::ICmp | OpKind::FCmp => IrType::bool(),
+            _ => IrType::join(ta, tb),
+        };
+        let mut op = Operation::new(OpId(0), kind, ty);
+        op.operands.push(Operand::new(a, ta.bits()));
+        op.operands.push(Operand::new(b, tb.bits()));
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit an integer comparison.
+    pub fn icmp(&mut self, pred: CmpPred, a: OpId, b: OpId) -> OpId {
+        let id = self.binary(OpKind::ICmp, a, b);
+        self.func.op_mut(id).imm = Some(pred as i64);
+        id
+    }
+
+    /// Emit a select `cond ? t : f`.
+    pub fn select(&mut self, cond: OpId, t: OpId, f: OpId) -> OpId {
+        let tt = self.func.op(t).ty;
+        let tf = self.func.op(f).ty;
+        let ty = IrType::join(tt, tf);
+        let mut op = Operation::new(OpId(0), OpKind::Select, ty);
+        op.operands.push(Operand::new(cond, 1));
+        op.operands.push(Operand::new(t, tt.bits()));
+        op.operands.push(Operand::new(f, tf.bits()));
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit a load `arr[idx]`.
+    pub fn load(&mut self, arr: ArrayId, idx: OpId) -> OpId {
+        let elem = self.func.array(arr).elem;
+        let iw = self.func.op(idx).ty.bits();
+        let mut op = Operation::new(OpId(0), OpKind::Load, elem);
+        op.operands.push(Operand::new(idx, iw));
+        op.array = Some(arr);
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit a store `arr[idx] = val`.
+    pub fn store(&mut self, arr: ArrayId, idx: OpId, val: OpId) -> OpId {
+        let iw = self.func.op(idx).ty.bits();
+        let vw = self.func.op(val).ty.bits();
+        let elem = self.func.array(arr).elem;
+        let mut op = Operation::new(OpId(0), OpKind::Store, elem);
+        op.operands.push(Operand::new(idx, iw));
+        op.operands.push(Operand::new(val, vw.min(elem.bits())));
+        op.array = Some(arr);
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit a call to `callee` with result type `ret`.
+    pub fn call(&mut self, callee: FuncId, args: &[OpId], ret: IrType) -> OpId {
+        let mut op = Operation::new(OpId(0), OpKind::Call, ret);
+        for &a in args {
+            let w = self.func.op(a).ty.bits();
+            op.operands.push(Operand::new(a, w));
+        }
+        op.callee = Some(callee);
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit a width cast (zext / sext / trunc / no-op as appropriate).
+    pub fn cast(&mut self, v: OpId, to: IrType) -> OpId {
+        let from = self.func.op(v).ty;
+        if from == to {
+            return v;
+        }
+        let kind = if to.bits() < from.bits() {
+            OpKind::Trunc
+        } else if from.is_signed() {
+            OpKind::SExt
+        } else {
+            OpKind::ZExt
+        };
+        let mut op = Operation::new(OpId(0), kind, to);
+        op.operands
+            .push(Operand::new(v, from.bits().min(to.bits())));
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Emit a return.
+    pub fn ret(&mut self, v: Option<OpId>) -> OpId {
+        let ty = v.map(|v| self.func.op(v).ty).unwrap_or(IrType::bool());
+        if self.func.ret.is_none() {
+            self.func.ret = v.map(|_| ty);
+        }
+        let mut op = Operation::new(OpId(0), OpKind::Return, ty);
+        if let Some(v) = v {
+            op.operands.push(Operand::new(v, ty.bits()));
+        }
+        op.loc = self.current_loc;
+        self.emit(op)
+    }
+
+    /// Begin a counted loop with `trip_count` iterations. Returns the loop
+    /// label and a `Phi` op representing the induction variable.
+    pub fn begin_loop(&mut self, trip_count: u64, pipeline_ii: Option<u32>) -> (String, OpId) {
+        let label = format!("{}/loop{}", self.func.name, self.next_loop);
+        self.next_loop += 1;
+        self.stack.push(Vec::new());
+        self.loop_headers
+            .push((label.clone(), trip_count, pipeline_ii));
+        let ty = IrType::for_range(trip_count.saturating_sub(1));
+        let mut op = Operation::new(OpId(0), OpKind::Phi, ty);
+        op.name = "iv".into();
+        op.loc = self.current_loc;
+        let iv = self.emit(op);
+        (label, iv)
+    }
+
+    /// Close the innermost loop opened by [`Self::begin_loop`].
+    ///
+    /// # Panics
+    /// Panics if no loop is open.
+    pub fn end_loop(&mut self) {
+        let (label, trip_count, pipeline_ii) =
+            self.loop_headers.pop().expect("end_loop without begin_loop");
+        let regions = self.stack.pop().expect("region stack underflow");
+        let body = Self::seal(regions);
+        self.current_regions().push(Region::Loop {
+            label,
+            body: Box::new(body),
+            trip_count,
+            pipeline_ii,
+        });
+    }
+
+    /// Finish and return the function.
+    ///
+    /// # Panics
+    /// Panics if loops are still open.
+    pub fn finish(mut self) -> Function {
+        assert!(
+            self.loop_headers.is_empty(),
+            "finish() with {} open loop(s)",
+            self.loop_headers.len()
+        );
+        let regions = self.stack.pop().expect("region stack underflow");
+        self.func.body = Self::seal(regions);
+        self.func
+    }
+
+    fn seal(mut regions: Vec<Region>) -> Region {
+        if regions.len() == 1 {
+            regions.pop().unwrap()
+        } else {
+            Region::Seq(regions)
+        }
+    }
+
+    fn current_regions(&mut self) -> &mut Vec<Region> {
+        self.stack.last_mut().expect("region stack underflow")
+    }
+
+    fn emit(&mut self, op: Operation) -> OpId {
+        let id = self.func.push_op(op);
+        let regions = self.current_regions();
+        match regions.last_mut() {
+            Some(Region::Block(ops)) => ops.push(id),
+            _ => regions.push(Region::Block(vec![id])),
+        }
+        id
+    }
+
+    /// Access the function under construction (for advanced tweaks).
+    pub fn function_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+
+    /// Emit a fully-formed operation into the current region (used by the
+    /// frontend for phis and other ops with bespoke operand shapes). The
+    /// op's id is reassigned; the attached source location is preserved if
+    /// set, otherwise the builder's current location is used.
+    pub fn emit_op(&mut self, mut op: Operation) -> OpId {
+        if op.loc.is_none() {
+            op.loc = self.current_loc;
+        }
+        self.emit(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_build() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let c = b.constant(3, IrType::int(4));
+        let m = b.binary(OpKind::Mul, x, c);
+        b.ret(Some(m));
+        let f = b.finish();
+        assert_eq!(f.ops.len(), 4);
+        assert_eq!(f.op(m).ty.bits(), 12); // 8 + 4
+        assert_eq!(f.body.ops_in_order().len(), 4);
+    }
+
+    #[test]
+    fn loops_nest() {
+        let mut b = FunctionBuilder::new("f");
+        let (l0, iv0) = b.begin_loop(10, None);
+        let (_l1, iv1) = b.begin_loop(4, Some(1));
+        b.binary(OpKind::Add, iv0, iv1);
+        b.end_loop();
+        b.end_loop();
+        let f = b.finish();
+        assert_eq!(l0, "f/loop0");
+        assert_eq!(f.body.loop_count(), 2);
+        // induction variable width follows trip count
+        assert_eq!(f.op(iv0).ty.bits(), 4); // 0..=9
+        assert_eq!(f.op(iv1).ty.bits(), 2); // 0..=3
+    }
+
+    #[test]
+    #[should_panic]
+    fn unbalanced_loop_panics() {
+        let mut b = FunctionBuilder::new("f");
+        b.begin_loop(2, None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn cast_inserts_right_kind() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let up = b.cast(x, IrType::int(16));
+        let down = b.cast(up, IrType::int(4));
+        let same = b.cast(down, IrType::int(4));
+        let f = b.finish();
+        assert_eq!(f.op(up).kind, OpKind::SExt);
+        assert_eq!(f.op(down).kind, OpKind::Trunc);
+        assert_eq!(same, down, "no-op cast returns the input");
+    }
+
+    #[test]
+    fn load_store_reference_array() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.array_param("a", IrType::int(16), 32);
+        let i = b.constant(5, IrType::uint(5));
+        let v = b.load(a, i);
+        b.store(a, i, v);
+        let f = b.finish();
+        let deps = f.memory_deps();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(f.op(v).array, Some(a));
+    }
+}

@@ -1,0 +1,225 @@
+//! HLS optimization directives.
+//!
+//! Directives are attached by `#pragma HLS …` lines in MiniHLS source, or
+//! programmatically through [`Directives`]. They drive the IR transforms
+//! (inline, unroll) and the synthesis flow (pipeline, array partition) — the
+//! exact set the paper's Face Detection case study manipulates.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Array partitioning scheme (`#pragma HLS array_partition`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Partition {
+    /// No partitioning: one memory, limited ports.
+    #[default]
+    None,
+    /// `factor` banks, element `i` in bank `i % factor`.
+    Cyclic(u32),
+    /// `factor` banks, element `i` in bank `i / ceil(len/factor)`.
+    Block(u32),
+    /// Every element its own register (fully partitioned).
+    Complete,
+}
+
+impl Partition {
+    /// Number of independently addressable banks for an array of `len`
+    /// elements.
+    pub fn banks(&self, len: u32) -> u32 {
+        match *self {
+            Partition::None => 1,
+            Partition::Cyclic(f) | Partition::Block(f) => f.max(1).min(len.max(1)),
+            Partition::Complete => len.max(1),
+        }
+    }
+
+    /// Bank index holding element `idx` of an array of `len` elements.
+    pub fn bank_of(&self, idx: u32, len: u32) -> u32 {
+        match *self {
+            Partition::None => 0,
+            Partition::Cyclic(f) => idx % f.max(1),
+            Partition::Block(f) => {
+                let f = f.max(1);
+                let per = len.div_ceil(f);
+                (idx / per.max(1)).min(f - 1)
+            }
+            Partition::Complete => idx,
+        }
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partition::None => write!(f, "none"),
+            Partition::Cyclic(n) => write!(f, "cyclic factor={n}"),
+            Partition::Block(n) => write!(f, "block factor={n}"),
+            Partition::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+/// Per-loop directive state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopDirectives {
+    /// Unroll factor (`0`/`1` = rolled, `u32::MAX` = full unroll).
+    pub unroll: u32,
+    /// Pipeline initiation interval (None = not pipelined).
+    pub pipeline_ii: Option<u32>,
+}
+
+/// Full unroll marker value.
+pub const FULL_UNROLL: u32 = u32::MAX;
+
+/// Directive configuration for a whole design.
+///
+/// Keys are syntactic: function names for inlining, `"func/loopN"` labels for
+/// loops, `"func/array"` for partitioning. The MiniHLS pragma parser fills
+/// this in; callers may also construct one programmatically to explore the
+/// design space (the paper's case study flips these settings).
+///
+/// ```
+/// use hls_ir::directives::Directives;
+/// let mut d = Directives::new();
+/// d.set_inline("classifier", true);
+/// d.set_unroll("top/loop0", 8);
+/// assert!(d.inline("classifier"));
+/// assert_eq!(d.loop_directives("top/loop0").unroll, 8);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Directives {
+    inline: HashMap<String, bool>,
+    loops: HashMap<String, LoopDirectives>,
+    partitions: HashMap<String, Partition>,
+}
+
+impl Directives {
+    /// An empty directive set (no optimizations applied).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request (or forbid, with `on = false`) inlining of `func`.
+    pub fn set_inline(&mut self, func: &str, on: bool) {
+        self.inline.insert(func.to_string(), on);
+    }
+
+    /// Whether `func` should be inlined (default: false).
+    pub fn inline(&self, func: &str) -> bool {
+        self.inline.get(func).copied().unwrap_or(false)
+    }
+
+    /// The explicit inline setting for `func`, if one was given. Lets
+    /// overlays distinguish "inline off" from "not mentioned".
+    pub fn inline_opt(&self, func: &str) -> Option<bool> {
+        self.inline.get(func).copied()
+    }
+
+    /// Set the unroll factor of the loop labelled `label`.
+    pub fn set_unroll(&mut self, label: &str, factor: u32) {
+        self.loops.entry(label.to_string()).or_default().unroll = factor;
+    }
+
+    /// Request full unrolling of the loop labelled `label`.
+    pub fn set_full_unroll(&mut self, label: &str) {
+        self.set_unroll(label, FULL_UNROLL);
+    }
+
+    /// Set a pipeline II on the loop labelled `label`.
+    pub fn set_pipeline(&mut self, label: &str, ii: u32) {
+        self.loops.entry(label.to_string()).or_default().pipeline_ii = Some(ii.max(1));
+    }
+
+    /// The directive state of the loop labelled `label`.
+    pub fn loop_directives(&self, label: &str) -> LoopDirectives {
+        self.loops.get(label).copied().unwrap_or_default()
+    }
+
+    /// Set the partition scheme of `func/array`.
+    pub fn set_partition(&mut self, array_key: &str, p: Partition) {
+        self.partitions.insert(array_key.to_string(), p);
+    }
+
+    /// The partition scheme of `func/array` (default: [`Partition::None`]).
+    pub fn partition(&self, array_key: &str) -> Partition {
+        self.partitions.get(array_key).copied().unwrap_or_default()
+    }
+
+    /// Merge another directive set into this one (other wins on conflict).
+    pub fn merge(&mut self, other: &Directives) {
+        for (k, v) in &other.inline {
+            self.inline.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.loops {
+            self.loops.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.partitions {
+            self.partitions.insert(k.clone(), *v);
+        }
+    }
+
+    /// Iterate over all inline directives.
+    pub fn inline_entries(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.inline.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True if no directive was set at all.
+    pub fn is_empty(&self) -> bool {
+        self.inline.is_empty() && self.loops.is_empty() && self.partitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_bank_counts() {
+        assert_eq!(Partition::None.banks(64), 1);
+        assert_eq!(Partition::Cyclic(4).banks(64), 4);
+        assert_eq!(Partition::Block(4).banks(64), 4);
+        assert_eq!(Partition::Complete.banks(64), 64);
+        // factor larger than length clamps
+        assert_eq!(Partition::Cyclic(100).banks(8), 8);
+    }
+
+    #[test]
+    fn cyclic_bank_mapping() {
+        let p = Partition::Cyclic(4);
+        assert_eq!(p.bank_of(0, 16), 0);
+        assert_eq!(p.bank_of(5, 16), 1);
+        assert_eq!(p.bank_of(7, 16), 3);
+    }
+
+    #[test]
+    fn block_bank_mapping() {
+        let p = Partition::Block(4);
+        assert_eq!(p.bank_of(0, 16), 0);
+        assert_eq!(p.bank_of(3, 16), 0);
+        assert_eq!(p.bank_of(4, 16), 1);
+        assert_eq!(p.bank_of(15, 16), 3);
+    }
+
+    #[test]
+    fn directive_defaults() {
+        let d = Directives::new();
+        assert!(!d.inline("f"));
+        assert_eq!(d.loop_directives("f/loop0").unroll, 0);
+        assert_eq!(d.partition("f/a"), Partition::None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn merge_overrides() {
+        let mut a = Directives::new();
+        a.set_inline("f", true);
+        a.set_unroll("f/loop0", 2);
+        let mut b = Directives::new();
+        b.set_inline("f", false);
+        b.set_pipeline("f/loop0", 1);
+        a.merge(&b);
+        assert!(!a.inline("f"));
+        // merge replaces the whole loop entry
+        assert_eq!(a.loop_directives("f/loop0").pipeline_ii, Some(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! MiniHLS tokenizer.
+
+use super::token::{Token, TokenKind};
+use super::{CompileError, Stage};
+
+/// Tokenize MiniHLS source.
+///
+/// `//` line comments and `/* */` block comments are skipped; `#pragma`
+/// lines become a single [`TokenKind::Pragma`] token carrying the raw text
+/// after the `#pragma` keyword.
+///
+/// # Errors
+/// Returns a [`CompileError`] on unrecognized characters or malformed
+/// literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = bytes.get(i + 1).map(|&b| b as char);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(
+                            Stage::Lex,
+                            line,
+                            "unterminated block comment",
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '#' => {
+                // Consume the rest of the line as a pragma.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let Some(rest) = text.strip_prefix("#pragma") else {
+                    return Err(CompileError::new(
+                        Stage::Lex,
+                        line,
+                        format!("unknown preprocessor line `{text}`"),
+                    ));
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Pragma(rest.trim().to_string()),
+                    line,
+                    col,
+                });
+                col = 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X"))
+                {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    text.parse::<i64>()
+                }
+                .map_err(|_| {
+                    CompileError::new(Stage::Lex, line, format!("bad integer literal `{text}`"))
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = source[start..i].to_string();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '?' => push!(TokenKind::Question, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            '=' if next == Some('=') => push!(TokenKind::EqEq, 2),
+            '=' => push!(TokenKind::Assign, 1),
+            '+' if next == Some('+') => push!(TokenKind::PlusPlus, 2),
+            '+' if next == Some('=') => push!(TokenKind::PlusAssign, 2),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '%' => push!(TokenKind::Percent, 1),
+            '<' if next == Some('<') => push!(TokenKind::Shl, 2),
+            '<' if next == Some('=') => push!(TokenKind::Le, 2),
+            '<' => push!(TokenKind::Lt, 1),
+            '>' if next == Some('>') => push!(TokenKind::Shr, 2),
+            '>' if next == Some('=') => push!(TokenKind::Ge, 2),
+            '>' => push!(TokenKind::Gt, 1),
+            '&' if next == Some('&') => push!(TokenKind::AmpAmp, 2),
+            '&' => push!(TokenKind::Amp, 1),
+            '|' if next == Some('|') => push!(TokenKind::PipePipe, 2),
+            '|' => push!(TokenKind::Pipe, 1),
+            '^' => push!(TokenKind::Caret, 1),
+            '~' => push!(TokenKind::Tilde, 1),
+            '!' if next == Some('=') => push!(TokenKind::Ne, 2),
+            '!' => push!(TokenKind::Bang, 1),
+            other => {
+                return Err(CompileError::new(
+                    Stage::Lex,
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("int32 x = 42;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("int32".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds("<= >= == != << >> && || ++ +=");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::PlusPlus,
+                TokenKind::PlusAssign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a // trailing\n/* block\nspanning */ b");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_captured_raw() {
+        let k = kinds("#pragma HLS unroll factor=4\nx");
+        assert_eq!(k[0], TokenKind::Pragma("HLS unroll factor=4".into()));
+        assert_eq!(k[1], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0xFF")[0], TokenKind::Int(255));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 3);
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* nope").is_err());
+    }
+}

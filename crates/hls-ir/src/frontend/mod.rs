@@ -1,0 +1,190 @@
+//! The MiniHLS frontend: a small C-like language with HLS pragmas.
+//!
+//! MiniHLS is the surface language for this reproduction, standing in for the
+//! HLS-C the paper's benchmarks are written in. It supports:
+//!
+//! * arbitrary-width integer types `int1..int64`, `uint1..uint64`;
+//! * functions, scalar and fixed-size array parameters;
+//! * counted `for` loops with constant bounds;
+//! * `if`/`else` (lowered by predication to `select` ops);
+//! * expressions: arithmetic, shifts, bitwise, comparisons, ternary, calls;
+//! * builtins `min`, `max`, `abs`, `sqrt`, `popcount`;
+//! * `#pragma HLS inline [off]`, `#pragma HLS unroll [factor=N]`,
+//!   `#pragma HLS pipeline [II=N]`,
+//!   `#pragma HLS array_partition variable=x [cyclic|block|complete] [factor=N]`.
+//!
+//! [`compile`] runs lex → parse → lower → directive transforms → verify and
+//! returns a ready-to-synthesize [`Module`](crate::Module).
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pragma;
+pub mod token;
+
+use crate::directives::Directives;
+use crate::module::Module;
+use std::fmt;
+
+/// Any error raised while compiling MiniHLS source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Compilation stage that failed.
+    pub stage: Stage,
+    /// 1-based source line (0 if unknown).
+    pub line: u32,
+    /// Error description.
+    pub message: String,
+}
+
+/// Frontend stages, for error attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis / lowering.
+    Lower,
+    /// Post-lowering IR verification.
+    Verify,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} error at line {}: {}",
+            self.stage, self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompileError {
+    pub(crate) fn new(stage: Stage, line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            stage,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Compile MiniHLS source into an IR module named `main`, applying the
+/// pragma directives found in the source (inlining and unrolling are
+/// performed; pipeline/partition are recorded in the IR).
+///
+/// The *last* function in the file is the top function.
+///
+/// # Errors
+/// Returns a [`CompileError`] for lexical, syntactic, or semantic problems.
+pub fn compile(source: &str) -> Result<Module, CompileError> {
+    compile_named(source, "main")
+}
+
+/// Like [`compile`] but with an explicit design name.
+///
+/// # Errors
+/// Returns a [`CompileError`] for lexical, syntactic, or semantic problems.
+pub fn compile_named(source: &str, name: &str) -> Result<Module, CompileError> {
+    let (module, directives) = compile_to_ir(source, name)?;
+    finish(module, &directives)
+}
+
+/// Compile to IR *without* applying inline/unroll transforms, returning the
+/// raw module and the directives harvested from pragmas. Useful for tooling
+/// that wants to override directives before transformation.
+///
+/// # Errors
+/// Returns a [`CompileError`] for lexical, syntactic, or semantic problems.
+pub fn compile_to_ir(source: &str, name: &str) -> Result<(Module, Directives), CompileError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(&tokens)?;
+    lower::lower(&program, name)
+}
+
+/// Apply directive-driven transforms (inline, then unroll, then DCE and
+/// compaction) and verify the result.
+///
+/// # Errors
+/// Returns a [`CompileError`] if verification fails after transformation.
+pub fn finish(mut module: Module, directives: &Directives) -> Result<Module, CompileError> {
+    crate::transform::inline::inline_module(&mut module, directives);
+    crate::transform::unroll::unroll_module(&mut module, directives);
+    crate::transform::const_fold::fold_module(&mut module);
+    crate::transform::dce::dce_module(&mut module);
+    propagate_partitions(&mut module);
+    crate::verify::verify_module(&module)
+        .map_err(|e| CompileError::new(Stage::Verify, 0, e.to_string()))?;
+    Ok(module)
+}
+
+/// Interface-partition propagation: when a caller passes an array to a
+/// callee whose parameter is partitioned, the caller's (physical) array
+/// adopts that partitioning — exactly how `array_partition` interface
+/// directives behave in HLS tools. Processes callees before callers so
+/// chains propagate to the top.
+fn propagate_partitions(module: &mut Module) {
+    use crate::directives::Partition;
+    let order = module.bottom_up_order();
+    for &fid in &order {
+        // Collect (caller array, partition) pairs from this function's calls.
+        let mut updates: Vec<(crate::function::ArrayId, Partition)> = Vec::new();
+        {
+            let f = module.function(fid);
+            for op in &f.ops {
+                if op.kind != crate::op::OpKind::Call {
+                    continue;
+                }
+                let Some(callee) = op.callee else { continue };
+                let callee_f = module.function(callee);
+                let callee_param_arrays: Vec<&crate::function::ArrayDecl> =
+                    callee_f.arrays.iter().filter(|a| a.is_param).collect();
+                for (caller_arr, callee_arr) in op.array_args.iter().zip(callee_param_arrays) {
+                    if callee_arr.partition != Partition::None
+                        && f.array(*caller_arr).partition == Partition::None
+                    {
+                        updates.push((*caller_arr, callee_arr.partition));
+                    }
+                }
+            }
+        }
+        let f = module.function_mut(fid);
+        for (arr, p) in updates {
+            f.arrays[arr.index()].partition = p;
+        }
+    }
+}
+
+/// Compile with an extra directive overlay (overlay wins over pragmas).
+///
+/// This is the entry point the benchmark generators use to flip a design
+/// between the paper's implementation variants without editing source.
+///
+/// # Errors
+/// Returns a [`CompileError`] for lexical, syntactic, or semantic problems.
+pub fn compile_with_directives(
+    source: &str,
+    name: &str,
+    overlay: &Directives,
+) -> Result<Module, CompileError> {
+    let (module, mut directives) = compile_to_ir(source, name)?;
+    directives.merge(overlay);
+    // Re-apply partition overlay onto array decls (pragmas were already
+    // applied during lowering; the overlay may change them).
+    let mut module = module;
+    for f in &mut module.functions {
+        let fname = f.name.clone();
+        for a in &mut f.arrays {
+            let key = format!("{}/{}", fname, a.name);
+            let p = directives.partition(&key);
+            if p != crate::directives::Partition::None {
+                a.partition = p;
+            }
+        }
+    }
+    finish(module, &directives)
+}

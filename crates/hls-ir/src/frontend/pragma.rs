@@ -1,0 +1,188 @@
+//! `#pragma HLS …` parsing.
+
+use super::{CompileError, Stage};
+use crate::directives::Partition;
+
+/// A parsed HLS pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pragma {
+    /// `#pragma HLS inline` / `#pragma HLS inline off`
+    Inline {
+        /// `true` for `inline off`.
+        off: bool,
+    },
+    /// `#pragma HLS unroll [factor=N]` (no factor = full unroll)
+    Unroll {
+        /// Explicit factor, if any.
+        factor: Option<u32>,
+    },
+    /// `#pragma HLS pipeline [II=N]`
+    Pipeline {
+        /// Initiation interval (default 1).
+        ii: u32,
+    },
+    /// `#pragma HLS array_partition variable=x [cyclic|block|complete] [factor=N]`
+    ArrayPartition {
+        /// Array name.
+        variable: String,
+        /// Partition scheme.
+        scheme: Partition,
+    },
+}
+
+/// Parse the raw text after `#pragma` (e.g. `HLS unroll factor=4`).
+///
+/// # Errors
+/// Returns a [`CompileError`] for unknown pragma kinds or malformed
+/// arguments. Non-HLS pragmas are ignored (returns `Ok(None)`).
+pub fn parse_pragma(raw: &str, line: u32) -> Result<Option<Pragma>, CompileError> {
+    let err = |msg: String| CompileError::new(Stage::Parse, line, msg);
+    let mut words = raw.split_whitespace();
+    match words.next() {
+        Some(w) if w.eq_ignore_ascii_case("hls") => {}
+        _ => return Ok(None), // not an HLS pragma; ignore
+    }
+    let Some(kind) = words.next() else {
+        return Err(err("empty HLS pragma".into()));
+    };
+    let rest: Vec<&str> = words.collect();
+    let lookup = |key: &str| -> Option<&str> {
+        rest.iter().find_map(|w| {
+            let (k, v) = w.split_once('=')?;
+            (k.eq_ignore_ascii_case(key)).then_some(v)
+        })
+    };
+    let flag = |name: &str| rest.iter().any(|w| w.eq_ignore_ascii_case(name));
+
+    match kind.to_ascii_lowercase().as_str() {
+        "inline" => Ok(Some(Pragma::Inline { off: flag("off") })),
+        "unroll" => {
+            let factor = match lookup("factor") {
+                Some(v) => Some(v.parse::<u32>().map_err(|_| {
+                    err(format!("bad unroll factor `{v}`"))
+                })?),
+                None => None,
+            };
+            if let Some(0) = factor {
+                return Err(err("unroll factor must be >= 1".into()));
+            }
+            Ok(Some(Pragma::Unroll { factor }))
+        }
+        "pipeline" => {
+            let ii = match lookup("ii").or(lookup("II")) {
+                Some(v) => v
+                    .parse::<u32>()
+                    .map_err(|_| err(format!("bad pipeline II `{v}`")))?
+                    .max(1),
+                None => 1,
+            };
+            Ok(Some(Pragma::Pipeline { ii }))
+        }
+        "array_partition" => {
+            let variable = lookup("variable")
+                .ok_or_else(|| err("array_partition needs variable=<name>".into()))?
+                .to_string();
+            let factor = match lookup("factor") {
+                Some(v) => Some(
+                    v.parse::<u32>()
+                        .map_err(|_| err(format!("bad partition factor `{v}`")))?,
+                ),
+                None => None,
+            };
+            let scheme = if flag("complete") {
+                Partition::Complete
+            } else if flag("block") {
+                Partition::Block(factor.ok_or_else(|| err("block partition needs factor".into()))?)
+            } else if flag("cyclic") {
+                Partition::Cyclic(
+                    factor.ok_or_else(|| err("cyclic partition needs factor".into()))?,
+                )
+            } else if let Some(f) = factor {
+                Partition::Cyclic(f)
+            } else {
+                Partition::Complete
+            };
+            Ok(Some(Pragma::ArrayPartition { variable, scheme }))
+        }
+        other => Err(err(format!("unknown HLS pragma `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_variants() {
+        assert_eq!(
+            parse_pragma("HLS inline", 1).unwrap(),
+            Some(Pragma::Inline { off: false })
+        );
+        assert_eq!(
+            parse_pragma("HLS inline off", 1).unwrap(),
+            Some(Pragma::Inline { off: true })
+        );
+    }
+
+    #[test]
+    fn unroll_variants() {
+        assert_eq!(
+            parse_pragma("HLS unroll", 1).unwrap(),
+            Some(Pragma::Unroll { factor: None })
+        );
+        assert_eq!(
+            parse_pragma("HLS unroll factor=8", 1).unwrap(),
+            Some(Pragma::Unroll { factor: Some(8) })
+        );
+        assert!(parse_pragma("HLS unroll factor=0", 1).is_err());
+        assert!(parse_pragma("HLS unroll factor=x", 1).is_err());
+    }
+
+    #[test]
+    fn pipeline_defaults_ii_1() {
+        assert_eq!(
+            parse_pragma("HLS pipeline", 1).unwrap(),
+            Some(Pragma::Pipeline { ii: 1 })
+        );
+        assert_eq!(
+            parse_pragma("HLS pipeline II=3", 1).unwrap(),
+            Some(Pragma::Pipeline { ii: 3 })
+        );
+    }
+
+    #[test]
+    fn array_partition_schemes() {
+        assert_eq!(
+            parse_pragma("HLS array_partition variable=buf complete", 1).unwrap(),
+            Some(Pragma::ArrayPartition {
+                variable: "buf".into(),
+                scheme: Partition::Complete
+            })
+        );
+        assert_eq!(
+            parse_pragma("HLS array_partition variable=buf cyclic factor=4", 1).unwrap(),
+            Some(Pragma::ArrayPartition {
+                variable: "buf".into(),
+                scheme: Partition::Cyclic(4)
+            })
+        );
+        assert_eq!(
+            parse_pragma("HLS array_partition variable=buf block factor=2", 1).unwrap(),
+            Some(Pragma::ArrayPartition {
+                variable: "buf".into(),
+                scheme: Partition::Block(2)
+            })
+        );
+        assert!(parse_pragma("HLS array_partition cyclic factor=4", 1).is_err());
+    }
+
+    #[test]
+    fn non_hls_pragma_ignored() {
+        assert_eq!(parse_pragma("once", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_hls_pragma_rejected() {
+        assert!(parse_pragma("HLS frobnicate", 1).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Token definitions for the MiniHLS lexer.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Kinds of MiniHLS tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// A whole `#pragma …` line (raw text after `#pragma`).
+    Pragma(String),
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+
+    // Operators.
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `++`
+    PlusPlus,
+    /// `+=`
+    PlusAssign,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Pragma(_) => write!(f, "#pragma"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Shl => write!(f, "`<<`"),
+            TokenKind::Shr => write!(f, "`>>`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Tilde => write!(f, "`~`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::PlusPlus => write!(f, "`++`"),
+            TokenKind::PlusAssign => write!(f, "`+=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

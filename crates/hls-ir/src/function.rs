@@ -1,0 +1,372 @@
+//! Functions, structured regions, arrays and parameters.
+
+use crate::directives::Partition;
+use crate::op::{OpId, OpKind, Operand, Operation};
+use crate::types::IrType;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a function inside a [`Module`](crate::module::Module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an array declared in (or passed to) a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a parameter is passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Scalar input (becomes a `Read` port op).
+    Scalar,
+    /// Array interface (becomes an [`ArrayDecl`] backed by interface memory).
+    Array {
+        /// The array this parameter is bound to.
+        array: ArrayId,
+    },
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element (or scalar) type.
+    pub ty: IrType,
+    /// Scalar or array.
+    pub kind: ParamKind,
+}
+
+/// An array (local or interface memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Arena id.
+    pub id: ArrayId,
+    /// Array name.
+    pub name: String,
+    /// Element type.
+    pub elem: IrType,
+    /// Number of elements.
+    pub len: u32,
+    /// Partition scheme (filled from directives).
+    pub partition: Partition,
+    /// Whether this array is a function parameter (interface memory).
+    pub is_param: bool,
+}
+
+impl ArrayDecl {
+    /// Total number of data bits stored in this array.
+    pub fn total_bits(&self) -> u64 {
+        self.elem.bits() as u64 * self.len as u64
+    }
+
+    /// Number of banks after partitioning.
+    pub fn banks(&self) -> u32 {
+        self.partition.banks(self.len)
+    }
+}
+
+/// Structured control: straight-line blocks, sequences, and counted loops.
+///
+/// MiniHLS lowers `if` statements to predication (`Select` ops), so the only
+/// control structure surviving into the IR is the counted loop. Unrolled
+/// loops are flattened by the [`unroll`](crate::transform::unroll) transform;
+/// rolled loops stay as `Loop` regions and are scheduled once, with latency
+/// multiplied by the trip count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// A straight-line sequence of operations.
+    Block(Vec<OpId>),
+    /// A sequence of sub-regions.
+    Seq(Vec<Region>),
+    /// A counted loop.
+    Loop {
+        /// Stable label, e.g. `"top/loop2"` — the directive key.
+        label: String,
+        /// Loop body.
+        body: Box<Region>,
+        /// Number of iterations executed at runtime.
+        trip_count: u64,
+        /// Pipeline initiation interval (from directives).
+        pipeline_ii: Option<u32>,
+    },
+}
+
+impl Region {
+    /// An empty block.
+    pub fn empty() -> Region {
+        Region::Block(Vec::new())
+    }
+
+    /// Visit every `OpId` in program order.
+    pub fn for_each_op(&self, f: &mut impl FnMut(OpId)) {
+        match self {
+            Region::Block(ops) => ops.iter().copied().for_each(f),
+            Region::Seq(rs) => rs.iter().for_each(|r| r.for_each_op(f)),
+            Region::Loop { body, .. } => body.for_each_op(f),
+        }
+    }
+
+    /// All op ids in program order.
+    pub fn ops_in_order(&self) -> Vec<OpId> {
+        let mut v = Vec::new();
+        self.for_each_op(&mut |id| v.push(id));
+        v
+    }
+
+    /// Number of loops (at any depth) in this region.
+    pub fn loop_count(&self) -> usize {
+        match self {
+            Region::Block(_) => 0,
+            Region::Seq(rs) => rs.iter().map(Region::loop_count).sum(),
+            Region::Loop { body, .. } => 1 + body.loop_count(),
+        }
+    }
+}
+
+/// A function: an op arena plus a structured body region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Arena id within the module.
+    pub id: FuncId,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (None = void).
+    pub ret: Option<IrType>,
+    /// Operation arena; `OpId(i)` indexes `ops[i]`.
+    pub ops: Vec<Operation>,
+    /// Structured body.
+    pub body: Region,
+    /// Arrays (locals and interface memories).
+    pub arrays: Vec<ArrayDecl>,
+    /// Whether this function is marked for inlining.
+    pub inline: bool,
+}
+
+impl Function {
+    /// An empty function shell.
+    pub fn new(id: FuncId, name: impl Into<String>) -> Self {
+        Function {
+            id,
+            name: name.into(),
+            params: Vec::new(),
+            ret: None,
+            ops: Vec::new(),
+            body: Region::empty(),
+            arrays: Vec::new(),
+            inline: false,
+        }
+    }
+
+    /// The operation with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Mutable access to the operation with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        &mut self.ops[id.index()]
+    }
+
+    /// The array with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// Look up an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Append an operation to the arena, returning its id. The caller is
+    /// responsible for placing the id into the body region.
+    pub fn push_op(&mut self, mut op: Operation) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        op.id = id;
+        self.ops.push(op);
+        id
+    }
+
+    /// Data successors of every op: `users[i]` lists ops consuming `OpId(i)`.
+    pub fn users(&self) -> Vec<Vec<OpId>> {
+        let mut users = vec![Vec::new(); self.ops.len()];
+        for op in &self.ops {
+            for operand in &op.operands {
+                users[operand.src.index()].push(op.id);
+            }
+        }
+        users
+    }
+
+    /// Memory-ordering dependencies: for each array, a `Store` must follow
+    /// every earlier access, and a `Load` must follow the latest earlier
+    /// `Store` (program order given by the body region).
+    pub fn memory_deps(&self) -> Vec<(OpId, OpId)> {
+        let mut deps = Vec::new();
+        let mut last_store: HashMap<ArrayId, OpId> = HashMap::new();
+        let mut accesses_since_store: HashMap<ArrayId, Vec<OpId>> = HashMap::new();
+        for id in self.body.ops_in_order() {
+            let op = self.op(id);
+            let Some(arr) = op.array else { continue };
+            match op.kind {
+                OpKind::Load => {
+                    if let Some(&s) = last_store.get(&arr) {
+                        deps.push((s, id));
+                    }
+                    accesses_since_store.entry(arr).or_default().push(id);
+                }
+                OpKind::Store => {
+                    if let Some(prev) = accesses_since_store.remove(&arr) {
+                        for p in prev {
+                            deps.push((p, id));
+                        }
+                    } else if let Some(&s) = last_store.get(&arr) {
+                        deps.push((s, id));
+                    }
+                    last_store.insert(arr, id);
+                }
+                _ => {}
+            }
+        }
+        deps
+    }
+
+    /// Count of operations of each kind.
+    pub fn kind_histogram(&self) -> [u32; OpKind::COUNT] {
+        let mut h = [0u32; OpKind::COUNT];
+        for op in &self.ops {
+            h[op.kind.index()] += 1;
+        }
+        h
+    }
+
+    /// Ids of all `Call` operations.
+    pub fn call_sites(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Call)
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Convenience: add an operand edge `src -> dst` consuming `width` wires.
+    pub fn add_operand(&mut self, dst: OpId, src: OpId, width: u16) {
+        self.ops[dst.index()].operands.push(Operand::new(src, width));
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}({} params, {} ops)", self.name, self.params.len(), self.ops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, Operation};
+
+    fn op(f: &mut Function, kind: OpKind) -> OpId {
+        f.push_op(Operation::new(OpId(0), kind, IrType::int(32)))
+    }
+
+    #[test]
+    fn push_op_assigns_sequential_ids() {
+        let mut f = Function::new(FuncId(0), "t");
+        let a = op(&mut f, OpKind::Const);
+        let b = op(&mut f, OpKind::Const);
+        assert_eq!(a, OpId(0));
+        assert_eq!(b, OpId(1));
+        assert_eq!(f.op(b).kind, OpKind::Const);
+    }
+
+    #[test]
+    fn users_reflect_operands() {
+        let mut f = Function::new(FuncId(0), "t");
+        let a = op(&mut f, OpKind::Const);
+        let b = op(&mut f, OpKind::Const);
+        let c = op(&mut f, OpKind::Add);
+        f.add_operand(c, a, 32);
+        f.add_operand(c, b, 32);
+        let users = f.users();
+        assert_eq!(users[a.index()], vec![c]);
+        assert_eq!(users[b.index()], vec![c]);
+        assert!(users[c.index()].is_empty());
+    }
+
+    #[test]
+    fn memory_deps_serialize_stores() {
+        let mut f = Function::new(FuncId(0), "t");
+        let arr = ArrayId(0);
+        f.arrays.push(ArrayDecl {
+            id: arr,
+            name: "a".into(),
+            elem: IrType::int(32),
+            len: 4,
+            partition: Partition::None,
+            is_param: false,
+        });
+        let ld = op(&mut f, OpKind::Load);
+        f.op_mut(ld).array = Some(arr);
+        let st = op(&mut f, OpKind::Store);
+        f.op_mut(st).array = Some(arr);
+        let ld2 = op(&mut f, OpKind::Load);
+        f.op_mut(ld2).array = Some(arr);
+        f.body = Region::Block(vec![ld, st, ld2]);
+        let deps = f.memory_deps();
+        assert!(deps.contains(&(ld, st)), "store waits for earlier load");
+        assert!(deps.contains(&(st, ld2)), "load waits for earlier store");
+    }
+
+    #[test]
+    fn region_op_order_traverses_loops() {
+        let r = Region::Seq(vec![
+            Region::Block(vec![OpId(0)]),
+            Region::Loop {
+                label: "t/loop0".into(),
+                body: Box::new(Region::Block(vec![OpId(1), OpId(2)])),
+                trip_count: 4,
+                pipeline_ii: None,
+            },
+            Region::Block(vec![OpId(3)]),
+        ]);
+        assert_eq!(r.ops_in_order(), vec![OpId(0), OpId(1), OpId(2), OpId(3)]);
+        assert_eq!(r.loop_count(), 1);
+    }
+
+    #[test]
+    fn kind_histogram_counts() {
+        let mut f = Function::new(FuncId(0), "t");
+        op(&mut f, OpKind::Add);
+        op(&mut f, OpKind::Add);
+        op(&mut f, OpKind::Mul);
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Add.index()], 2);
+        assert_eq!(h[OpKind::Mul.index()], 1);
+    }
+}

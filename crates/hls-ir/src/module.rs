@@ -1,0 +1,191 @@
+//! IR modules: a set of functions with a designated top.
+
+use crate::function::{FuncId, Function};
+use crate::op::OpKind;
+use std::collections::HashMap;
+
+/// A compilation unit: all functions of a design plus the top function the
+/// HLS flow synthesizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Function arena; `FuncId(i)` indexes `functions[i]`.
+    pub functions: Vec<Function>,
+    /// Designated top-level function.
+    pub top: FuncId,
+    /// Name of the design (used in reports).
+    pub name: String,
+}
+
+impl Module {
+    /// An empty module named `name` (top defaults to the first function
+    /// added).
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            functions: Vec::new(),
+            top: FuncId(0),
+            name: name.into(),
+        }
+    }
+
+    /// Append a function, returning its id.
+    pub fn push_function(&mut self, mut f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        f.id = id;
+        self.functions.push(f);
+        id
+    }
+
+    /// The function with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to the function with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// The top-level function.
+    pub fn top_function(&self) -> &Function {
+        self.function(self.top)
+    }
+
+    /// Look up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Id of the function named `name`.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.function_by_name(name).map(|f| f.id)
+    }
+
+    /// Call graph: for each function, which functions it calls (with call
+    /// multiplicity).
+    pub fn call_graph(&self) -> HashMap<FuncId, HashMap<FuncId, u32>> {
+        let mut g = HashMap::new();
+        for f in &self.functions {
+            let entry: &mut HashMap<FuncId, u32> = g.entry(f.id).or_default();
+            for op in &f.ops {
+                if op.kind == OpKind::Call {
+                    if let Some(callee) = op.callee {
+                        *entry.entry(callee).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Functions reachable from the top, in reverse-postorder (callees before
+    /// callers). Useful for bottom-up synthesis.
+    pub fn bottom_up_order(&self) -> Vec<FuncId> {
+        let cg = self.call_graph();
+        let mut order = Vec::new();
+        let mut state = vec![0u8; self.functions.len()]; // 0 unvisited, 1 visiting, 2 done
+        fn visit(
+            id: FuncId,
+            cg: &HashMap<FuncId, HashMap<FuncId, u32>>,
+            state: &mut [u8],
+            order: &mut Vec<FuncId>,
+        ) {
+            match state[id.index()] {
+                1 => panic!("recursive call cycle involving function {}", id.0),
+                2 => return,
+                _ => {}
+            }
+            state[id.index()] = 1;
+            if let Some(callees) = cg.get(&id) {
+                let mut keys: Vec<_> = callees.keys().copied().collect();
+                keys.sort();
+                for c in keys {
+                    visit(c, cg, state, order);
+                }
+            }
+            state[id.index()] = 2;
+            order.push(id);
+        }
+        visit(self.top, &cg, &mut state, &mut order);
+        order
+    }
+
+    /// Total number of operations across all functions.
+    pub fn total_ops(&self) -> usize {
+        self.functions.iter().map(|f| f.ops.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpId, Operation};
+    use crate::types::IrType;
+
+    fn call_op(f: &mut Function, callee: FuncId) {
+        let mut op = Operation::new(OpId(0), OpKind::Call, IrType::int(32));
+        op.callee = Some(callee);
+        f.push_op(op);
+    }
+
+    #[test]
+    fn bottom_up_order_puts_callees_first() {
+        let mut m = Module::new("t");
+        let leaf = m.push_function(Function::new(FuncId(0), "leaf"));
+        let mid_f = {
+            let mut f = Function::new(FuncId(0), "mid");
+            call_op(&mut f, leaf);
+            f
+        };
+        let mid = m.push_function(mid_f);
+        let top_f = {
+            let mut f = Function::new(FuncId(0), "top");
+            call_op(&mut f, mid);
+            call_op(&mut f, leaf);
+            f
+        };
+        let top = m.push_function(top_f);
+        m.top = top;
+        let order = m.bottom_up_order();
+        let pos = |id: FuncId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(leaf) < pos(mid));
+        assert!(pos(mid) < pos(top));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn recursion_detected() {
+        let mut m = Module::new("t");
+        let a = m.push_function(Function::new(FuncId(0), "a"));
+        call_op(m.function_mut(a), a);
+        m.top = a;
+        m.bottom_up_order();
+    }
+
+    #[test]
+    fn call_graph_multiplicity() {
+        let mut m = Module::new("t");
+        let leaf = m.push_function(Function::new(FuncId(0), "leaf"));
+        let mut f = Function::new(FuncId(0), "top");
+        call_op(&mut f, leaf);
+        call_op(&mut f, leaf);
+        let top = m.push_function(f);
+        m.top = top;
+        let cg = m.call_graph();
+        assert_eq!(cg[&top][&leaf], 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new("t");
+        m.push_function(Function::new(FuncId(0), "foo"));
+        assert!(m.function_by_name("foo").is_some());
+        assert!(m.function_by_name("bar").is_none());
+    }
+}

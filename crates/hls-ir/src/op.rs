@@ -1,0 +1,452 @@
+//! IR operations.
+//!
+//! The operation kind enumeration is deliberately fixed at **41 kinds**: it
+//! is the one-hot basis of the *operator type* feature category, whose size
+//! (41 one-hot + 41 neighbor histogram + 1 distinct-kind count = 83) makes
+//! the full feature vector add up to the paper's 302 features.
+
+use crate::function::{ArrayId, FuncId};
+use crate::source::SourceLoc;
+use crate::types::IrType;
+use std::fmt;
+
+/// Index of an [`Operation`] inside its owning function's op arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// The kind of an IR operation. Exactly [`OpKind::COUNT`] (= 41) kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum OpKind {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Signed division.
+    SDiv,
+    /// Unsigned division.
+    UDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not.
+    Not,
+    /// Integer comparison (predicate stored in [`Operation::imm`]).
+    ICmp,
+    /// Floating add (kept for feature-space parity; MiniHLS maps none today).
+    FAdd,
+    /// Floating subtract.
+    FSub,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide.
+    FDiv,
+    /// Floating compare.
+    FCmp,
+    /// Two-way select (`cond ? a : b`).
+    Select,
+    /// SSA merge / loop-carried value.
+    Phi,
+    /// Explicit multiplexer (inserted by binding/memory lowering).
+    Mux,
+    /// Memory load from an array.
+    Load,
+    /// Memory store to an array.
+    Store,
+    /// Scalar input-port read.
+    Read,
+    /// Scalar output-port write.
+    Write,
+    /// Address computation for an array access.
+    GetElementPtr,
+    /// Zero extension.
+    ZExt,
+    /// Sign extension.
+    SExt,
+    /// Truncation.
+    Trunc,
+    /// Bit concatenation.
+    BitConcat,
+    /// Bit-range selection.
+    BitSelect,
+    /// Integer constant (value in [`Operation::imm`]).
+    Const,
+    /// Call to a non-inlined function.
+    Call,
+    /// Function return.
+    Return,
+    /// Conditional branch weight marker (predication residue).
+    Branch,
+    /// Multi-way dispatch.
+    Switch,
+    /// Local array allocation marker.
+    Alloca,
+    /// I/O port node (added to the dependency graph for interface nets).
+    Port,
+    /// Integer square root (appears in distance kernels).
+    Sqrt,
+}
+
+impl OpKind {
+    /// Number of operation kinds.
+    pub const COUNT: usize = 41;
+
+    /// All kinds in enumeration order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::SDiv,
+        OpKind::UDiv,
+        OpKind::SRem,
+        OpKind::URem,
+        OpKind::Shl,
+        OpKind::LShr,
+        OpKind::AShr,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::ICmp,
+        OpKind::FAdd,
+        OpKind::FSub,
+        OpKind::FMul,
+        OpKind::FDiv,
+        OpKind::FCmp,
+        OpKind::Select,
+        OpKind::Phi,
+        OpKind::Mux,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Read,
+        OpKind::Write,
+        OpKind::GetElementPtr,
+        OpKind::ZExt,
+        OpKind::SExt,
+        OpKind::Trunc,
+        OpKind::BitConcat,
+        OpKind::BitSelect,
+        OpKind::Const,
+        OpKind::Call,
+        OpKind::Return,
+        OpKind::Branch,
+        OpKind::Switch,
+        OpKind::Alloca,
+        OpKind::Port,
+        OpKind::Sqrt,
+    ];
+
+    /// Stable dense index of this kind in `0..COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::SDiv => "sdiv",
+            OpKind::UDiv => "udiv",
+            OpKind::SRem => "srem",
+            OpKind::URem => "urem",
+            OpKind::Shl => "shl",
+            OpKind::LShr => "lshr",
+            OpKind::AShr => "ashr",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Not => "not",
+            OpKind::ICmp => "icmp",
+            OpKind::FAdd => "fadd",
+            OpKind::FSub => "fsub",
+            OpKind::FMul => "fmul",
+            OpKind::FDiv => "fdiv",
+            OpKind::FCmp => "fcmp",
+            OpKind::Select => "select",
+            OpKind::Phi => "phi",
+            OpKind::Mux => "mux",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::GetElementPtr => "gep",
+            OpKind::ZExt => "zext",
+            OpKind::SExt => "sext",
+            OpKind::Trunc => "trunc",
+            OpKind::BitConcat => "concat",
+            OpKind::BitSelect => "bitsel",
+            OpKind::Const => "const",
+            OpKind::Call => "call",
+            OpKind::Return => "ret",
+            OpKind::Branch => "br",
+            OpKind::Switch => "switch",
+            OpKind::Alloca => "alloca",
+            OpKind::Port => "port",
+            OpKind::Sqrt => "sqrt",
+        }
+    }
+
+    /// Whether the op has a value result that other ops can consume.
+    pub fn has_result(self) -> bool {
+        !matches!(
+            self,
+            OpKind::Store | OpKind::Write | OpKind::Return | OpKind::Branch | OpKind::Switch
+        )
+    }
+
+    /// Whether the op touches a memory (array) and therefore participates in
+    /// memory-ordering dependencies.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Integer comparison predicates, encoded into [`Operation::imm`] for
+/// [`OpKind::ICmp`] ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(i64)]
+pub enum CmpPred {
+    /// Equal.
+    Eq = 0,
+    /// Not equal.
+    Ne = 1,
+    /// Signed less than.
+    Lt = 2,
+    /// Signed less or equal.
+    Le = 3,
+    /// Signed greater than.
+    Gt = 4,
+    /// Signed greater or equal.
+    Ge = 5,
+}
+
+impl CmpPred {
+    /// Decode from an `imm` payload.
+    pub fn from_imm(v: i64) -> Option<CmpPred> {
+        Some(match v {
+            0 => CmpPred::Eq,
+            1 => CmpPred::Ne,
+            2 => CmpPred::Lt,
+            3 => CmpPred::Le,
+            4 => CmpPred::Gt,
+            5 => CmpPred::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the predicate on two signed values.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    }
+}
+
+/// A use of another operation's result.
+///
+/// `width` is the number of wires this connection actually carries: a
+/// consumer that only needs 8 of a 32-bit producer contributes an edge of
+/// weight 8 to the dependency graph (paper §III-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operand {
+    /// Producing operation.
+    pub src: OpId,
+    /// Number of wires consumed from the producer.
+    pub width: u16,
+}
+
+impl Operand {
+    /// An operand consuming `width` wires of `src`.
+    pub fn new(src: OpId, width: u16) -> Self {
+        Operand { src, width }
+    }
+}
+
+/// Provenance of an operation created by loop unrolling.
+///
+/// The sample filter (paper §III-C1) groups replicas of the same original
+/// operation by `group` and removes outliers ("marginal operations") within
+/// a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicaTag {
+    /// Identifier of the unrolled source operation (unique per function).
+    pub group: u32,
+    /// Which copy this is, `0..total`.
+    pub index: u32,
+    /// Total number of copies generated.
+    pub total: u32,
+}
+
+/// A single IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    /// Arena id (index into `Function::ops`).
+    pub id: OpId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Result type (meaningless for kinds without result).
+    pub ty: IrType,
+    /// Data operands (wire-accurate widths).
+    pub operands: Vec<Operand>,
+    /// Debug name (variable name where available).
+    pub name: String,
+    /// Source location this op was lowered from.
+    pub loc: Option<SourceLoc>,
+    /// Unroll provenance, if this op is a loop-unroll replica.
+    pub replica: Option<ReplicaTag>,
+    /// Referenced array for `Load`/`Store`/`Alloca`/`GetElementPtr`.
+    pub array: Option<ArrayId>,
+    /// Immediate payload: constant value (`Const`), predicate (`ICmp`),
+    /// port index (`Read`/`Write`/`Port`).
+    pub imm: Option<i64>,
+    /// Callee for `Call` ops.
+    pub callee: Option<FuncId>,
+    /// Arrays passed by reference to a `Call` (in callee parameter order).
+    pub array_args: Vec<ArrayId>,
+}
+
+impl Operation {
+    /// A new operation; normally created through
+    /// [`FunctionBuilder`](crate::builder::FunctionBuilder).
+    pub fn new(id: OpId, kind: OpKind, ty: IrType) -> Self {
+        Operation {
+            id,
+            kind,
+            ty,
+            operands: Vec::new(),
+            name: String::new(),
+            loc: None,
+            replica: None,
+            array: None,
+            imm: None,
+            callee: None,
+            array_args: Vec::new(),
+        }
+    }
+
+    /// Result bitwidth.
+    pub fn bits(&self) -> u16 {
+        self.ty.bits()
+    }
+
+    /// Total fan-in wires (sum of operand widths).
+    pub fn fan_in(&self) -> u32 {
+        self.operands.iter().map(|o| o.width as u32).sum()
+    }
+
+    /// The constant value, if this is a `Const` op.
+    pub fn const_value(&self) -> Option<i64> {
+        if self.kind == OpKind::Const {
+            self.imm
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_count_is_41() {
+        assert_eq!(OpKind::COUNT, 41);
+        assert_eq!(OpKind::ALL.len(), 41);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_unique() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in OpKind::ALL {
+            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k);
+        }
+    }
+
+    #[test]
+    fn result_classification() {
+        assert!(OpKind::Add.has_result());
+        assert!(OpKind::Load.has_result());
+        assert!(!OpKind::Store.has_result());
+        assert!(!OpKind::Return.has_result());
+        assert!(OpKind::Store.is_memory());
+        assert!(!OpKind::Read.is_memory());
+    }
+
+    #[test]
+    fn fan_in_sums_operand_widths() {
+        let mut op = Operation::new(OpId(0), OpKind::Add, IrType::int(16));
+        op.operands.push(Operand::new(OpId(1), 8));
+        op.operands.push(Operand::new(OpId(2), 16));
+        assert_eq!(op.fan_in(), 24);
+    }
+
+    #[test]
+    fn cmp_pred_roundtrip() {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::Lt,
+            CmpPred::Le,
+            CmpPred::Gt,
+            CmpPred::Ge,
+        ] {
+            assert_eq!(CmpPred::from_imm(p as i64), Some(p));
+        }
+        assert_eq!(CmpPred::from_imm(99), None);
+    }
+
+    #[test]
+    fn cmp_pred_eval() {
+        assert!(CmpPred::Lt.eval(-1, 0));
+        assert!(CmpPred::Ge.eval(5, 5));
+        assert!(!CmpPred::Eq.eval(1, 2));
+    }
+}

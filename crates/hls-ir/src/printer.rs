@@ -1,0 +1,121 @@
+//! Human-readable IR dump, for debugging and golden tests.
+
+use crate::function::{Function, Region};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Render a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {} (top = {})", m.name, m.top_function().name);
+    for f in &m.functions {
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Render one function as text.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.ty, p.name))
+        .collect();
+    let ret = f
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".into());
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> {}{}",
+        f.name,
+        params.join(", "),
+        ret,
+        if f.inline { " inline" } else { "" }
+    );
+    for a in &f.arrays {
+        let _ = writeln!(
+            out,
+            "  array {}: {}[{}] partition={}{}",
+            a.name,
+            a.elem,
+            a.len,
+            a.partition,
+            if a.is_param { " (interface)" } else { "" }
+        );
+    }
+    print_region(f, &f.body, 1, &mut out);
+    out
+}
+
+fn print_region(f: &Function, r: &Region, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match r {
+        Region::Block(ops) => {
+            for &id in ops {
+                let op = f.op(id);
+                let args: Vec<String> = op
+                    .operands
+                    .iter()
+                    .map(|o| format!("{}:{}", o.src, o.width))
+                    .collect();
+                let mut line = format!("{pad}{id} = {} {} [{}]", op.kind, op.ty, args.join(", "));
+                if let Some(imm) = op.imm {
+                    let _ = write!(line, " imm={imm}");
+                }
+                if let Some(arr) = op.array {
+                    let _ = write!(line, " arr={}", f.array(arr).name);
+                }
+                if let Some(r) = &op.replica {
+                    let _ = write!(line, " replica={}:{}/{}", r.group, r.index, r.total);
+                }
+                if let Some(loc) = op.loc {
+                    let _ = write!(line, " @{loc}");
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        Region::Seq(rs) => {
+            for sub in rs {
+                print_region(f, sub, indent, out);
+            }
+        }
+        Region::Loop {
+            label,
+            body,
+            trip_count,
+            pipeline_ii,
+        } => {
+            let pipe = pipeline_ii
+                .map(|ii| format!(" pipeline(ii={ii})"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{pad}loop {label} trip={trip_count}{pipe} {{");
+            print_region(f, body, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::OpKind;
+    use crate::types::IrType;
+
+    #[test]
+    fn printed_form_mentions_ops_and_loops() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let (_, iv) = b.begin_loop(4, Some(1));
+        b.binary(OpKind::Add, x, iv);
+        b.end_loop();
+        b.ret(Some(x));
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("fn f("));
+        assert!(text.contains("loop f/loop0 trip=4 pipeline(ii=1)"));
+        assert!(text.contains("add"));
+    }
+}

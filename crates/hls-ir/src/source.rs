@@ -1,0 +1,101 @@
+//! Source locations for mapping IR operations (and therefore predicted
+//! congestion) back to lines of MiniHLS source code.
+
+use std::fmt;
+
+/// A 1-based line/column position in a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SourceLoc {
+    /// 1-based line number (0 = unknown).
+    pub line: u32,
+    /// 1-based column number (0 = unknown).
+    pub col: u32,
+}
+
+impl SourceLoc {
+    /// A location at `line:col`.
+    pub fn new(line: u32, col: u32) -> Self {
+        SourceLoc { line, col }
+    }
+
+    /// Whether the location carries real information.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An inclusive span of source lines (used by the congested-region report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SourceSpan {
+    /// First line of the span.
+    pub start: SourceLoc,
+    /// Last line of the span.
+    pub end: SourceLoc,
+}
+
+impl SourceSpan {
+    /// A span covering exactly one location.
+    pub fn point(loc: SourceLoc) -> Self {
+        SourceSpan {
+            start: loc,
+            end: loc,
+        }
+    }
+
+    /// Extend this span to cover `loc`.
+    pub fn extend(&mut self, loc: SourceLoc) {
+        if !loc.is_known() {
+            return;
+        }
+        if !self.start.is_known() || loc < self.start {
+            self.start = loc;
+        }
+        if loc > self.end {
+            self.end = loc;
+        }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start.line == self.end.line {
+            write!(f, "line {}", self.start.line)
+        } else {
+            write!(f, "lines {}-{}", self.start.line, self.end.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_location() {
+        assert!(!SourceLoc::default().is_known());
+        assert!(SourceLoc::new(3, 1).is_known());
+    }
+
+    #[test]
+    fn span_extension() {
+        let mut s = SourceSpan::point(SourceLoc::new(5, 1));
+        s.extend(SourceLoc::new(2, 4));
+        s.extend(SourceLoc::new(9, 1));
+        s.extend(SourceLoc::default()); // ignored
+        assert_eq!(s.start.line, 2);
+        assert_eq!(s.end.line, 9);
+        assert_eq!(s.to_string(), "lines 2-9");
+    }
+
+    #[test]
+    fn single_line_display() {
+        let s = SourceSpan::point(SourceLoc::new(7, 3));
+        assert_eq!(s.to_string(), "line 7");
+    }
+}

@@ -1,0 +1,162 @@
+//! Constant folding.
+//!
+//! Ops whose operands are all constants are rewritten in place into `Const`
+//! ops (DCE then removes the orphaned inputs). This mirrors the HLS
+//! front-end simplification the paper relies on: after unrolling, index
+//! arithmetic like `iv * 4 + 2` collapses to a constant, which changes the
+//! dataflow the features observe.
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::op::{CmpPred, OpKind};
+use crate::types::IrType;
+
+/// Fold constants in every function; returns the number of folded ops.
+pub fn fold_module(m: &mut Module) -> usize {
+    m.functions.iter_mut().map(fold_function).sum()
+}
+
+/// Fold constants in one function until fixpoint; returns folded-op count.
+pub fn fold_function(f: &mut Function) -> usize {
+    let mut folded = 0;
+    loop {
+        let mut changed = false;
+        for i in 0..f.ops.len() {
+            if f.ops[i].kind == OpKind::Const || !f.ops[i].kind.has_result() {
+                continue;
+            }
+            let Some(value) = try_fold(f, i) else {
+                continue;
+            };
+            let ty = f.ops[i].ty;
+            let op = &mut f.ops[i];
+            op.kind = OpKind::Const;
+            op.imm = Some(wrap_to_type(value, ty));
+            op.operands.clear();
+            op.array = None;
+            op.callee = None;
+            changed = true;
+            folded += 1;
+        }
+        if !changed {
+            return folded;
+        }
+    }
+}
+
+fn try_fold(f: &Function, i: usize) -> Option<i64> {
+    let op = &f.ops[i];
+    let cv = |n: usize| -> Option<i64> { f.op(op.operands.get(n)?.src).const_value() };
+    Some(match op.kind {
+        OpKind::Add => cv(0)?.wrapping_add(cv(1)?),
+        OpKind::Sub => cv(0)?.wrapping_sub(cv(1)?),
+        OpKind::Mul => cv(0)?.wrapping_mul(cv(1)?),
+        OpKind::And => cv(0)? & cv(1)?,
+        OpKind::Or => cv(0)? | cv(1)?,
+        OpKind::Xor => cv(0)? ^ cv(1)?,
+        OpKind::Not => !cv(0)?,
+        OpKind::Shl => cv(0)?.checked_shl(cv(1)?.try_into().ok()?)?,
+        OpKind::LShr => ((cv(0)? as u64).checked_shr(cv(1)?.try_into().ok()?)?) as i64,
+        OpKind::AShr => cv(0)?.checked_shr(cv(1)?.try_into().ok()?)?,
+        OpKind::SDiv | OpKind::UDiv => cv(0)?.checked_div(cv(1)?)?,
+        OpKind::SRem | OpKind::URem => cv(0)?.checked_rem(cv(1)?)?,
+        OpKind::ICmp => {
+            let pred = CmpPred::from_imm(op.imm?)?;
+            pred.eval(cv(0)?, cv(1)?) as i64
+        }
+        OpKind::Select => {
+            let c = cv(0)?;
+            if c != 0 {
+                cv(1)?
+            } else {
+                cv(2)?
+            }
+        }
+        OpKind::ZExt | OpKind::SExt | OpKind::Trunc => cv(0)?,
+        _ => return None,
+    })
+}
+
+/// Wrap a folded value to the bit range of `ty` (sign-extending if signed).
+fn wrap_to_type(v: i64, ty: IrType) -> i64 {
+    let bits = ty.bits();
+    if bits >= 64 {
+        return v;
+    }
+    let mask = (1u64 << bits) - 1;
+    let u = (v as u64) & mask;
+    if ty.is_signed() && (u >> (bits - 1)) & 1 == 1 {
+        (u | !mask) as i64
+    } else {
+        u as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::transform::dce::dce_function;
+
+    #[test]
+    fn arithmetic_chain_folds() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.constant(3, IrType::int(8));
+        let c = b.constant(4, IrType::int(8));
+        let m = b.binary(OpKind::Mul, a, c);
+        let one = b.constant(1, IrType::int(8));
+        let s = b.binary(OpKind::Add, m, one);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let folded = fold_function(&mut f);
+        assert_eq!(folded, 2);
+        assert_eq!(f.op(s).const_value(), Some(13));
+        dce_function(&mut f);
+        // only the folded const and the return remain
+        assert_eq!(f.ops.len(), 2);
+    }
+
+    #[test]
+    fn select_on_const_cond_folds() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.constant(1, IrType::bool());
+        let x = b.constant(10, IrType::int(8));
+        let y = b.constant(20, IrType::int(8));
+        let s = b.select(c, x, y);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        fold_function(&mut f);
+        assert_eq!(f.op(s).const_value(), Some(10));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.constant(10, IrType::int(8));
+        let z = b.constant(0, IrType::int(8));
+        let d = b.binary(OpKind::SDiv, x, z);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        fold_function(&mut f);
+        assert_eq!(f.op(d).kind, OpKind::SDiv, "div by zero left alone");
+    }
+
+    #[test]
+    fn wrapping_respects_type() {
+        assert_eq!(wrap_to_type(255, IrType::uint(8)), 255);
+        assert_eq!(wrap_to_type(255, IrType::int(8)), -1);
+        assert_eq!(wrap_to_type(256, IrType::uint(8)), 0);
+        assert_eq!(wrap_to_type(-1, IrType::uint(4)), 15);
+    }
+
+    #[test]
+    fn non_const_operands_left_alone() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let c = b.constant(2, IrType::int(8));
+        let s = b.binary(OpKind::Add, x, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert_eq!(fold_function(&mut f), 0);
+    }
+}

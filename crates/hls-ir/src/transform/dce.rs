@@ -1,0 +1,125 @@
+//! Dead-code elimination.
+//!
+//! Roots are side-effecting ops (`Store`, `Write`, `Return`, `Call`,
+//! `Alloca`, `Branch`, `Switch`); everything else survives only if a live op
+//! (transitively) consumes it. The pass also compacts the op arena.
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::op::{OpId, OpKind};
+use std::collections::HashMap;
+
+/// Run DCE on every function of a module.
+pub fn dce_module(m: &mut Module) {
+    for f in &mut m.functions {
+        dce_function(f);
+    }
+}
+
+/// Remove dead ops from one function and compact its arena. Returns the
+/// number of ops removed.
+pub fn dce_function(f: &mut Function) -> usize {
+    let placed = f.body.ops_in_order();
+    let mut live = vec![false; f.ops.len()];
+    let mut stack: Vec<OpId> = Vec::new();
+    for &id in &placed {
+        let op = f.op(id);
+        if matches!(
+            op.kind,
+            OpKind::Store
+                | OpKind::Write
+                | OpKind::Return
+                | OpKind::Call
+                | OpKind::Alloca
+                | OpKind::Branch
+                | OpKind::Switch
+        ) {
+            stack.push(id);
+            live[id.index()] = true;
+        }
+    }
+    while let Some(id) = stack.pop() {
+        // Phis can form cycles through their latch; the visited bitmap
+        // terminates the walk.
+        let operands = f.op(id).operands.clone();
+        for o in operands {
+            if !live[o.src.index()] {
+                live[o.src.index()] = true;
+                stack.push(o.src);
+            }
+        }
+    }
+    let before = placed.len();
+    // Keep only live ops in the region, then compact.
+    let keep: HashMap<OpId, OpId> = placed
+        .iter()
+        .filter(|id| live[id.index()])
+        .map(|&id| (id, id))
+        .collect();
+    f.body = super::remap_region(&f.body, &keep);
+    super::compact(f);
+    before - keep.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::OpKind;
+    use crate::types::IrType;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn dead_arithmetic_removed() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let _dead = b.binary(OpKind::Mul, x, x);
+        let live = b.binary(OpKind::Add, x, x);
+        b.ret(Some(live));
+        let mut f = b.finish();
+        let removed = dce_function(&mut f);
+        assert_eq!(removed, 1);
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Mul.index()], 0);
+        assert_eq!(h[OpKind::Add.index()], 1);
+    }
+
+    #[test]
+    fn stores_keep_their_inputs() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.array_param("a", IrType::int(8), 4);
+        let i = b.constant(1, IrType::uint(2));
+        let v = b.constant(7, IrType::int(8));
+        b.store(a, i, v);
+        let mut f = b.finish();
+        let removed = dce_function(&mut f);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn phi_cycles_terminate() {
+        // acc-phi referencing its own latch must not loop the marker.
+        use crate::frontend::compile_to_ir;
+        let (mut m, _) = compile_to_ir(
+            "int32 f(int32 a[4]) { int32 acc = 0; for (i = 0; i < 4; i++) { acc = acc + a[i]; } return acc; }",
+            "t",
+        )
+        .unwrap();
+        dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let h = m.top_function().kind_histogram();
+        assert_eq!(h[OpKind::Phi.index()], 2);
+    }
+
+    #[test]
+    fn unused_read_port_removed() {
+        let mut b = FunctionBuilder::new("f");
+        let _unused = b.scalar_param("x", IrType::int(8));
+        let c = b.constant(1, IrType::int(8));
+        b.ret(Some(c));
+        let mut f = b.finish();
+        dce_function(&mut f);
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Read.index()], 0);
+    }
+}

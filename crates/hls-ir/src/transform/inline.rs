@@ -1,0 +1,271 @@
+//! Function inlining.
+//!
+//! Splices the body of an inlined callee into each call site: scalar
+//! parameters are substituted by the call arguments, array parameters are
+//! redirected to the caller's arrays, locals are cloned, and uses of the
+//! call's result are rewired to the callee's returned value. Loop labels are
+//! preserved so unroll/pipeline directives keyed on the callee still apply
+//! to every inlined copy.
+
+use crate::directives::Directives;
+use crate::function::{ArrayId, Function, Region};
+use crate::module::Module;
+use crate::op::{OpId, OpKind};
+use std::collections::HashMap;
+
+/// Inline every function whose effective inline setting is on (explicit
+/// directive wins over the function's own `inline` flag) into all callers.
+pub fn inline_module(m: &mut Module, directives: &Directives) {
+    // Process callees bottom-up so nested inlining composes.
+    let order = m.bottom_up_order();
+    for &callee_id in &order {
+        let callee = m.function(callee_id);
+        let effective = directives
+            .inline_opt(&callee.name)
+            .unwrap_or(callee.inline);
+        if !effective || callee_id == m.top {
+            continue;
+        }
+        let callee = m.function(callee_id).clone();
+        for fi in 0..m.functions.len() {
+            if fi == callee_id.index() {
+                continue;
+            }
+            loop {
+                let caller = &m.functions[fi];
+                let Some(call_id) = caller
+                    .ops
+                    .iter()
+                    .find(|o| o.kind == OpKind::Call && o.callee == Some(callee_id))
+                    .map(|o| o.id)
+                else {
+                    break;
+                };
+                inline_one_call(&mut m.functions[fi], call_id, &callee);
+            }
+        }
+    }
+    // Inlining orphans the call ops; compact every arena.
+    for f in &mut m.functions {
+        super::compact(f);
+    }
+}
+
+/// Inline `callee` at `call_id` inside `caller`.
+fn inline_one_call(caller: &mut Function, call_id: OpId, callee: &Function) {
+    let call = caller.ops[call_id.index()].clone();
+
+    // Map callee array ids to caller array ids.
+    let mut array_map: HashMap<ArrayId, ArrayId> = HashMap::new();
+    let mut arg_arrays = call.array_args.iter().copied();
+    for a in &callee.arrays {
+        if a.is_param {
+            let target = arg_arrays
+                .next()
+                .expect("call has fewer array args than callee array params");
+            array_map.insert(a.id, target);
+        } else {
+            // Clone the local array into the caller.
+            let new_id = ArrayId(caller.arrays.len() as u32);
+            let mut decl = a.clone();
+            decl.id = new_id;
+            decl.name = format!("{}.{}", callee.name, a.name);
+            caller.arrays.push(decl);
+            array_map.insert(a.id, new_id);
+        }
+    }
+
+    // Clone callee ops (two passes: create, then fix operands).
+    let mut op_map: HashMap<OpId, OpId> = HashMap::new();
+    let mut scalar_arg = call.operands.iter();
+    let mut ret_val: Option<OpId> = None;
+    let mut cloned: Vec<OpId> = Vec::new();
+    for op in &callee.ops {
+        match op.kind {
+            OpKind::Read => {
+                // Scalar parameter: substitute the call argument.
+                let arg = scalar_arg
+                    .next()
+                    .expect("call has fewer scalar args than callee params");
+                op_map.insert(op.id, arg.src);
+            }
+            OpKind::Return => {
+                // Remember the returned value; drop the op.
+                if let Some(v) = op.operands.first() {
+                    ret_val = Some(v.src); // fixed up after operand pass
+                }
+            }
+            _ => {
+                let mut new_op = op.clone();
+                new_op.array = op.array.map(|a| array_map[&a]);
+                if !new_op.name.is_empty() {
+                    new_op.name = format!("{}.{}", callee.name, new_op.name);
+                }
+                let new_id = caller.push_op(new_op);
+                op_map.insert(op.id, new_id);
+                cloned.push(new_id);
+            }
+        }
+    }
+    // Fix operands of cloned ops.
+    for &id in &cloned {
+        let op = &mut caller.ops[id.index()];
+        for operand in &mut op.operands {
+            if let Some(&mapped) = op_map.get(&operand.src) {
+                operand.src = mapped;
+            }
+        }
+    }
+    let ret_val = ret_val.map(|v| op_map.get(&v).copied().unwrap_or(v));
+
+    // Rewire uses of the call result.
+    if let Some(rv) = ret_val {
+        for op in &mut caller.ops {
+            for operand in &mut op.operands {
+                if operand.src == call_id {
+                    operand.src = rv;
+                }
+            }
+        }
+    }
+
+    // Clone the callee region with mapped ids (Read/Return ids vanish from
+    // blocks since they are not in op_map as *placed* clones — remap drops
+    // missing ids, but Read ids map to caller args which must not be placed
+    // again, so drop them explicitly).
+    let mut region_map = op_map.clone();
+    for (idx, p) in callee.params.iter().enumerate() {
+        let _ = (idx, p);
+    }
+    for op in &callee.ops {
+        if matches!(op.kind, OpKind::Read | OpKind::Return) {
+            region_map.remove(&op.id);
+        }
+    }
+    let inlined_region = super::remap_region(&callee.body, &region_map);
+
+    // Splice into the caller body in place of the call op, then neutralize
+    // the orphaned call op so the caller scan does not find it again.
+    caller.body = splice(&caller.body, call_id, &inlined_region);
+    let call_op = &mut caller.ops[call_id.index()];
+    call_op.callee = None;
+    call_op.kind = OpKind::Const;
+    call_op.imm = Some(0);
+    call_op.operands.clear();
+    call_op.array_args.clear();
+}
+
+/// Replace op `target` inside a region tree by `insert` (the op is removed
+/// from its block and the region is inserted at its position).
+fn splice(r: &Region, target: OpId, insert: &Region) -> Region {
+    match r {
+        Region::Block(ops) => {
+            if let Some(pos) = ops.iter().position(|&id| id == target) {
+                let before: Vec<OpId> = ops[..pos].to_vec();
+                let after: Vec<OpId> = ops[pos + 1..].to_vec();
+                let mut seq = Vec::new();
+                if !before.is_empty() {
+                    seq.push(Region::Block(before));
+                }
+                seq.push(insert.clone());
+                if !after.is_empty() {
+                    seq.push(Region::Block(after));
+                }
+                Region::Seq(seq)
+            } else {
+                r.clone()
+            }
+        }
+        Region::Seq(rs) => Region::Seq(rs.iter().map(|r| splice(r, target, insert)).collect()),
+        Region::Loop {
+            label,
+            body,
+            trip_count,
+            pipeline_ii,
+        } => Region::Loop {
+            label: label.clone(),
+            body: Box::new(splice(body, target, insert)),
+            trip_count: *trip_count,
+            pipeline_ii: *pipeline_ii,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::Directives;
+    use crate::frontend::compile_to_ir;
+    use crate::op::OpKind;
+    use crate::verify::verify_module;
+
+    fn build(src: &str) -> (Module, Directives) {
+        compile_to_ir(src, "t").unwrap()
+    }
+
+    #[test]
+    fn simple_inline_removes_call() {
+        let (mut m, mut d) = build(
+            "int32 g(int32 x) { return x * 3; }\nint32 f(int32 x) { return g(x) + 1; }",
+        );
+        d.set_inline("g", true);
+        inline_module(&mut m, &d);
+        let f = m.function_by_name("f").unwrap();
+        assert!(f.call_sites().is_empty());
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.function_by_name("f").unwrap();
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Mul.index()], 1, "callee body spliced in");
+    }
+
+    #[test]
+    fn inline_with_array_param_redirects_accesses() {
+        let (mut m, mut d) = build(
+            "int32 g(int32 a[8]) { return a[0] + a[1]; }\nint32 f(int32 buf[8]) { return g(buf); }",
+        );
+        d.set_inline("g", true);
+        inline_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.function_by_name("f").unwrap();
+        assert!(f.call_sites().is_empty());
+        // Loads now reference the caller's buf array.
+        for op in &f.ops {
+            if op.kind == OpKind::Load {
+                assert_eq!(f.array(op.array.unwrap()).name, "buf");
+            }
+        }
+    }
+
+    #[test]
+    fn inline_clones_local_arrays() {
+        let (mut m, mut d) = build(
+            "int32 g(int32 x) { int32 t[4]; t[0] = x; return t[0]; }\nint32 f(int32 x) { return g(x) + g(x); }",
+        );
+        d.set_inline("g", true);
+        inline_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.function_by_name("f").unwrap();
+        // Two call sites -> two cloned local arrays.
+        assert_eq!(f.arrays.iter().filter(|a| a.name.contains("g.t")).count(), 2);
+    }
+
+    #[test]
+    fn multi_level_inline() {
+        let (mut m, mut d) = build(
+            "int32 h(int32 x) { return x + 1; }\nint32 g(int32 x) { return h(x) * 2; }\nint32 f(int32 x) { return g(x); }",
+        );
+        d.set_inline("g", true);
+        d.set_inline("h", true);
+        inline_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.function_by_name("f").unwrap();
+        assert!(f.call_sites().is_empty());
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Add.index()], 1);
+        assert_eq!(h[OpKind::Mul.index()], 1);
+    }
+}

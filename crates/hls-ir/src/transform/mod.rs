@@ -1,0 +1,100 @@
+//! Directive-driven IR transforms.
+//!
+//! Applied in this order by [`frontend::finish`](crate::frontend::finish):
+//! [`inline`] → [`unroll`] → [`const_fold`] → [`dce`]. All transforms keep
+//! the IR verifiable (see [`verify`](crate::verify)).
+
+pub mod const_fold;
+pub mod dce;
+pub mod inline;
+pub mod unroll;
+
+use crate::function::{Function, Region};
+use crate::op::OpId;
+use std::collections::HashMap;
+
+/// Rebuild a function's op arena to contain exactly the ops placed in its
+/// body region, in program order, remapping all ids.
+///
+/// # Panics
+/// Panics if an operand references an op that is not placed in the body.
+pub fn compact(f: &mut Function) {
+    let order = f.body.ops_in_order();
+    let mut remap: HashMap<OpId, OpId> = HashMap::with_capacity(order.len());
+    for (i, &old) in order.iter().enumerate() {
+        remap.insert(old, OpId(i as u32));
+    }
+    let mut new_ops = Vec::with_capacity(order.len());
+    for &old in &order {
+        let mut op = f.ops[old.index()].clone();
+        op.id = remap[&old];
+        for operand in &mut op.operands {
+            operand.src = *remap
+                .get(&operand.src)
+                .unwrap_or_else(|| panic!("operand {} of {} not placed in body", operand.src, old));
+        }
+        new_ops.push(op);
+    }
+    f.ops = new_ops;
+    f.body = remap_region(&f.body, &remap);
+}
+
+/// Clone a region tree with op ids rewritten through `remap` (ids missing
+/// from the map are dropped).
+pub(crate) fn remap_region(r: &Region, remap: &HashMap<OpId, OpId>) -> Region {
+    match r {
+        Region::Block(ops) => Region::Block(
+            ops.iter()
+                .filter_map(|id| remap.get(id).copied())
+                .collect(),
+        ),
+        Region::Seq(rs) => Region::Seq(rs.iter().map(|r| remap_region(r, remap)).collect()),
+        Region::Loop {
+            label,
+            body,
+            trip_count,
+            pipeline_ii,
+        } => Region::Loop {
+            label: label.clone(),
+            body: Box::new(remap_region(body, remap)),
+            trip_count: *trip_count,
+            pipeline_ii: *pipeline_ii,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::OpKind;
+    use crate::types::IrType;
+
+    #[test]
+    fn compact_is_identity_on_dense_functions() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let y = b.binary(OpKind::Add, x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let before = f.clone();
+        compact(&mut f);
+        assert_eq!(f.ops.len(), before.ops.len());
+        assert_eq!(f.body.ops_in_order(), before.body.ops_in_order());
+    }
+
+    #[test]
+    fn compact_drops_orphans() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        b.ret(Some(x));
+        let mut f = b.finish();
+        // Orphan op in the arena, not in the body.
+        f.push_op(crate::op::Operation::new(OpId(0), OpKind::Add, IrType::int(8)));
+        assert_eq!(f.ops.len(), 3);
+        // Must remove it from arena since it's not in the region...
+        // compact keeps only body ops.
+        compact(&mut f);
+        assert_eq!(f.ops.len(), 2);
+    }
+}

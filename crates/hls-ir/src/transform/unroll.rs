@@ -1,0 +1,495 @@
+//! Loop unrolling.
+//!
+//! Full unrolling replaces a [`Region::Loop`] by `trip_count` clones of its
+//! body, substituting the induction variable by per-iteration constants and
+//! chaining loop-carried `Phi`s through the copies. Partial unrolling (factor
+//! `F`) keeps a loop of `ceil(trip/F)` iterations whose body contains `F`
+//! clones.
+//!
+//! Every cloned op is tagged with a [`ReplicaTag`] recording which original
+//! op it copies and which replica index it is — the marginal-sample filter
+//! of the paper (§III-C1) groups samples by this tag.
+
+use crate::directives::{Directives, FULL_UNROLL};
+use crate::function::{Function, Region};
+use crate::module::Module;
+use crate::op::{OpId, OpKind, Operand, Operation, ReplicaTag};
+use crate::types::IrType;
+use std::collections::{HashMap, HashSet};
+
+/// Apply unroll (and pipeline) directives to every function of a module,
+/// then compact the op arenas.
+pub fn unroll_module(m: &mut Module, directives: &Directives) {
+    for fi in 0..m.functions.len() {
+        let f = &mut m.functions[fi];
+        let body = std::mem::replace(&mut f.body, Region::empty());
+        let new_body = unroll_region(f, body, directives);
+        f.body = new_body;
+        super::compact(f);
+    }
+}
+
+fn unroll_region(f: &mut Function, r: Region, d: &Directives) -> Region {
+    match r {
+        Region::Block(_) => r,
+        Region::Seq(rs) => Region::Seq(
+            rs.into_iter()
+                .map(|r| unroll_region(f, r, d))
+                .collect(),
+        ),
+        Region::Loop {
+            label,
+            body,
+            trip_count,
+            pipeline_ii,
+        } => {
+            // Transform children first so nested unrolls compose.
+            let body = unroll_region(f, *body, d);
+            let ld = d.loop_directives(&label);
+            let pipeline_ii = ld.pipeline_ii.or(pipeline_ii);
+            let factor = ld.unroll;
+            if factor <= 1 {
+                return Region::Loop {
+                    label,
+                    body: Box::new(body),
+                    trip_count,
+                    pipeline_ii,
+                };
+            }
+            if factor as u64 >= trip_count || factor == FULL_UNROLL {
+                full_unroll(f, &body, trip_count)
+            } else {
+                // A factor that does not divide the trip count would
+                // over-execute the tail; round down to the nearest divisor
+                // (classic HLS behaviour for partial unrolling).
+                let factor = effective_factor(trip_count, factor);
+                if factor <= 1 {
+                    return Region::Loop {
+                        label,
+                        body: Box::new(body),
+                        trip_count,
+                        pipeline_ii,
+                    };
+                }
+                partial_unroll(f, &label, &body, trip_count, factor, pipeline_ii)
+            }
+        }
+    }
+}
+
+/// Largest divisor of `trip_count` that is `<= requested`.
+pub fn effective_factor(trip_count: u64, requested: u32) -> u32 {
+    let mut f = (requested as u64).min(trip_count).max(1);
+    while f > 1 && !trip_count.is_multiple_of(f) {
+        f -= 1;
+    }
+    f as u32
+}
+
+/// Ops belonging directly to this loop level (excludes nested loop bodies).
+fn direct_ops(r: &Region, out: &mut Vec<OpId>) {
+    match r {
+        Region::Block(ops) => out.extend_from_slice(ops),
+        Region::Seq(rs) => rs.iter().for_each(|r| direct_ops(r, out)),
+        Region::Loop { .. } => {}
+    }
+}
+
+/// The loop's own phis: the induction variable (a `Phi` with no operands)
+/// and the loop-carried scalars (`Phi` with `[init, latch]`).
+fn loop_phis(f: &Function, body: &Region) -> (Option<OpId>, Vec<OpId>) {
+    let mut direct = Vec::new();
+    direct_ops(body, &mut direct);
+    let mut iv = None;
+    let mut carried = Vec::new();
+    for &id in &direct {
+        let op = f.op(id);
+        if op.kind != OpKind::Phi {
+            continue;
+        }
+        if op.operands.is_empty() {
+            iv = Some(id);
+        } else {
+            carried.push(id);
+        }
+    }
+    (iv, carried)
+}
+
+/// Compose replica tags across nested unrolls.
+fn compose_tag(prev: Option<ReplicaTag>, original: OpId, index: u32, total: u32) -> ReplicaTag {
+    match prev {
+        Some(t) => ReplicaTag {
+            group: t.group,
+            index: index * t.total + t.index,
+            total: total * t.total,
+        },
+        None => ReplicaTag {
+            group: original.0,
+            index,
+            total,
+        },
+    }
+}
+
+/// Clone `body` once, mapping this loop's phis through `subst` and tagging
+/// clones with replica `index`/`total`. Returns the cloned region and the
+/// full id map (body ops -> clones).
+fn clone_iteration(
+    f: &mut Function,
+    body: &Region,
+    skip: &HashSet<OpId>,
+    subst: &HashMap<OpId, OpId>,
+    index: u32,
+    total: u32,
+) -> (Region, HashMap<OpId, OpId>) {
+    let body_ops = body.ops_in_order();
+    let mut map: HashMap<OpId, OpId> = subst.clone();
+    let mut cloned_ids = Vec::new();
+    for &id in &body_ops {
+        if skip.contains(&id) {
+            continue;
+        }
+        let mut op = f.ops[id.index()].clone();
+        op.replica = Some(compose_tag(op.replica, id, index, total));
+        let new_id = f.push_op(op);
+        map.insert(id, new_id);
+        cloned_ids.push(new_id);
+    }
+    // Fix operands (two-pass: forward refs to latches resolve via the map).
+    for &id in &cloned_ids {
+        let op = &mut f.ops[id.index()];
+        let operands = std::mem::take(&mut op.operands);
+        let fixed: Vec<Operand> = operands
+            .into_iter()
+            .map(|mut o| {
+                if let Some(&m) = map.get(&o.src) {
+                    o.src = m;
+                }
+                o
+            })
+            .collect();
+        f.ops[id.index()].operands = fixed;
+    }
+    // The skipped phis are substituted in operands but must not appear in
+    // the cloned region itself.
+    let mut region_map = map.clone();
+    for id in skip {
+        region_map.remove(id);
+    }
+    (super::remap_region(body, &region_map), map)
+}
+
+/// Fully unroll: N copies, iv -> constant, carried phis chained.
+fn full_unroll(f: &mut Function, body: &Region, trip_count: u64) -> Region {
+    let (iv, carried) = loop_phis(f, body);
+    let mut skip: HashSet<OpId> = carried.iter().copied().collect();
+    if let Some(iv) = iv {
+        skip.insert(iv);
+    }
+    // Initial values of carried vars.
+    let mut current: HashMap<OpId, OpId> = carried
+        .iter()
+        .map(|&p| (p, f.op(p).operands[0].src))
+        .collect();
+
+    let total = trip_count as u32;
+    let mut regions = Vec::new();
+    let mut last_map: HashMap<OpId, OpId> = HashMap::new();
+    for k in 0..trip_count {
+        let mut subst: HashMap<OpId, OpId> = HashMap::new();
+        if let Some(iv) = iv {
+            let ty = f.op(iv).ty;
+            let mut c = Operation::new(OpId(0), OpKind::Const, ty);
+            c.imm = Some(k as i64);
+            c.loc = f.op(iv).loc;
+            c.replica = Some(compose_tag(None, iv, k as u32, total));
+            let cid = f.push_op(c);
+            regions.push(Region::Block(vec![cid]));
+            subst.insert(iv, cid);
+        }
+        for &p in &carried {
+            subst.insert(p, current[&p]);
+        }
+        let (cloned, map) = clone_iteration(f, body, &skip, &subst, k as u32, total);
+        // Next iteration's carried values = this iteration's latches.
+        for &p in &carried {
+            let latch = f.ops[p.index()].operands[1].src;
+            let latch = map.get(&latch).copied().unwrap_or(latch);
+            current.insert(p, latch);
+        }
+        regions.push(cloned);
+        last_map = map;
+    }
+    let _ = last_map;
+
+    // External uses of the phis now take the final carried values (or the
+    // last iv constant, which should be unused).
+    for op in &mut f.ops {
+        for operand in &mut op.operands {
+            if let Some(&v) = current.get(&operand.src) {
+                operand.src = v;
+            }
+        }
+    }
+    Region::Seq(regions)
+}
+
+/// Partially unroll by `factor`: a loop of `ceil(trip/F)` iterations whose
+/// body holds `F` clones; the iv of copy `k` is `iv_new * F + k`.
+fn partial_unroll(
+    f: &mut Function,
+    label: &str,
+    body: &Region,
+    trip_count: u64,
+    factor: u32,
+    pipeline_ii: Option<u32>,
+) -> Region {
+    let (iv, carried) = loop_phis(f, body);
+    let mut skip: HashSet<OpId> = carried.iter().copied().collect();
+    if let Some(iv) = iv {
+        skip.insert(iv);
+    }
+    let new_trip = trip_count.div_ceil(factor as u64);
+    let mut header = Vec::new();
+
+    // New induction variable.
+    let new_iv = iv.map(|old_iv| {
+        let ty = IrType::for_range(new_trip.saturating_sub(1));
+        let mut op = Operation::new(OpId(0), OpKind::Phi, ty);
+        op.name = "iv".into();
+        op.loc = f.op(old_iv).loc;
+        f.push_op(op)
+    });
+    // iv_base = new_iv * factor
+    let iv_base = new_iv.map(|niv| {
+        let fac_ty = IrType::for_const(factor as i64);
+        let mut c = Operation::new(OpId(0), OpKind::Const, fac_ty);
+        c.imm = Some(factor as i64);
+        let cid = f.push_op(c);
+        let niv_ty = f.op(niv).ty;
+        let mut mul = Operation::new(OpId(0), OpKind::Mul, IrType::mul_result(niv_ty, fac_ty));
+        mul.operands.push(Operand::new(niv, niv_ty.bits()));
+        mul.operands.push(Operand::new(cid, fac_ty.bits()));
+        let mid = f.push_op(mul);
+        header.push(cid);
+        header.push(mid);
+        mid
+    });
+    if let Some(niv) = new_iv {
+        header.insert(0, niv);
+    }
+
+    // New carried phis mirror the old ones.
+    let mut new_phi: HashMap<OpId, OpId> = HashMap::new();
+    for &p in &carried {
+        let old = f.ops[p.index()].clone();
+        let mut op = Operation::new(OpId(0), OpKind::Phi, old.ty);
+        op.name = old.name.clone();
+        op.loc = old.loc;
+        op.operands.push(old.operands[0]); // same init
+        let id = f.push_op(op);
+        new_phi.insert(p, id);
+        header.push(id);
+    }
+
+    let mut regions = vec![Region::Block(header)];
+    let mut current: HashMap<OpId, OpId> = carried.iter().map(|&p| (p, new_phi[&p])).collect();
+    let mut last_latch: HashMap<OpId, OpId> = HashMap::new();
+    for k in 0..factor {
+        let mut subst: HashMap<OpId, OpId> = HashMap::new();
+        if let (Some(old_iv), Some(base)) = (iv, iv_base) {
+            // iv_k = base + k
+            let base_ty = f.op(base).ty;
+            let k_ty = IrType::for_const(k as i64);
+            let mut c = Operation::new(OpId(0), OpKind::Const, k_ty);
+            c.imm = Some(k as i64);
+            let cid = f.push_op(c);
+            let mut add = Operation::new(OpId(0), OpKind::Add, IrType::add_result(base_ty, k_ty));
+            add.operands.push(Operand::new(base, base_ty.bits()));
+            add.operands.push(Operand::new(cid, k_ty.bits()));
+            add.replica = Some(compose_tag(None, old_iv, k, factor));
+            let aid = f.push_op(add);
+            regions.push(Region::Block(vec![cid, aid]));
+            subst.insert(old_iv, aid);
+        }
+        for &p in &carried {
+            subst.insert(p, current[&p]);
+        }
+        let (cloned, map) = clone_iteration(f, body, &skip, &subst, k, factor);
+        for &p in &carried {
+            let latch = f.ops[p.index()].operands[1].src;
+            let latch = map.get(&latch).copied().unwrap_or(latch);
+            current.insert(p, latch);
+            last_latch.insert(p, latch);
+        }
+        regions.push(cloned);
+    }
+
+    // Close the new phis with the last copy's latch.
+    for &p in &carried {
+        let np = new_phi[&p];
+        let latch = last_latch[&p];
+        let bits = f.op(np).ty.bits().min(f.op(latch).ty.bits());
+        f.ops[np.index()].operands.push(Operand::new(latch, bits));
+    }
+
+    // External uses of old phis -> new phis.
+    let old_ids: HashSet<OpId> = body.ops_in_order().into_iter().collect();
+    for op in &mut f.ops {
+        if old_ids.contains(&op.id) {
+            continue;
+        }
+        for operand in &mut op.operands {
+            if let Some(&np) = new_phi.get(&operand.src) {
+                operand.src = np;
+            }
+        }
+    }
+
+    Region::Loop {
+        label: label.to_string(),
+        body: Box::new(Region::Seq(regions)),
+        trip_count: new_trip,
+        pipeline_ii,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::compile_to_ir;
+    use crate::verify::verify_module;
+
+    fn build(src: &str) -> (Module, Directives) {
+        compile_to_ir(src, "t").unwrap()
+    }
+
+    const ACC_LOOP: &str =
+        "int32 f(int32 a[8]) { int32 acc = 0; for (i = 0; i < 8; i++) { acc = acc + a[i]; } return acc; }";
+
+    #[test]
+    fn full_unroll_flattens_loop() {
+        let (mut m, mut d) = build(ACC_LOOP);
+        d.set_full_unroll("f/loop0");
+        unroll_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.top_function();
+        assert_eq!(f.body.loop_count(), 0);
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Load.index()], 8, "8 loads after full unroll");
+        assert_eq!(h[OpKind::Add.index()], 8, "8 adds after full unroll");
+        assert_eq!(h[OpKind::Phi.index()], 0, "phis eliminated");
+    }
+
+    #[test]
+    fn replica_tags_assigned() {
+        let (mut m, mut d) = build(ACC_LOOP);
+        d.set_full_unroll("f/loop0");
+        unroll_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        let f = m.top_function();
+        let loads: Vec<_> = f
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Load)
+            .collect();
+        assert_eq!(loads.len(), 8);
+        let group = loads[0].replica.unwrap().group;
+        let mut indices: Vec<u32> = loads
+            .iter()
+            .map(|o| {
+                let t = o.replica.unwrap();
+                assert_eq!(t.group, group);
+                assert_eq!(t.total, 8);
+                t.index
+            })
+            .collect();
+        indices.sort();
+        assert_eq!(indices, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_unroll_keeps_loop() {
+        let (mut m, mut d) = build(ACC_LOOP);
+        d.set_unroll("f/loop0", 4);
+        unroll_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.top_function();
+        assert_eq!(f.body.loop_count(), 1);
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Load.index()], 4, "4 loads per iteration");
+        // trip count halved twice
+        fn find_trip(r: &Region) -> Option<u64> {
+            match r {
+                Region::Loop { trip_count, .. } => Some(*trip_count),
+                Region::Seq(rs) => rs.iter().find_map(find_trip),
+                Region::Block(_) => None,
+            }
+        }
+        assert_eq!(find_trip(&f.body), Some(2));
+    }
+
+    #[test]
+    fn effective_factor_rounds_to_divisor() {
+        assert_eq!(effective_factor(32, 3), 2);
+        assert_eq!(effective_factor(32, 8), 8);
+        assert_eq!(effective_factor(30, 7), 6);
+        assert_eq!(effective_factor(7, 3), 1);
+        assert_eq!(effective_factor(8, 100), 8);
+    }
+
+    #[test]
+    fn non_dividing_factor_does_not_over_execute() {
+        // 8 iterations, factor 3 -> rounds to 2; loads stay in bounds.
+        let (mut m, mut d) = build(ACC_LOOP);
+        d.set_unroll("f/loop0", 3);
+        unroll_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.top_function();
+        let h = f.kind_histogram();
+        assert_eq!(h[OpKind::Load.index()], 2, "factor rounded to 2");
+    }
+
+    #[test]
+    fn unroll_one_is_noop() {
+        let (mut m, d) = build(ACC_LOOP);
+        let before = m.top_function().ops.len();
+        unroll_module(&mut m, &d);
+        verify_module(&m).unwrap();
+        assert_eq!(m.top_function().ops.len(), before);
+    }
+
+    #[test]
+    fn nested_unroll_composes_tags() {
+        let src = "int32 f(int32 a[16]) { int32 acc = 0;\n#pragma HLS unroll\nfor (i = 0; i < 4; i++) {\n#pragma HLS unroll\nfor (j = 0; j < 4; j++) { acc = acc + a[i * 4 + j]; } } return acc; }";
+        let (mut m, d) = build(src);
+        unroll_module(&mut m, &d);
+        super::super::dce::dce_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.top_function();
+        let loads: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::Load).collect();
+        assert_eq!(loads.len(), 16);
+        let tags: HashSet<u32> = loads.iter().map(|o| o.replica.unwrap().index).collect();
+        assert_eq!(tags.len(), 16, "all replica indices distinct");
+        assert!(loads.iter().all(|o| o.replica.unwrap().total == 16));
+    }
+
+    #[test]
+    fn pipeline_directive_applied_by_unroll_pass() {
+        let (mut m, mut d) = build(ACC_LOOP);
+        d.set_pipeline("f/loop0", 2);
+        unroll_module(&mut m, &d);
+        fn find_ii(r: &Region) -> Option<u32> {
+            match r {
+                Region::Loop { pipeline_ii, body, .. } => pipeline_ii.or_else(|| find_ii(body)),
+                Region::Seq(rs) => rs.iter().find_map(find_ii),
+                Region::Block(_) => None,
+            }
+        }
+        assert_eq!(find_ii(&m.top_function().body), Some(2));
+    }
+}

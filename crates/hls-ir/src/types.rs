@@ -1,0 +1,201 @@
+//! Scalar value types carried by IR operations.
+
+use std::fmt;
+
+/// A fixed-width integer type, signed or unsigned, 1–64 bits.
+///
+/// MiniHLS (like HLS C with `ap_int`/`ap_uint`) supports arbitrary-precision
+/// integers; the bitwidth of every operation is the single most basic feature
+/// of the congestion model (paper Table II, category *Bitwidth*).
+///
+/// ```
+/// use hls_ir::IrType;
+/// let t = IrType::int(18);
+/// assert_eq!(t.bits(), 18);
+/// assert!(t.is_signed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IrType {
+    signed: bool,
+    bits: u16,
+}
+
+/// Maximum supported bitwidth.
+pub const MAX_BITS: u16 = 64;
+
+impl IrType {
+    /// A signed integer type with `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or greater than [`MAX_BITS`].
+    pub fn int(bits: u16) -> Self {
+        assert!((1..=MAX_BITS).contains(&bits), "bitwidth {bits} out of range");
+        IrType { signed: true, bits }
+    }
+
+    /// An unsigned integer type with `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or greater than [`MAX_BITS`].
+    pub fn uint(bits: u16) -> Self {
+        assert!((1..=MAX_BITS).contains(&bits), "bitwidth {bits} out of range");
+        IrType { signed: false, bits }
+    }
+
+    /// The 1-bit unsigned type used for comparison results and predicates.
+    pub fn bool() -> Self {
+        IrType::uint(1)
+    }
+
+    /// Number of bits.
+    pub fn bits(&self) -> u16 {
+        self.bits
+    }
+
+    /// Whether the type is signed.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// A copy of this type with a different bitwidth (clamped to
+    /// `1..=MAX_BITS`).
+    pub fn with_bits(&self, bits: u16) -> Self {
+        IrType {
+            signed: self.signed,
+            bits: bits.clamp(1, MAX_BITS),
+        }
+    }
+
+    /// The type resulting from an addition/subtraction of two values:
+    /// one bit wider than the widest operand (carry), saturating at
+    /// [`MAX_BITS`]; signed if either operand is signed.
+    pub fn add_result(a: IrType, b: IrType) -> IrType {
+        IrType {
+            signed: a.signed || b.signed,
+            bits: (a.bits.max(b.bits) + 1).min(MAX_BITS),
+        }
+    }
+
+    /// The type resulting from a multiplication: sum of operand widths,
+    /// saturating at [`MAX_BITS`].
+    pub fn mul_result(a: IrType, b: IrType) -> IrType {
+        IrType {
+            signed: a.signed || b.signed,
+            bits: (a.bits + b.bits).min(MAX_BITS),
+        }
+    }
+
+    /// The common (widest) type of two operands for bitwise/compare ops.
+    pub fn join(a: IrType, b: IrType) -> IrType {
+        IrType {
+            signed: a.signed || b.signed,
+            bits: a.bits.max(b.bits),
+        }
+    }
+
+    /// The smallest unsigned type able to hold values `0..=max`.
+    ///
+    /// This is the bitwidth-reduction rule the frontend applies to loop
+    /// counters (the paper notes the HLS front-end performs bitwidth
+    /// reduction that "directly influences the data flow of generated RTL").
+    pub fn for_range(max: u64) -> IrType {
+        let bits = (64 - max.leading_zeros()).max(1) as u16;
+        IrType::uint(bits)
+    }
+
+    /// Smallest signed type able to hold the constant `v`.
+    pub fn for_const(v: i64) -> IrType {
+        if v >= 0 {
+            let mag = (64 - (v as u64).leading_zeros()).max(1) as u16;
+            IrType::int((mag + 1).min(MAX_BITS))
+        } else {
+            let mag = 64 - ((-(v + 1)) as u64).leading_zeros();
+            IrType::int((mag as u16 + 1).clamp(1, MAX_BITS))
+        }
+    }
+}
+
+impl Default for IrType {
+    fn default() -> Self {
+        IrType::int(32)
+    }
+}
+
+impl fmt::Display for IrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.signed {
+            write!(f, "int{}", self.bits)
+        } else {
+            write!(f, "uint{}", self.bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_signedness() {
+        assert_eq!(IrType::int(32).bits(), 32);
+        assert!(IrType::int(8).is_signed());
+        assert!(!IrType::uint(8).is_signed());
+        assert_eq!(IrType::bool(), IrType::uint(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        IrType::int(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_width_rejected() {
+        IrType::uint(65);
+    }
+
+    #[test]
+    fn add_result_grows_one_bit() {
+        let r = IrType::add_result(IrType::int(8), IrType::uint(12));
+        assert_eq!(r.bits(), 13);
+        assert!(r.is_signed());
+    }
+
+    #[test]
+    fn mul_result_sums_widths() {
+        let r = IrType::mul_result(IrType::uint(8), IrType::uint(8));
+        assert_eq!(r.bits(), 16);
+        assert!(!r.is_signed());
+    }
+
+    #[test]
+    fn mul_result_saturates() {
+        let r = IrType::mul_result(IrType::int(40), IrType::int(40));
+        assert_eq!(r.bits(), MAX_BITS);
+    }
+
+    #[test]
+    fn range_narrowing() {
+        assert_eq!(IrType::for_range(0).bits(), 1);
+        assert_eq!(IrType::for_range(1).bits(), 1);
+        assert_eq!(IrType::for_range(7).bits(), 3);
+        assert_eq!(IrType::for_range(8).bits(), 4);
+        assert_eq!(IrType::for_range(624).bits(), 10);
+    }
+
+    #[test]
+    fn const_typing() {
+        assert_eq!(IrType::for_const(0).bits(), 2);
+        assert_eq!(IrType::for_const(127).bits(), 8);
+        assert_eq!(IrType::for_const(-128).bits(), 8);
+        // -1 fits in a single signed bit ({-1, 0}).
+        assert_eq!(IrType::for_const(-1).bits(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IrType::int(24).to_string(), "int24");
+        assert_eq!(IrType::uint(1).to_string(), "uint1");
+    }
+}

@@ -1,0 +1,195 @@
+//! Structural validation of IR modules.
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::op::OpKind;
+use std::collections::HashSet;
+use std::fmt;
+
+/// An IR structural violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the violation occurred.
+    pub function: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function `{}`: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify structural invariants of a whole module.
+///
+/// Checked invariants:
+/// * every operand references an existing op that has a result;
+/// * operand wire widths do not exceed the producer's bitwidth;
+/// * every op appears in the body region exactly once;
+/// * memory ops reference a declared array;
+/// * `Call` ops reference an existing function;
+/// * `Const` ops carry an immediate.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.functions {
+        verify_function(f, m)?;
+    }
+    if m.top.index() >= m.functions.len() {
+        return Err(VerifyError {
+            function: "<module>".into(),
+            message: format!("top function id {} out of range", m.top.0),
+        });
+    }
+    Ok(())
+}
+
+/// Verify one function (see [`verify_module`] for the invariant list).
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
+    let err = |msg: String| VerifyError {
+        function: f.name.clone(),
+        message: msg,
+    };
+
+    // Body region references each op exactly once.
+    let mut seen = HashSet::new();
+    let mut dup = None;
+    f.body.for_each_op(&mut |id| {
+        if !seen.insert(id) {
+            dup = Some(id);
+        }
+    });
+    if let Some(id) = dup {
+        return Err(err(format!("op {id} appears twice in the body region")));
+    }
+    for op in &f.ops {
+        if !seen.contains(&op.id) {
+            return Err(err(format!("op {} ({}) not placed in body", op.id, op.kind)));
+        }
+    }
+
+    for op in &f.ops {
+        for operand in &op.operands {
+            if operand.src.index() >= f.ops.len() {
+                return Err(err(format!(
+                    "op {} references out-of-range operand {}",
+                    op.id, operand.src
+                )));
+            }
+            let src = f.op(operand.src);
+            if !src.kind.has_result() {
+                return Err(err(format!(
+                    "op {} consumes result of {} which has none",
+                    op.id, src.id
+                )));
+            }
+            if operand.width > src.ty.bits() {
+                return Err(err(format!(
+                    "op {} consumes {} wires of {} which is only {} bits",
+                    op.id,
+                    operand.width,
+                    src.id,
+                    src.ty.bits()
+                )));
+            }
+            if operand.width == 0 {
+                return Err(err(format!("op {} has a zero-width operand", op.id)));
+            }
+        }
+        match op.kind {
+            OpKind::Load | OpKind::Store | OpKind::Alloca => {
+                let Some(arr) = op.array else {
+                    return Err(err(format!("memory op {} lacks an array", op.id)));
+                };
+                if arr.index() >= f.arrays.len() {
+                    return Err(err(format!("memory op {} references unknown array", op.id)));
+                }
+            }
+            OpKind::Call => {
+                let Some(callee) = op.callee else {
+                    return Err(err(format!("call {} lacks a callee", op.id)));
+                };
+                if callee.index() >= m.functions.len() {
+                    return Err(err(format!("call {} references unknown function", op.id)));
+                }
+            }
+            OpKind::Const
+                if op.imm.is_none() => {
+                    return Err(err(format!("const {} lacks a value", op.id)));
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::op::{OpId, Operand};
+    use crate::types::IrType;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("t");
+        m.push_function(f);
+        m
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let y = b.binary(OpKind::Add, x, x);
+        b.ret(Some(y));
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn overwide_operand_rejected() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        let y = b.binary(OpKind::Add, x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        f.op_mut(y).operands[0] = Operand::new(x, 20); // x is only 8 bits
+        let m = module_with(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn unplaced_op_rejected() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.scalar_param("x", IrType::int(8));
+        b.ret(Some(x));
+        let mut f = b.finish();
+        // Push an op into the arena without placing it in the body.
+        f.push_op(crate::op::Operation::new(OpId(0), OpKind::Add, IrType::int(8)));
+        let m = module_with(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("not placed"), "{}", e);
+    }
+
+    #[test]
+    fn store_result_cannot_be_consumed() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.array_param("a", IrType::int(8), 4);
+        let i = b.constant(0, IrType::uint(2));
+        let v = b.constant(1, IrType::int(8));
+        let st = b.store(a, i, v);
+        let bad = b.binary(OpKind::Add, v, v);
+        b.ret(Some(bad));
+        let mut f = b.finish();
+        f.op_mut(bad).operands[0] = Operand::new(st, 1);
+        let m = module_with(f);
+        assert!(verify_module(&m).is_err());
+    }
+}

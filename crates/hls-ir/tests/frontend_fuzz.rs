@@ -1,0 +1,64 @@
+//! Robustness: the frontend must never panic — on arbitrary byte soup it
+//! returns structured errors; on valid programs, transforms keep the module
+//! verifiable and semantics intact.
+
+use hls_ir::frontend::{compile, compile_to_ir, finish};
+use hls_ir::interp::Interpreter;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_and_parser_never_panic(input in ".{0,200}") {
+        // Any result is fine; panics are not.
+        let _ = compile(&input);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "int32", "uint8", "void", "for", "if", "else", "return", "x", "y",
+            "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/", "=",
+            "<", ">", "==", "0", "1", "42", "#pragma HLS unroll",
+        ]), 0..40)) {
+        let input = tokens.join(" ");
+        let _ = compile(&input);
+    }
+}
+
+/// Random-but-valid accumulation kernels: the unroll factor must never
+/// change the computed result.
+fn acc_kernel() -> impl Strategy<Value = (String, u32, Vec<i64>)> {
+    (2u32..6, prop::sample::select(vec!["+", "^", "|"]), 1u32..5).prop_flat_map(
+        |(len_pow, op, factor)| {
+            let len = 1u32 << len_pow;
+            let src = format!(
+                "int32 f(int32 a[{len}]) {{ int32 s = 0; for (i = 0; i < {len}; i++) {{ s = s {op} a[i]; }} return s; }}"
+            );
+            let data = prop::collection::vec(-1000i64..1000, len as usize);
+            (Just(src), Just(factor), data)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unroll_factor_never_changes_results((src, factor, data) in acc_kernel()) {
+        let reference = compile(&src).unwrap();
+        let expected = Interpreter::new(&reference)
+            .run_top(&[], std::slice::from_ref(&data))
+            .unwrap();
+
+        let (m, mut d) = compile_to_ir(&src, "t").unwrap();
+        d.set_unroll("f/loop0", factor);
+        let unrolled = finish(m, &d).unwrap();
+        hls_ir::verify::verify_module(&unrolled).unwrap();
+        let got = Interpreter::new(&unrolled)
+            .run_top(&[], std::slice::from_ref(&data))
+            .unwrap();
+        prop_assert_eq!(got.ret, expected.ret, "factor {}", factor);
+    }
+}

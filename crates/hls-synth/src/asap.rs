@@ -1,0 +1,161 @@
+//! ASAP/ALAP scheduling bounds and operation mobility.
+//!
+//! The unconstrained as-soon-as-possible and as-late-as-possible control
+//! steps bracket every operation's feasible schedule window; their
+//! difference (**mobility**, or slack) tells the list scheduler — and any
+//! analysis built on top — how critical an operation is. Operations with
+//! zero mobility form the critical path of the dataflow graph.
+
+use crate::charlib::CharLib;
+use hls_ir::{Function, OpId, OpKind};
+
+/// ASAP/ALAP bounds of one function's operations.
+#[derive(Debug, Clone)]
+pub struct ScheduleBounds {
+    /// Earliest feasible control step per op (arena-indexed).
+    pub asap: Vec<u32>,
+    /// Latest feasible control step per op (under the ASAP-derived length).
+    pub alap: Vec<u32>,
+    /// Unconstrained schedule length in control steps.
+    pub length: u32,
+}
+
+impl ScheduleBounds {
+    /// `alap - asap`: the scheduling freedom of an op.
+    pub fn mobility(&self, op: OpId) -> u32 {
+        self.alap[op.index()] - self.asap[op.index()]
+    }
+
+    /// Ops with zero mobility (the dataflow critical path).
+    pub fn critical_ops(&self) -> Vec<OpId> {
+        (0..self.asap.len())
+            .filter(|&i| self.alap[i] == self.asap[i])
+            .map(|i| OpId(i as u32))
+            .collect()
+    }
+}
+
+/// Per-op step cost: multi-cycle ops occupy `latency` steps, combinational
+/// ops one.
+fn steps(lib: &CharLib, f: &Function, op: &hls_ir::Operation) -> u32 {
+    lib.cost_of_op(f, op).latency.max(1)
+}
+
+/// Compute unconstrained ASAP/ALAP bounds over the data-dependency DAG
+/// (phi latch operands are back edges and are ignored, like in the real
+/// scheduler).
+pub fn asap_alap(f: &Function, lib: &CharLib) -> ScheduleBounds {
+    let n = f.ops.len();
+    let mut asap = vec![0u32; n];
+
+    // ASAP: forward pass in program order (operands precede uses except
+    // phi latches).
+    for op in &f.ops {
+        if op.kind == OpKind::Phi {
+            continue;
+        }
+        let mut earliest = 0;
+        for operand in &op.operands {
+            let src = &f.ops[operand.src.index()];
+            let finish = asap[operand.src.index()] + steps(lib, f, src);
+            earliest = earliest.max(finish);
+        }
+        asap[op.id.index()] = earliest;
+    }
+    let length = f
+        .ops
+        .iter()
+        .map(|op| asap[op.id.index()] + steps(lib, f, op))
+        .max()
+        .unwrap_or(1);
+
+    // ALAP: backward pass.
+    let users = f.users();
+    let mut alap = vec![u32::MAX; n];
+    for op in f.ops.iter().rev() {
+        let i = op.id.index();
+        let my_steps = steps(lib, f, op);
+        let mut latest = length - my_steps.min(length);
+        for &u in &users[i] {
+            let user = &f.ops[u.index()];
+            if user.kind == OpKind::Phi {
+                continue; // back edge
+            }
+            if alap[u.index()] != u32::MAX {
+                latest = latest.min(alap[u.index()].saturating_sub(my_steps));
+            }
+        }
+        alap[i] = latest.max(asap[i]);
+    }
+
+    ScheduleBounds { asap, alap, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::frontend::compile;
+
+    fn bounds(src: &str) -> (hls_ir::Module, ScheduleBounds) {
+        let m = compile(src).unwrap();
+        let b = asap_alap(m.top_function(), &CharLib::zynq7());
+        (m, b)
+    }
+
+    #[test]
+    fn asap_never_exceeds_alap() {
+        let (m, b) = bounds(
+            "int32 f(int32 a[8], int32 k) { int32 s = 0;\n#pragma HLS unroll\nfor (i = 0; i < 8; i++) { s = s + a[i] * k; } return s; }",
+        );
+        for op in &m.top_function().ops {
+            assert!(
+                b.asap[op.id.index()] <= b.alap[op.id.index()],
+                "op {} asap {} > alap {}",
+                op.id,
+                b.asap[op.id.index()],
+                b.alap[op.id.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn chains_have_zero_mobility() {
+        // A pure dependency chain: every op is critical.
+        let (m, b) = bounds("int32 f(int32 x) { return ((x / x) / x) / x; }");
+        let f = m.top_function();
+        for op in &f.ops {
+            if op.kind == hls_ir::OpKind::SDiv {
+                assert_eq!(b.mobility(op.id), 0, "chain op {} must be critical", op.id);
+            }
+        }
+        assert!(!b.critical_ops().is_empty());
+    }
+
+    #[test]
+    fn parallel_branches_get_mobility() {
+        // A cheap add racing a slow divider: the add has slack.
+        let (m, b) = bounds("int32 f(int32 x, int32 y) { return (x / y) + (x + y); }");
+        let f = m.top_function();
+        let add = f
+            .ops
+            .iter()
+            .filter(|o| o.kind == hls_ir::OpKind::Add)
+            .next()
+            .unwrap();
+        assert!(
+            b.mobility(add.id) > 0,
+            "the add can float within the divider's span"
+        );
+        let div = f.ops.iter().find(|o| o.kind == hls_ir::OpKind::SDiv).unwrap();
+        assert_eq!(b.mobility(div.id), 0, "the divider is critical");
+    }
+
+    #[test]
+    fn length_covers_the_critical_path() {
+        let (m, b) = bounds("int32 f(int32 x, int32 y) { return x / y; }");
+        let f = m.top_function();
+        let div = f.ops.iter().find(|o| o.kind == hls_ir::OpKind::SDiv).unwrap();
+        let div_steps = CharLib::zynq7().cost_of_op(f, div).latency;
+        assert!(b.length >= div_steps, "length {} >= divider {}", b.length, div_steps);
+    }
+}

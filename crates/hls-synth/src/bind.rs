@@ -1,0 +1,215 @@
+//! Functional-unit binding with resource sharing.
+//!
+//! Expensive operators (multipliers, dividers, square roots) whose execution
+//! intervals are disjoint in the schedule share one hardware unit; the cost
+//! is input multiplexers. The shared-unit map is what drives the
+//! dependency-graph node merging of the paper (Fig 4: "merging the nodes
+//! that share the same RTL module").
+
+use crate::schedule::Schedule;
+use hls_ir::{Function, OpId, OpKind};
+use std::collections::HashMap;
+
+/// A functional unit holding one or more operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalUnit {
+    /// Unit index.
+    pub id: u32,
+    /// Operator kind implemented by the unit.
+    pub kind: OpKind,
+    /// Result bitwidth of the unit.
+    pub bits: u16,
+    /// Operations bound to this unit (shared if > 1).
+    pub ops: Vec<OpId>,
+}
+
+impl FunctionalUnit {
+    /// Whether the unit is shared by several operations.
+    pub fn is_shared(&self) -> bool {
+        self.ops.len() > 1
+    }
+}
+
+/// The binding of one function.
+#[derive(Debug, Clone, Default)]
+pub struct Binding {
+    /// All functional units (shared and private).
+    pub units: Vec<FunctionalUnit>,
+    /// Per op (arena index): the unit implementing it, if it is a
+    /// unit-bound (sharable-kind) op.
+    pub unit_of: Vec<Option<u32>>,
+}
+
+impl Binding {
+    /// Units shared by more than one op.
+    pub fn shared_units(&self) -> impl Iterator<Item = &FunctionalUnit> {
+        self.units.iter().filter(|u| u.is_shared())
+    }
+
+    /// The ops sharing a unit with `op` (including `op` itself), or an empty
+    /// slice if the op is unshared.
+    pub fn sharing_group(&self, op: OpId) -> &[OpId] {
+        match self.unit_of.get(op.index()).copied().flatten() {
+            Some(u) => &self.units[u as usize].ops,
+            None => &[],
+        }
+    }
+}
+
+/// Operator kinds worth sharing (mirrors Vivado HLS defaults: multipliers,
+/// dividers and other large cores are shared; adders and logic are not).
+pub fn is_sharable(kind: OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Mul
+            | OpKind::SDiv
+            | OpKind::UDiv
+            | OpKind::SRem
+            | OpKind::URem
+            | OpKind::Sqrt
+            | OpKind::FMul
+            | OpKind::FDiv
+    )
+}
+
+/// Bind sharable ops to functional units by greedy interval assignment:
+/// two ops may share a unit if their `[start, end]` state intervals are
+/// disjoint and neither sits in a pipelined loop body (a pipelined op needs
+/// its unit every II cycles).
+pub fn bind_function(f: &Function, sched: &Schedule) -> Binding {
+    let mut binding = Binding {
+        units: Vec::new(),
+        unit_of: vec![None; f.ops.len()],
+    };
+    // Group candidate ops by (kind, width bucket): a 33-bit and a 32-bit
+    // divide can share one 40-bit unit, so widths are bucketed to the next
+    // multiple of 8.
+    let bucket = |bits: u16| bits.div_ceil(8) * 8;
+    let mut groups: HashMap<(OpKind, u16), Vec<OpId>> = HashMap::new();
+    for op in &f.ops {
+        if is_sharable(op.kind) {
+            groups
+                .entry((op.kind, bucket(op.ty.bits())))
+                .or_default()
+                .push(op.id);
+        }
+    }
+    let mut keys: Vec<_> = groups.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        let mut ops = groups.remove(&key).unwrap();
+        ops.sort_by_key(|id| (sched.start[id.index()], id.0));
+        // Greedy: assign each op to the first unit whose last interval ends
+        // before this op starts.
+        let mut unit_last_end: Vec<(u32, u32)> = Vec::new(); // (unit idx in binding.units, end)
+        for id in ops {
+            let start = sched.start[id.index()];
+            let end = sched.end[id.index()];
+            // A unit is busy in [start, end-1] (the result is handed off at
+            // `end`); combinational ops occupy their single state.
+            let busy_end = if end > start { end - 1 } else { end };
+            let pipelined = sched.in_pipelined_loop[id.index()];
+            let slot = if pipelined {
+                None
+            } else {
+                unit_last_end
+                    .iter_mut()
+                    .find(|(u, last)| {
+                        *last < start && !sched.in_pipelined_loop[
+                            binding.units[*u as usize].ops[0].index()
+                        ]
+                    })
+            };
+            match slot {
+                Some((u, last)) => {
+                    binding.units[*u as usize].ops.push(id);
+                    binding.unit_of[id.index()] = Some(*u);
+                    *last = busy_end;
+                }
+                None => {
+                    let u = binding.units.len() as u32;
+                    binding.units.push(FunctionalUnit {
+                        id: u,
+                        kind: key.0,
+                        bits: key.1,
+                        ops: vec![id],
+                    });
+                    binding.unit_of[id.index()] = Some(u);
+                    unit_last_end.push((u, busy_end));
+                }
+            }
+        }
+    }
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charlib::CharLib;
+    use crate::schedule::{schedule_function, SchedulerOptions};
+    use hls_ir::frontend::compile;
+    use std::collections::HashMap as Map;
+
+    fn bind_top(src: &str) -> (hls_ir::Module, Schedule, Binding) {
+        let m = compile(src).unwrap();
+        let s = schedule_function(
+            m.top_function(),
+            &CharLib::zynq7(),
+            &SchedulerOptions::default(),
+            &Map::new(),
+        );
+        let b = bind_function(m.top_function(), &s);
+        (m, s, b)
+    }
+
+    #[test]
+    fn sequential_multiplies_share_one_unit() {
+        // Rolled loop: one multiply executed 8 times -> exactly 1 unit.
+        let (_, _, b) = bind_top(
+            "int32 f(int32 a[8], int32 k) { int32 acc = 0; for (i = 0; i < 8; i++) { acc = acc + a[i] * k; } return acc; }",
+        );
+        let mul_units: Vec<_> = b.units.iter().filter(|u| u.kind == OpKind::Mul).collect();
+        assert_eq!(mul_units.len(), 1);
+    }
+
+    #[test]
+    fn serialized_dividers_share() {
+        // Two dividers that cannot run concurrently (data dependent).
+        let (_, _, b) = bind_top("int32 f(int32 x, int32 y) { return (x / y) / y; }");
+        let div_units: Vec<_> = b.units.iter().filter(|u| u.kind == OpKind::SDiv).collect();
+        assert_eq!(div_units.len(), 1, "dependent divides share one unit");
+        assert!(div_units[0].is_shared());
+    }
+
+    #[test]
+    fn concurrent_multiplies_get_private_units() {
+        // Independent multiplies scheduled in the same state need 2 units.
+        let (m, s, b) = bind_top("int32 f(int32 x, int32 y) { return x * x + y * y; }");
+        let f = m.top_function();
+        let muls: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::Mul).collect();
+        assert_eq!(muls.len(), 2);
+        if s.start[muls[0].id.index()] == s.start[muls[1].id.index()] {
+            assert_ne!(
+                b.unit_of[muls[0].id.index()],
+                b.unit_of[muls[1].id.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn adders_never_shared() {
+        let (_, _, b) = bind_top("int32 f(int32 x) { return x + 1 + 2; }");
+        assert!(b.units.iter().all(|u| u.kind != OpKind::Add));
+    }
+
+    #[test]
+    fn sharing_group_lookup() {
+        let (m, _, b) = bind_top("int32 f(int32 x, int32 y) { return (x / y) / y; }");
+        let f = m.top_function();
+        let div = f.ops.iter().find(|o| o.kind == OpKind::SDiv).unwrap();
+        assert_eq!(b.sharing_group(div.id).len(), 2);
+        let add = f.ops.iter().find(|o| o.kind == OpKind::Read).unwrap();
+        assert!(b.sharing_group(add.id).is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! Operator pre-characterization library.
+//!
+//! The paper extracts "the resource usage, operation type, bitwidth and
+//! delay (ns) for each operator" from the HLS pre-characterization libraries
+//! (§III-A2). This module provides that library: per operation kind and
+//! bitwidth it reports delay, pipeline latency, and LUT/FF/DSP/BRAM usage,
+//! with cost shapes modelled on Xilinx 7-series operators.
+
+use hls_ir::{OpKind, Operation};
+use std::ops::{Add, AddAssign};
+
+/// FPGA resource usage, one counter per resource type the paper's *Resource*
+/// feature category tracks (LUT, FF, DSP, BRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Resources {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// DSP48 blocks.
+    pub dsps: u32,
+    /// Block RAMs (in RAMB18-equivalents).
+    pub brams: u32,
+}
+
+impl Resources {
+    /// All-zero usage.
+    pub const ZERO: Resources = Resources {
+        luts: 0,
+        ffs: 0,
+        dsps: 0,
+        brams: 0,
+    };
+
+    /// Construct from the four counters.
+    pub fn new(luts: u32, ffs: u32, dsps: u32, brams: u32) -> Self {
+        Resources {
+            luts,
+            ffs,
+            dsps,
+            brams,
+        }
+    }
+
+    /// The counter for resource-type index `i` (0=LUT, 1=FF, 2=DSP, 3=BRAM).
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    pub fn get(&self, i: usize) -> u32 {
+        match i {
+            0 => self.luts,
+            1 => self.ffs,
+            2 => self.dsps,
+            3 => self.brams,
+            _ => panic!("resource index {i} out of range"),
+        }
+    }
+
+    /// Number of tracked resource types.
+    pub const KINDS: usize = 4;
+
+    /// Names of the resource types, aligned with [`Resources::get`].
+    pub const NAMES: [&'static str; 4] = ["LUT", "FF", "DSP", "BRAM"];
+
+    /// Sum of all counters (a crude "size" scalar).
+    pub fn total(&self) -> u64 {
+        self.luts as u64 + self.ffs as u64 + self.dsps as u64 + self.brams as u64
+    }
+
+    /// Scale every counter by `n`.
+    pub fn scaled(&self, n: u32) -> Resources {
+        Resources {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            dsps: self.dsps * n,
+            brams: self.brams * n,
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            dsps: self.dsps + rhs.dsps,
+            brams: self.brams + rhs.brams,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+/// Characterized cost of one operator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorCost {
+    /// Combinational delay in nanoseconds (per pipeline stage).
+    pub delay_ns: f64,
+    /// Pipeline latency in clock cycles (0 = purely combinational).
+    pub latency: u32,
+    /// Resource usage of one instance.
+    pub resources: Resources,
+}
+
+impl OperatorCost {
+    /// A free (wiring-only) operator.
+    pub const FREE: OperatorCost = OperatorCost {
+        delay_ns: 0.0,
+        latency: 0,
+        resources: Resources::ZERO,
+    };
+}
+
+/// The characterization library. Parameterized by the process speed grade so
+/// alternative devices can be modelled; [`CharLib::zynq7()`] matches the
+/// paper's XC7Z020 target.
+#[derive(Debug, Clone)]
+pub struct CharLib {
+    /// Base logic delay (ns) — one LUT level.
+    pub lut_delay_ns: f64,
+    /// Carry-chain delay per bit (ns).
+    pub carry_per_bit_ns: f64,
+    /// DSP multiplier base delay (ns).
+    pub dsp_delay_ns: f64,
+}
+
+impl CharLib {
+    /// Library tuned for the Zynq-7000 (28 nm, -1 speed grade) the paper
+    /// targets.
+    pub fn zynq7() -> Self {
+        CharLib {
+            lut_delay_ns: 0.43,
+            carry_per_bit_ns: 0.055,
+            dsp_delay_ns: 2.9,
+        }
+    }
+
+    /// Cost of an operation (width-dependent). `const_shift` should be true
+    /// for shifts whose amount is a constant (they become wiring).
+    pub fn cost_of(&self, kind: OpKind, bits: u16, const_shift: bool) -> OperatorCost {
+        let w = bits as u32;
+        let wf = bits as f64;
+        match kind {
+            OpKind::Add | OpKind::Sub => OperatorCost {
+                delay_ns: self.lut_delay_ns + self.carry_per_bit_ns * wf,
+                latency: 0,
+                resources: Resources::new(w, 0, 0, 0),
+            },
+            OpKind::Mul | OpKind::FMul => {
+                // Small products (operands <= ~10 bits, i.e. results <= 20)
+                // stay in LUTs; wide multipliers map to DSP48E1 tiles.
+                if bits <= 20 {
+                    OperatorCost {
+                        delay_ns: self.lut_delay_ns * 2.0 + self.carry_per_bit_ns * wf,
+                        latency: 0,
+                        resources: Resources::new(w * w / 8 + w, 0, 0, 0),
+                    }
+                } else {
+                    let dsps = (w.div_ceil(2)).div_ceil(17).max(1) * (w.div_ceil(2)).div_ceil(24).max(1);
+                    OperatorCost {
+                        delay_ns: self.dsp_delay_ns,
+                        latency: if bits > 35 { 3 } else { 2 },
+                        resources: Resources::new(w / 2, w, dsps, 0),
+                    }
+                }
+            }
+            OpKind::SDiv | OpKind::UDiv | OpKind::SRem | OpKind::URem => OperatorCost {
+                // Iterative radix-2 divider: one stage per bit.
+                delay_ns: self.lut_delay_ns + self.carry_per_bit_ns * wf,
+                latency: w.max(1),
+                resources: Resources::new(w * 3 + 8, w * 4, 0, 0),
+            },
+            OpKind::Sqrt => OperatorCost {
+                delay_ns: self.lut_delay_ns + self.carry_per_bit_ns * wf,
+                latency: (w / 2).max(1),
+                resources: Resources::new(w * 2 + 8, w * 3, 0, 0),
+            },
+            OpKind::Shl | OpKind::LShr | OpKind::AShr => {
+                if const_shift {
+                    OperatorCost::FREE
+                } else {
+                    // Barrel shifter: log2(w) mux stages.
+                    let stages = (32 - (w.max(2) - 1).leading_zeros()).max(1);
+                    OperatorCost {
+                        delay_ns: self.lut_delay_ns * stages as f64,
+                        latency: 0,
+                        resources: Resources::new(w * stages / 2 + 1, 0, 0, 0),
+                    }
+                }
+            }
+            OpKind::And | OpKind::Or | OpKind::Xor => OperatorCost {
+                delay_ns: self.lut_delay_ns,
+                latency: 0,
+                resources: Resources::new(w.div_ceil(2), 0, 0, 0),
+            },
+            OpKind::Not => OperatorCost {
+                delay_ns: self.lut_delay_ns * 0.5,
+                latency: 0,
+                resources: Resources::new(w.div_ceil(4), 0, 0, 0),
+            },
+            OpKind::ICmp | OpKind::FCmp => OperatorCost {
+                delay_ns: self.lut_delay_ns + self.carry_per_bit_ns * wf * 0.5,
+                latency: 0,
+                resources: Resources::new(w.div_ceil(2) + 1, 0, 0, 0),
+            },
+            OpKind::Select | OpKind::Mux => OperatorCost {
+                delay_ns: self.lut_delay_ns,
+                latency: 0,
+                resources: Resources::new(w.div_ceil(2) + 1, 0, 0, 0),
+            },
+            OpKind::Phi => OperatorCost {
+                // A register plus its feedback mux.
+                delay_ns: self.lut_delay_ns,
+                latency: 0,
+                resources: Resources::new(w.div_ceil(2), w, 0, 0),
+            },
+            OpKind::Load => OperatorCost {
+                // Synchronous BRAM read: one cycle; address decode logic.
+                delay_ns: self.lut_delay_ns,
+                latency: 1,
+                resources: Resources::new(2, 0, 0, 0),
+            },
+            OpKind::Store => OperatorCost {
+                delay_ns: self.lut_delay_ns,
+                latency: 1,
+                resources: Resources::new(2, 0, 0, 0),
+            },
+            OpKind::FAdd | OpKind::FSub => OperatorCost {
+                delay_ns: self.dsp_delay_ns,
+                latency: 4,
+                resources: Resources::new(w * 4, w * 4, 2, 0),
+            },
+            OpKind::FDiv => OperatorCost {
+                delay_ns: self.dsp_delay_ns,
+                latency: w.max(8),
+                resources: Resources::new(w * 6, w * 6, 0, 0),
+            },
+            OpKind::Read | OpKind::Write | OpKind::Port => OperatorCost::FREE,
+            OpKind::Const
+            | OpKind::ZExt
+            | OpKind::SExt
+            | OpKind::Trunc
+            | OpKind::BitConcat
+            | OpKind::BitSelect
+            | OpKind::GetElementPtr
+            | OpKind::Alloca
+            | OpKind::Return
+            | OpKind::Branch
+            | OpKind::Switch => OperatorCost::FREE,
+            // Call cost comes from the callee instance; the op itself is
+            // handshake wiring.
+            OpKind::Call => OperatorCost::FREE,
+        }
+    }
+
+    /// Cost of an operation as it appears in a function (detects constant
+    /// shift amounts).
+    pub fn cost_of_op(&self, f: &hls_ir::Function, op: &Operation) -> OperatorCost {
+        let const_shift = matches!(op.kind, OpKind::Shl | OpKind::LShr | OpKind::AShr)
+            && op
+                .operands
+                .get(1)
+                .map(|o| f.op(o.src).kind == OpKind::Const)
+                .unwrap_or(false);
+        self.cost_of(op.kind, op.ty.bits(), const_shift)
+    }
+
+    /// Resources of a `k`-input multiplexer of width `bits`.
+    pub fn mux_resources(&self, inputs: u32, bits: u16) -> Resources {
+        if inputs <= 1 {
+            return Resources::ZERO;
+        }
+        // Each LUT6 implements ~2 bits of a 2:1 mux; a k:1 mux is (k-1)
+        // 2:1 stages.
+        let luts = (inputs - 1) * (bits as u32).div_ceil(2).max(1);
+        Resources::new(luts, 0, 0, 0)
+    }
+
+    /// Delay of a `k`-input multiplexer.
+    pub fn mux_delay(&self, inputs: u32) -> f64 {
+        if inputs <= 1 {
+            0.0
+        } else {
+            self.lut_delay_ns * (32 - (inputs - 1).leading_zeros()) as f64
+        }
+    }
+}
+
+impl Default for CharLib {
+    fn default() -> Self {
+        CharLib::zynq7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resources_arithmetic() {
+        let a = Resources::new(1, 2, 3, 4);
+        let b = Resources::new(10, 20, 30, 40);
+        let s = a + b;
+        assert_eq!(s, Resources::new(11, 22, 33, 44));
+        assert_eq!(s.total(), 110);
+        assert_eq!(a.scaled(3), Resources::new(3, 6, 9, 12));
+        for (i, v) in [11, 22, 33, 44].iter().enumerate() {
+            assert_eq!(s.get(i), *v);
+        }
+    }
+
+    #[test]
+    fn adder_cost_scales_with_width() {
+        let lib = CharLib::zynq7();
+        let c8 = lib.cost_of(OpKind::Add, 8, false);
+        let c32 = lib.cost_of(OpKind::Add, 32, false);
+        assert!(c32.delay_ns > c8.delay_ns);
+        assert_eq!(c8.resources.luts, 8);
+        assert_eq!(c32.resources.luts, 32);
+        assert_eq!(c8.resources.dsps, 0);
+    }
+
+    #[test]
+    fn wide_multiplier_uses_dsps() {
+        let lib = CharLib::zynq7();
+        let small = lib.cost_of(OpKind::Mul, 8, false);
+        let wide = lib.cost_of(OpKind::Mul, 32, false);
+        assert_eq!(small.resources.dsps, 0);
+        assert!(wide.resources.dsps >= 1);
+        assert!(wide.latency >= 1);
+    }
+
+    #[test]
+    fn divider_is_multicycle() {
+        let lib = CharLib::zynq7();
+        let c = lib.cost_of(OpKind::SDiv, 16, false);
+        assert_eq!(c.latency, 16);
+        assert!(c.resources.luts > 0);
+    }
+
+    #[test]
+    fn const_shift_is_free() {
+        let lib = CharLib::zynq7();
+        assert_eq!(lib.cost_of(OpKind::Shl, 32, true), OperatorCost::FREE);
+        assert!(lib.cost_of(OpKind::Shl, 32, false).resources.luts > 0);
+    }
+
+    #[test]
+    fn wiring_ops_are_free() {
+        let lib = CharLib::zynq7();
+        for kind in [
+            OpKind::Const,
+            OpKind::ZExt,
+            OpKind::Trunc,
+            OpKind::Read,
+            OpKind::Port,
+        ] {
+            assert_eq!(lib.cost_of(kind, 32, false), OperatorCost::FREE);
+        }
+    }
+
+    #[test]
+    fn mux_costs_grow_with_inputs() {
+        let lib = CharLib::zynq7();
+        assert_eq!(lib.mux_resources(1, 32), Resources::ZERO);
+        let m2 = lib.mux_resources(2, 32);
+        let m8 = lib.mux_resources(8, 32);
+        assert!(m8.luts > m2.luts);
+        assert!(lib.mux_delay(8) > lib.mux_delay(2));
+    }
+}

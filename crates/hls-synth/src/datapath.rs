@@ -1,0 +1,756 @@
+//! RTL netlist generation.
+//!
+//! Produces a flattened, cell-level netlist from the scheduled and bound IR:
+//! operator cells (one per functional unit), output registers for values
+//! crossing control-state boundaries, input multiplexers for shared units,
+//! memory bank cells with address/data muxes, FSM cells, and I/O ports.
+//! Every cell records the IR operations it implements — the **provenance**
+//! that the back-tracing step of the paper (netlist cell → net → RTL op →
+//! IR op) walks in reverse.
+//!
+//! Non-inlined function calls are elaborated as one instance per call site,
+//! flattened into the same netlist (as Vivado does before placement).
+
+use crate::bind::Binding;
+use crate::charlib::{CharLib, OperatorCost, Resources};
+use crate::memory::{implement_array, BankKind, MemoryImpl};
+use crate::schedule::Schedule;
+use hls_ir::{ArrayId, FuncId, Function, Module, OpId, OpKind};
+use std::collections::HashMap;
+
+/// Index of a cell in [`RtlDesign::cells`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a net in [`RtlDesign::nets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a cell implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// A functional unit for an operator kind.
+    Operator(OpKind),
+    /// An output register (value crosses a state boundary).
+    Register,
+    /// A multiplexer with `inputs` inputs.
+    Mux {
+        /// Number of data inputs.
+        inputs: u32,
+    },
+    /// One memory bank.
+    Memory {
+        /// Bank implementation.
+        kind: BankKind,
+    },
+    /// A function instance's finite-state machine.
+    Fsm {
+        /// Number of states.
+        states: u32,
+    },
+    /// A top-level I/O port.
+    Port,
+}
+
+/// One RTL cell.
+#[derive(Debug, Clone)]
+pub struct RtlCell {
+    /// Arena id.
+    pub id: CellId,
+    /// Hierarchical debug name.
+    pub name: String,
+    /// Cell kind.
+    pub kind: CellKind,
+    /// Output width in bits.
+    pub bits: u16,
+    /// Fabric resources.
+    pub resources: Resources,
+    /// IR operations this cell implements (function + op).
+    pub provenance: Vec<(FuncId, OpId)>,
+}
+
+/// One RTL net: a driver cell and its fan-out.
+#[derive(Debug, Clone)]
+pub struct RtlNet {
+    /// Arena id.
+    pub id: NetId,
+    /// Bit width.
+    pub width: u16,
+    /// Driving cell.
+    pub driver: CellId,
+    /// Sink cells (duplicates allowed for multi-pin connections).
+    pub sinks: Vec<CellId>,
+}
+
+/// The flattened RTL netlist of a design.
+#[derive(Debug, Clone, Default)]
+pub struct RtlDesign {
+    /// All cells.
+    pub cells: Vec<RtlCell>,
+    /// All nets.
+    pub nets: Vec<RtlNet>,
+}
+
+impl RtlDesign {
+    /// Total fabric resources over all cells.
+    pub fn total_resources(&self) -> Resources {
+        self.cells
+            .iter()
+            .fold(Resources::ZERO, |acc, c| acc + c.resources)
+    }
+
+    /// Map from IR op (function, op) to the cells carrying it.
+    pub fn op_cells(&self) -> HashMap<(FuncId, OpId), Vec<CellId>> {
+        let mut map: HashMap<(FuncId, OpId), Vec<CellId>> = HashMap::new();
+        for c in &self.cells {
+            for &key in &c.provenance {
+                map.entry(key).or_default().push(c.id);
+            }
+        }
+        map
+    }
+
+    /// Cells of a given kind.
+    pub fn cells_of_kind(&self, want: impl Fn(&CellKind) -> bool) -> Vec<&RtlCell> {
+        self.cells.iter().filter(|c| want(&c.kind)).collect()
+    }
+}
+
+/// Per-function synthesis artifacts needed by the netlist generator.
+#[derive(Debug)]
+pub struct FunctionSynth {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// The binding.
+    pub binding: Binding,
+}
+
+/// Generate the flattened netlist of `module` given per-function synthesis
+/// results. Returns the design plus the per-array memory implementations of
+/// the top-level instance (used for reports).
+pub fn generate_netlist(
+    module: &Module,
+    synth: &HashMap<FuncId, FunctionSynth>,
+    lib: &CharLib,
+) -> RtlDesign {
+    let mut gen = NetlistGen {
+        module,
+        synth,
+        lib,
+        design: RtlDesign::default(),
+        net_of_cell: HashMap::new(),
+    };
+    gen.emit_top();
+    gen.design
+}
+
+type Signal = Option<CellId>;
+
+struct NetlistGen<'a> {
+    module: &'a Module,
+    synth: &'a HashMap<FuncId, FunctionSynth>,
+    lib: &'a CharLib,
+    design: RtlDesign,
+    /// Output net of each driving cell (created lazily, sinks appended).
+    net_of_cell: HashMap<CellId, NetId>,
+}
+
+impl<'a> NetlistGen<'a> {
+    fn add_cell(
+        &mut self,
+        name: String,
+        kind: CellKind,
+        bits: u16,
+        resources: Resources,
+        provenance: Vec<(FuncId, OpId)>,
+    ) -> CellId {
+        let id = CellId(self.design.cells.len() as u32);
+        self.design.cells.push(RtlCell {
+            id,
+            name,
+            kind,
+            bits,
+            resources,
+            provenance,
+        });
+        id
+    }
+
+    /// Connect `driver -> sink` with `width` wires (reuses the driver's
+    /// output net).
+    fn connect(&mut self, driver: CellId, sink: CellId, width: u16) {
+        let net = match self.net_of_cell.get(&driver) {
+            Some(&n) => n,
+            None => {
+                let id = NetId(self.design.nets.len() as u32);
+                self.design.nets.push(RtlNet {
+                    id,
+                    width,
+                    driver,
+                    sinks: Vec::new(),
+                });
+                self.net_of_cell.insert(driver, id);
+                id
+            }
+        };
+        let net = &mut self.design.nets[net.index()];
+        net.width = net.width.max(width);
+        net.sinks.push(sink);
+    }
+
+    fn emit_top(&mut self) {
+        let top = self.module.top_function();
+        // Scalar input ports.
+        let mut args: Vec<Signal> = Vec::new();
+        let mut array_map: HashMap<ArrayId, MemoryCells> = HashMap::new();
+        for p in &top.params {
+            match p.kind {
+                hls_ir::ParamKind::Scalar => {
+                    let cell = self.add_cell(
+                        format!("port_{}", p.name),
+                        CellKind::Port,
+                        p.ty.bits(),
+                        Resources::ZERO,
+                        Vec::new(),
+                    );
+                    args.push(Some(cell));
+                }
+                hls_ir::ParamKind::Array { array } => {
+                    let cells = self.emit_memory(top, array, "top");
+                    array_map.insert(array, cells);
+                }
+            }
+        }
+        let ret = self.emit_instance(self.module.top, &args, &array_map, "top");
+        if let Some(rv) = ret {
+            let port = self.add_cell(
+                "port_return".into(),
+                CellKind::Port,
+                self.design.cells[rv.index()].bits,
+                Resources::ZERO,
+                Vec::new(),
+            );
+            let w = self.design.cells[rv.index()].bits;
+            self.connect(rv, port, w);
+        }
+    }
+
+    fn emit_memory(&mut self, f: &Function, array: ArrayId, path: &str) -> MemoryCells {
+        let decl = f.array(array);
+        let mem: MemoryImpl = implement_array(decl);
+        let mut cells = Vec::new();
+        for bank in &mem.banks {
+            let id = self.add_cell(
+                format!("{path}/{}_bank{}", decl.name, bank.index),
+                CellKind::Memory { kind: bank.kind },
+                bank.bits,
+                bank.resources,
+                Vec::new(),
+            );
+            cells.push(id);
+        }
+        MemoryCells { banks: cells }
+    }
+
+    /// Emit one function instance; returns the signal of its return value.
+    fn emit_instance(
+        &mut self,
+        func: FuncId,
+        args: &[Signal],
+        array_map: &HashMap<ArrayId, MemoryCells>,
+        path: &str,
+    ) -> Signal {
+        let f = self.module.function(func);
+        let synth = &self.synth[&func];
+        let sched = &synth.schedule;
+        let binding = &synth.binding;
+        let users = f.users();
+
+        // Local array memories.
+        let mut memories: HashMap<ArrayId, MemoryCells> = array_map.clone();
+        for a in &f.arrays {
+            if !a.is_param {
+                let cells = self.emit_memory(f, a.id, path);
+                memories.insert(a.id, cells);
+            }
+        }
+
+        // Functional-unit cells (lazily created on first bound op).
+        let mut unit_cells: HashMap<u32, CellId> = HashMap::new();
+        // Per unit, per operand position: the signals feeding it.
+        let mut unit_inputs: HashMap<u32, Vec<Vec<(Signal, u16)>>> = HashMap::new();
+
+        let mut signals: Vec<Signal> = vec![None; f.ops.len()];
+        let mut registered: HashMap<OpId, CellId> = HashMap::new();
+        let mut ret_sig: Signal = None;
+
+        // Resolve the signal feeding `consumer` from operand producer `src`,
+        // inserting an output register if the value crosses states.
+        macro_rules! operand_signal {
+            ($self:ident, $signals:ident, $registered:ident, $sched:ident, $src:expr, $consumer:expr) => {{
+                let src: OpId = $src;
+                let consumer: OpId = $consumer;
+                let base = $signals[src.index()];
+                match base {
+                    None => None,
+                    Some(cell) => {
+                        if $sched.start[consumer.index()] > $sched.end[src.index()] {
+                            let reg = match $registered.get(&src) {
+                                Some(&r) => r,
+                                None => {
+                                    let bits = f.op(src).ty.bits();
+                                    let r = $self.add_cell(
+                                        format!("{}/reg_{}", path, src.0),
+                                        CellKind::Register,
+                                        bits,
+                                        Resources::new(0, bits as u32, 0, 0),
+                                        vec![(func, src)],
+                                    );
+                                    $self.connect(cell, r, bits);
+                                    $registered.insert(src, r);
+                                    r
+                                }
+                            };
+                            Some(reg)
+                        } else {
+                            Some(cell)
+                        }
+                    }
+                }
+            }};
+        }
+
+        for op in &f.ops {
+            let id = op.id;
+            let cost = self.lib.cost_of_op(f, op);
+            match op.kind {
+                OpKind::Const => {}
+                OpKind::Read => {
+                    let idx = op.imm.unwrap_or(0) as usize;
+                    signals[id.index()] = args.get(idx).copied().flatten();
+                }
+                OpKind::Return => {
+                    if let Some(o) = op.operands.first() {
+                        ret_sig = operand_signal!(self, signals, registered, sched, o.src, id);
+                    }
+                }
+                OpKind::Alloca | OpKind::Branch | OpKind::Switch | OpKind::Write
+                | OpKind::Port => {}
+                OpKind::Load | OpKind::Store => {
+                    self.emit_memory_access(
+                        f,
+                        func,
+                        op,
+                        &memories,
+                        &mut signals,
+                        &mut registered,
+                        sched,
+                        path,
+                    );
+                }
+                OpKind::Call => {
+                    let callee = op.callee.expect("call without callee");
+                    let mut callee_args: Vec<Signal> = Vec::new();
+                    for o in &op.operands {
+                        callee_args.push(operand_signal!(
+                            self, signals, registered, sched, o.src, id
+                        ));
+                    }
+                    // Map callee interface arrays to caller bank cells.
+                    let callee_f = self.module.function(callee);
+                    let mut callee_arrays: HashMap<ArrayId, MemoryCells> = HashMap::new();
+                    let mut arg_arrays = op.array_args.iter();
+                    for a in &callee_f.arrays {
+                        if a.is_param {
+                            let caller_arr = arg_arrays
+                                .next()
+                                .expect("missing array argument");
+                            callee_arrays.insert(
+                                a.id,
+                                memories
+                                    .get(caller_arr)
+                                    .cloned()
+                                    .unwrap_or(MemoryCells { banks: vec![] }),
+                            );
+                        }
+                    }
+                    let sub_path = format!("{path}/{}_{}", callee_f.name, id.0);
+                    let rv = self.emit_instance(callee, &callee_args, &callee_arrays, &sub_path);
+                    signals[id.index()] = rv;
+                }
+                _ if cost == OperatorCost::FREE => {
+                    // Wiring op: pass through the first operand's signal.
+                    signals[id.index()] = op
+                        .operands
+                        .first()
+                        .and_then(|o| operand_signal!(self, signals, registered, sched, o.src, id));
+                }
+                _ => {
+                    // A real operator.
+                    match binding.unit_of[id.index()] {
+                        Some(u) if binding.units[u as usize].is_shared() => {
+                            let cell = match unit_cells.get(&u) {
+                                Some(&c) => c,
+                                None => {
+                                    let unit = &binding.units[u as usize];
+                                    let c = self.add_cell(
+                                        format!("{path}/fu{}_{}", u, unit.kind),
+                                        CellKind::Operator(unit.kind),
+                                        unit.bits,
+                                        cost.resources,
+                                        unit.ops.iter().map(|&o| (func, o)).collect(),
+                                    );
+                                    unit_cells.insert(u, c);
+                                    c
+                                }
+                            };
+                            signals[id.index()] = Some(cell);
+                            // Record operand signals for later mux creation.
+                            let slots = unit_inputs
+                                .entry(u)
+                                .or_insert_with(|| vec![Vec::new(); op.operands.len()]);
+                            for (pos, o) in op.operands.iter().enumerate() {
+                                let s = operand_signal!(
+                                    self, signals, registered, sched, o.src, id
+                                );
+                                if pos < slots.len() {
+                                    slots[pos].push((s, o.width));
+                                } else {
+                                    slots.push(vec![(s, o.width)]);
+                                }
+                            }
+                        }
+                        _ => {
+                            let cell = self.add_cell(
+                                format!("{path}/op{}_{}", id.0, op.kind),
+                                CellKind::Operator(op.kind),
+                                op.ty.bits(),
+                                cost.resources,
+                                vec![(func, id)],
+                            );
+                            signals[id.index()] = Some(cell);
+                            for o in &op.operands {
+                                if let Some(s) = operand_signal!(
+                                    self, signals, registered, sched, o.src, id
+                                ) {
+                                    self.connect(s, cell, o.width);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = &users;
+        }
+
+        // Input muxes for shared units.
+        let mut unit_keys: Vec<u32> = unit_inputs.keys().copied().collect();
+        unit_keys.sort();
+        for u in unit_keys {
+            let slots = &unit_inputs[&u];
+            let cell = unit_cells[&u];
+            let unit_kind = self.design.cells[cell.index()].kind;
+            let prov = self.design.cells[cell.index()].provenance.clone();
+            let _ = unit_kind;
+            for slot in slots {
+                let inputs: Vec<(CellId, u16)> = slot
+                    .iter()
+                    .filter_map(|(s, w)| s.map(|c| (c, *w)))
+                    .collect();
+                if inputs.len() <= 1 {
+                    if let Some(&(c, w)) = inputs.first() {
+                        self.connect(c, cell, w);
+                    }
+                    continue;
+                }
+                let width = inputs.iter().map(|(_, w)| *w).max().unwrap_or(1);
+                let mux = self.add_cell(
+                    format!("{path}/mux_fu{u}"),
+                    CellKind::Mux {
+                        inputs: inputs.len() as u32,
+                    },
+                    width,
+                    self.lib.mux_resources(inputs.len() as u32, width),
+                    prov.clone(),
+                );
+                for (c, w) in inputs {
+                    self.connect(c, mux, w);
+                }
+                self.connect(mux, cell, width);
+            }
+        }
+
+        // FSM.
+        let fsm = self.add_cell(
+            format!("{path}/fsm"),
+            CellKind::Fsm {
+                states: sched.total_states,
+            },
+            (32 - sched.total_states.max(2).leading_zeros()) as u16,
+            Resources::new(sched.total_states, sched.total_states, 0, 0),
+            Vec::new(),
+        );
+        // FSM drives mux selects and memory write enables in this instance.
+        let targets: Vec<(CellId, u16)> = self
+            .design
+            .cells
+            .iter()
+            .filter(|c| {
+                c.name.starts_with(path)
+                    && matches!(c.kind, CellKind::Mux { .. } | CellKind::Memory { .. })
+            })
+            .map(|c| {
+                let w = match c.kind {
+                    CellKind::Mux { inputs } => (32 - inputs.max(2).leading_zeros()) as u16,
+                    _ => 1,
+                };
+                (c.id, w)
+            })
+            .collect();
+        for (c, w) in targets {
+            self.connect(fsm, c, w);
+        }
+
+        ret_sig
+    }
+
+    /// Wire one load/store to its memory banks (with read muxes for unknown
+    /// banks) and register the access for address/data mux accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_memory_access(
+        &mut self,
+        f: &Function,
+        func: FuncId,
+        op: &hls_ir::Operation,
+        memories: &HashMap<ArrayId, MemoryCells>,
+        signals: &mut Vec<Signal>,
+        registered: &mut HashMap<OpId, CellId>,
+        sched: &Schedule,
+        path: &str,
+    ) {
+        let arr = op.array.expect("memory op without array");
+        let decl = f.array(arr);
+        let Some(mem) = memories.get(&arr) else {
+            return;
+        };
+        if mem.banks.is_empty() {
+            return;
+        }
+        // Which bank(s)? (uses the affine bank-disambiguation analysis)
+        let bank = crate::memory::access_bank(f, op)
+            .map(|b| b as usize)
+            .filter(|&b| b < mem.banks.len());
+
+        // Address and (for stores) data connections.
+        let mut connect_in = |gen: &mut Self, src: OpId, width: u16, to: &[CellId]| {
+            let sig = {
+                let base = signals[src.index()];
+                match base {
+                    None => None,
+                    Some(cell) => {
+                        if sched.start[op.id.index()] > sched.end[src.index()] {
+                            let reg = match registered.get(&src) {
+                                Some(&r) => r,
+                                None => {
+                                    let bits = f.op(src).ty.bits();
+                                    let r = gen.add_cell(
+                                        format!("{}/reg_{}", path, src.0),
+                                        CellKind::Register,
+                                        bits,
+                                        Resources::new(0, bits as u32, 0, 0),
+                                        vec![(func, src)],
+                                    );
+                                    gen.connect(cell, r, bits);
+                                    registered.insert(src, r);
+                                    r
+                                }
+                            };
+                            Some(reg)
+                        } else {
+                            Some(cell)
+                        }
+                    }
+                }
+            };
+            if let Some(s) = sig {
+                for &m in to {
+                    gen.connect(s, m, width);
+                }
+            }
+        };
+
+        let targets: Vec<CellId> = match bank {
+            Some(b) => vec![mem.banks[b]],
+            None => mem.banks.clone(),
+        };
+
+        // Address.
+        if let Some(o) = op.operands.first() {
+            connect_in(self, o.src, o.width, &targets);
+        }
+        match op.kind {
+            OpKind::Store => {
+                if let Some(o) = op.operands.get(1) {
+                    connect_in(self, o.src, o.width, &targets);
+                }
+                // Stores leave their provenance on the banks they write.
+                for &t in &targets {
+                    self.design.cells[t.index()].provenance.push((func, op.id));
+                }
+            }
+            OpKind::Load => {
+                let out = if targets.len() > 1 {
+                    // Unknown bank: bank-select read mux.
+                    let mux = self.add_cell(
+                        format!("{path}/rdmux_{}", op.id.0),
+                        CellKind::Mux {
+                            inputs: targets.len() as u32,
+                        },
+                        decl.elem.bits(),
+                        self.lib
+                            .mux_resources(targets.len() as u32, decl.elem.bits()),
+                        vec![(func, op.id)],
+                    );
+                    for &t in &targets {
+                        self.connect(t, mux, decl.elem.bits());
+                    }
+                    mux
+                } else {
+                    let t = targets[0];
+                    self.design.cells[t.index()].provenance.push((func, op.id));
+                    t
+                };
+                signals[op.id.index()] = Some(out);
+            }
+            _ => unreachable!("emit_memory_access on non-memory op"),
+        }
+    }
+}
+
+/// The bank cells of one array.
+#[derive(Debug, Clone)]
+struct MemoryCells {
+    banks: Vec<CellId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_function;
+    use crate::schedule::{schedule_function, SchedulerOptions};
+    use hls_ir::frontend::compile;
+
+    fn netlist(src: &str) -> (Module, RtlDesign) {
+        let m = compile(src).unwrap();
+        let lib = CharLib::zynq7();
+        let opts = SchedulerOptions::default();
+        let mut synth = HashMap::new();
+        let mut lat = HashMap::new();
+        for &fid in &m.bottom_up_order() {
+            let f = m.function(fid);
+            let s = schedule_function(f, &lib, &opts, &lat);
+            lat.insert(fid, s.latency_cycles);
+            let b = bind_function(f, &s);
+            synth.insert(fid, FunctionSynth { schedule: s, binding: b });
+        }
+        let d = generate_netlist(&m, &synth, &lib);
+        (m, d)
+    }
+
+    #[test]
+    fn simple_design_has_cells_and_nets() {
+        let (_, d) = netlist("int32 f(int32 x, int32 y) { return x * y + 1; }");
+        assert!(d.cells.len() >= 4, "ports, mul, add, fsm: {}", d.cells.len());
+        assert!(!d.nets.is_empty());
+        let ops = d.cells_of_kind(|k| matches!(k, CellKind::Operator(_)));
+        assert!(ops.iter().any(|c| matches!(c.kind, CellKind::Operator(OpKind::Mul))));
+    }
+
+    #[test]
+    fn every_net_has_valid_endpoints() {
+        let (_, d) = netlist(
+            "int32 f(int32 a[16]) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * 3; } return s; }",
+        );
+        for n in &d.nets {
+            assert!(n.driver.index() < d.cells.len());
+            assert!(!n.sinks.is_empty());
+            for s in &n.sinks {
+                assert!(s.index() < d.cells.len());
+            }
+            assert!(n.width >= 1);
+        }
+    }
+
+    #[test]
+    fn memory_banks_materialize() {
+        let (_, d) = netlist(
+            "int32 f(int32 a[64]) {\n#pragma HLS array_partition variable=a cyclic factor=4\nint32 s = 0; for (i = 0; i < 64; i++) { s = s + a[i]; } return s; }",
+        );
+        let mems = d.cells_of_kind(|k| matches!(k, CellKind::Memory { .. }));
+        assert_eq!(mems.len(), 4, "four banks");
+    }
+
+    #[test]
+    fn unknown_bank_load_gets_read_mux() {
+        let (_, d) = netlist(
+            "int32 f(int32 a[64], int32 j) {\n#pragma HLS array_partition variable=a cyclic factor=4\nreturn a[j]; }",
+        );
+        let muxes = d.cells_of_kind(|k| matches!(k, CellKind::Mux { .. }));
+        assert!(
+            muxes.iter().any(|c| c.name.contains("rdmux")),
+            "bank-select mux expected"
+        );
+    }
+
+    #[test]
+    fn call_sites_create_instances() {
+        let (_, d) = netlist(
+            "int32 g(int32 x) { return x * x; }\nint32 f(int32 x) { return g(x) + g(x + 1); }",
+        );
+        let fsms = d.cells_of_kind(|k| matches!(k, CellKind::Fsm { .. }));
+        assert_eq!(fsms.len(), 3, "top + two g instances");
+        let muls = d.cells_of_kind(|k| matches!(k, CellKind::Operator(OpKind::Mul)));
+        assert_eq!(muls.len(), 2, "one multiplier per instance");
+    }
+
+    #[test]
+    fn provenance_maps_ops_to_cells() {
+        let (m, d) = netlist("int32 f(int32 x) { return x * x + x; }");
+        let map = d.op_cells();
+        let f = m.top_function();
+        let mul = f.ops.iter().find(|o| o.kind == OpKind::Mul).unwrap();
+        assert!(map.contains_key(&(f.id, mul.id)));
+    }
+
+    #[test]
+    fn registers_inserted_across_states() {
+        // load (1 cycle) feeding an add in the next state -> register between.
+        let (_, d) = netlist(
+            "int32 f(int32 a[256]) { int32 s = 0; for (i = 0; i < 256; i++) { s = s + a[i]; } return s; }",
+        );
+        let regs = d.cells_of_kind(|k| matches!(k, CellKind::Register));
+        assert!(!regs.is_empty(), "state-crossing values must be registered");
+    }
+
+    #[test]
+    fn total_resources_nonzero() {
+        let (_, d) = netlist("int32 f(int32 x, int32 y) { return x / y; }");
+        let r = d.total_resources();
+        assert!(r.luts > 0);
+        assert!(r.ffs > 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Array-to-memory mapping: banking and implementation selection.
+//!
+//! Each array becomes `banks()` independently-ported banks (from its
+//! partition directive). A bank is implemented as block RAM when large
+//! enough, distributed LUT-RAM when small, or — for `Complete` partitions —
+//! as individual registers. These choices feed both the RTL netlist
+//! (memory cells the placer must site in BRAM columns) and the *Global
+//! information* features (memory words/banks/bits/primitives).
+
+use crate::charlib::Resources;
+use hls_ir::directives::Partition;
+use hls_ir::{ArrayDecl, ArrayId};
+
+/// How a bank is implemented on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankKind {
+    /// RAMB18/RAMB36 block RAM.
+    Bram,
+    /// Distributed RAM in LUTs.
+    LutRam,
+    /// Flip-flop registers (complete partition).
+    Registers,
+}
+
+/// One physical bank of an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankImpl {
+    /// Bank index within the array.
+    pub index: u32,
+    /// Implementation choice.
+    pub kind: BankKind,
+    /// Words stored in this bank.
+    pub words: u32,
+    /// Word width in bits.
+    pub bits: u16,
+    /// Fabric resources consumed.
+    pub resources: Resources,
+}
+
+/// The memory implementation of one array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryImpl {
+    /// The implemented array.
+    pub array: ArrayId,
+    /// One entry per bank.
+    pub banks: Vec<BankImpl>,
+}
+
+impl MemoryImpl {
+    /// Total resources over all banks.
+    pub fn resources(&self) -> Resources {
+        self.banks
+            .iter()
+            .fold(Resources::ZERO, |acc, b| acc + b.resources)
+    }
+
+    /// Total BRAM primitives.
+    pub fn bram_count(&self) -> u32 {
+        self.resources().brams
+    }
+}
+
+/// The bank a memory access addresses, when it can be determined
+/// statically. Handles constant indices and the affine patterns unrolling
+/// produces (`iv*c + k`, `base + k`): for a cyclic partition, the bank of
+/// `expr + k` is known whenever every term of `expr` is a multiple of the
+/// bank count.
+///
+/// This is the bank-disambiguation analysis real HLS tools run — without it
+/// every unrolled access to a partitioned array would need a mux across all
+/// banks.
+pub fn access_bank(f: &hls_ir::Function, op: &hls_ir::Operation) -> Option<u32> {
+    let arr = f.array(op.array?);
+    let banks = arr.banks();
+    if banks <= 1 {
+        return Some(0);
+    }
+    let idx = op.operands.first()?.src;
+    match arr.partition {
+        Partition::Cyclic(_) | Partition::Complete => {
+            let residue = index_residue(f, idx, banks)?;
+            Some(match arr.partition {
+                Partition::Complete => residue, // residue mod len == exact index only
+                _ => residue % banks,
+            })
+        }
+        Partition::Block(_) => {
+            // Block partitions need the full index value.
+            let c = f.op(idx).const_value()?;
+            Some(arr.partition.bank_of(c.max(0) as u32, arr.len))
+        }
+        Partition::None => Some(0),
+    }
+}
+
+/// The residue of an index expression modulo `m`, if statically known.
+/// Constants know their value; `a + b` and `a * b` compose; casts pass
+/// through; anything else is known only when it is a multiple of `m`
+/// (which a bare value never is, so unknown).
+fn index_residue(f: &hls_ir::Function, id: hls_ir::OpId, m: u32) -> Option<u32> {
+    use hls_ir::OpKind;
+    let op = f.op(id);
+    match op.kind {
+        OpKind::Const => Some((op.imm?.rem_euclid(m as i64)) as u32),
+        OpKind::Add => {
+            let a = index_residue(f, op.operands.first()?.src, m)?;
+            let b = index_residue(f, op.operands.get(1)?.src, m)?;
+            Some((a + b) % m)
+        }
+        OpKind::Sub => {
+            let a = index_residue(f, op.operands.first()?.src, m)?;
+            let b = index_residue(f, op.operands.get(1)?.src, m)?;
+            Some((a + m - b % m) % m)
+        }
+        OpKind::Mul => {
+            // Known if either factor is a constant multiple of m, or both
+            // residues are known.
+            let lhs = op.operands.first()?.src;
+            let rhs = op.operands.get(1)?.src;
+            let lc = f.op(lhs).const_value();
+            let rc = f.op(rhs).const_value();
+            if let Some(c) = lc.or(rc) {
+                if c.rem_euclid(m as i64) == 0 {
+                    return Some(0);
+                }
+            }
+            let a = index_residue(f, lhs, m)?;
+            let b = index_residue(f, rhs, m)?;
+            Some((a * b) % m)
+        }
+        OpKind::ZExt | OpKind::SExt | OpKind::Trunc => {
+            index_residue(f, op.operands.first()?.src, m)
+        }
+        OpKind::Shl => {
+            // x << c == x * 2^c.
+            let c = f.op(op.operands.get(1)?.src).const_value()?;
+            if (0..32).contains(&c) && (1u64 << c).is_multiple_of(m as u64) {
+                Some(0)
+            } else {
+                let a = index_residue(f, op.operands.first()?.src, m)?;
+                Some((a as u64 * (1u64 << c.clamp(0, 31)) % m as u64) as u32)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Bits per RAMB18 primitive.
+const RAMB18_BITS: u64 = 18 * 1024;
+/// Minimum bank size (bits) that justifies a BRAM.
+const BRAM_THRESHOLD_BITS: u64 = 1024;
+/// Minimum depth that justifies a BRAM.
+const BRAM_THRESHOLD_WORDS: u32 = 32;
+
+/// Map one array to banks.
+pub fn implement_array(decl: &ArrayDecl) -> MemoryImpl {
+    let banks = decl.banks();
+    let words_per_bank = decl.len.div_ceil(banks.max(1));
+    let bits = decl.elem.bits();
+    let bank_bits = words_per_bank as u64 * bits as u64;
+
+    let make_bank = |index: u32| -> BankImpl {
+        if decl.partition == Partition::Complete {
+            return BankImpl {
+                index,
+                kind: BankKind::Registers,
+                words: 1,
+                bits,
+                resources: Resources::new(0, bits as u32, 0, 0),
+            };
+        }
+        if bank_bits >= BRAM_THRESHOLD_BITS && words_per_bank >= BRAM_THRESHOLD_WORDS {
+            let brams = bank_bits.div_ceil(RAMB18_BITS).max(1) as u32;
+            BankImpl {
+                index,
+                kind: BankKind::Bram,
+                words: words_per_bank,
+                bits,
+                resources: Resources::new(0, 0, 0, brams),
+            }
+        } else {
+            // Distributed RAM: one LUT implements 64 deep x 1 wide.
+            let luts = words_per_bank.div_ceil(64) * bits as u32;
+            BankImpl {
+                index,
+                kind: BankKind::LutRam,
+                words: words_per_bank,
+                bits,
+                resources: Resources::new(luts.max(1), 0, 0, 0),
+            }
+        }
+    };
+
+    MemoryImpl {
+        array: decl.id,
+        banks: (0..banks).map(make_bank).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::IrType;
+
+    fn decl(len: u32, bits: u16, partition: Partition) -> ArrayDecl {
+        ArrayDecl {
+            id: ArrayId(0),
+            name: "a".into(),
+            elem: IrType::int(bits),
+            len,
+            partition,
+            is_param: false,
+        }
+    }
+
+    #[test]
+    fn large_array_uses_bram() {
+        let m = implement_array(&decl(1024, 32, Partition::None));
+        assert_eq!(m.banks.len(), 1);
+        assert_eq!(m.banks[0].kind, BankKind::Bram);
+        assert_eq!(m.bram_count(), 2); // 32 Kb / 18 Kb
+    }
+
+    #[test]
+    fn small_array_uses_lutram() {
+        let m = implement_array(&decl(16, 8, Partition::None));
+        assert_eq!(m.banks[0].kind, BankKind::LutRam);
+        assert_eq!(m.resources().brams, 0);
+        assert!(m.resources().luts > 0);
+    }
+
+    #[test]
+    fn cyclic_partition_splits_banks() {
+        let m = implement_array(&decl(1024, 32, Partition::Cyclic(4)));
+        assert_eq!(m.banks.len(), 4);
+        assert_eq!(m.banks[0].words, 256);
+        // each bank still big enough for BRAM
+        assert!(m.banks.iter().all(|b| b.kind == BankKind::Bram));
+    }
+
+    #[test]
+    fn partitioning_can_demote_to_lutram() {
+        // 128 x 8b split 8 ways -> 16-word banks -> LUTRAM.
+        let m = implement_array(&decl(128, 8, Partition::Cyclic(8)));
+        assert!(m.banks.iter().all(|b| b.kind == BankKind::LutRam));
+    }
+
+    #[test]
+    fn complete_partition_is_registers() {
+        let m = implement_array(&decl(16, 12, Partition::Complete));
+        assert_eq!(m.banks.len(), 16);
+        assert!(m.banks.iter().all(|b| b.kind == BankKind::Registers));
+        assert_eq!(m.resources().ffs, 16 * 12);
+        assert_eq!(m.resources().brams, 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The HLS synthesis report.
+//!
+//! Mirrors what the paper extracts from Vivado HLS for the *Global
+//! information* feature category: per-function resource usage and timing,
+//! memory statistics (#words, #banks, #bits, #primitives) and multiplexer
+//! statistics (number, resource usage, input size, bitwidth).
+
+use crate::bind::Binding;
+use crate::charlib::{CharLib, Resources};
+use crate::memory::implement_array;
+use crate::schedule::Schedule;
+use hls_ir::{FuncId, Function, Module, OpKind};
+use std::collections::HashMap;
+
+/// Memory statistics of one function (paper Table II, Global information).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Total words over all arrays.
+    pub words: u64,
+    /// Total banks over all arrays.
+    pub banks: u64,
+    /// Total data bits.
+    pub bits: u64,
+    /// words × bits × banks (the paper's "#primitives").
+    pub primitives: u64,
+}
+
+/// Multiplexer statistics of one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MuxStats {
+    /// Number of multiplexers.
+    pub count: u64,
+    /// LUTs consumed by multiplexers.
+    pub luts: u64,
+    /// Summed input counts.
+    pub input_size: u64,
+    /// Summed data widths.
+    pub bits: u64,
+}
+
+/// Per-function synthesis report.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Resource estimate including callee instances.
+    pub resources: Resources,
+    /// Latency in cycles (trip counts applied).
+    pub latency_cycles: u64,
+    /// Estimated achievable clock period (ns).
+    pub estimated_clock_ns: f64,
+    /// Memory statistics.
+    pub memory: MemoryStats,
+    /// Multiplexer statistics.
+    pub mux: MuxStats,
+}
+
+/// Whole-design report.
+#[derive(Debug, Clone)]
+pub struct HlsReport {
+    /// Target clock period (ns).
+    pub clock_target_ns: f64,
+    /// Clock uncertainty (ns).
+    pub clock_uncertainty_ns: f64,
+    /// Top function id.
+    pub top: FuncId,
+    /// Per-function reports.
+    pub functions: HashMap<FuncId, FunctionReport>,
+}
+
+impl HlsReport {
+    /// The report of the top function.
+    pub fn top_report(&self) -> &FunctionReport {
+        &self.functions[&self.top]
+    }
+
+    /// Design latency in cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.top_report().latency_cycles
+    }
+}
+
+/// Compute the analytic report of one function (callee reports must already
+/// exist for every function it calls).
+pub fn function_report(
+    f: &Function,
+    sched: &Schedule,
+    binding: &Binding,
+    lib: &CharLib,
+    callee_reports: &HashMap<FuncId, FunctionReport>,
+) -> FunctionReport {
+    let mut resources = Resources::ZERO;
+
+    // Operator costs (shared units counted once).
+    for op in &f.ops {
+        match binding.unit_of[op.id.index()] {
+            Some(u) => {
+                // Count each unit at its first op only.
+                if binding.units[u as usize].ops.first() == Some(&op.id) {
+                    resources += lib.cost_of_op(f, op).resources;
+                }
+            }
+            None => resources += lib.cost_of_op(f, op).resources,
+        }
+    }
+
+    // Output registers for state-crossing values (approximation: every op
+    // whose result lives past its end state).
+    let users = f.users();
+    for op in &f.ops {
+        if !op.kind.has_result() {
+            continue;
+        }
+        let crosses = users[op.id.index()]
+            .iter()
+            .any(|&u| sched.start[u.index()] > sched.end[op.id.index()]);
+        if crosses {
+            resources += Resources::new(0, op.ty.bits() as u32, 0, 0);
+        }
+    }
+
+    // Memories.
+    let mut memory = MemoryStats::default();
+    for a in &f.arrays {
+        let m = implement_array(a);
+        resources += m.resources();
+        memory.words += a.len as u64;
+        memory.banks += a.banks() as u64;
+        memory.bits += a.total_bits();
+        memory.primitives += a.len as u64 * a.elem.bits() as u64 * a.banks() as u64;
+    }
+
+    // Multiplexers: shared-unit input muxes + memory port muxes.
+    let mut mux = MuxStats::default();
+    for unit in binding.shared_units() {
+        let k = unit.ops.len() as u32;
+        // Two operand ports per unit.
+        for _ in 0..2 {
+            let r = lib.mux_resources(k, unit.bits);
+            mux.count += 1;
+            mux.luts += r.luts as u64;
+            mux.input_size += k as u64;
+            mux.bits += unit.bits as u64;
+            resources += r;
+        }
+    }
+    for a in &f.arrays {
+        let accessors = f
+            .ops
+            .iter()
+            .filter(|o| o.kind.is_memory() && o.array == Some(a.id))
+            .count() as u32;
+        if accessors > 1 && a.partition != hls_ir::directives::Partition::Complete {
+            let addr_bits = (32 - a.len.max(2).leading_zeros()) as u16;
+            let r = lib.mux_resources(accessors, addr_bits.max(a.elem.bits()));
+            mux.count += 1;
+            mux.luts += r.luts as u64;
+            mux.input_size += accessors as u64;
+            mux.bits += a.elem.bits() as u64;
+            resources += r;
+        }
+    }
+
+    // FSM.
+    resources += Resources::new(sched.total_states, sched.total_states, 0, 0);
+
+    // Callee instances (one per call site).
+    let mut mux_from_callees = MuxStats::default();
+    for op in &f.ops {
+        if op.kind == OpKind::Call {
+            if let Some(r) = op.callee.and_then(|c| callee_reports.get(&c)) {
+                resources += r.resources;
+                memory.words += r.memory.words;
+                memory.banks += r.memory.banks;
+                memory.bits += r.memory.bits;
+                memory.primitives += r.memory.primitives;
+                mux_from_callees.count += r.mux.count;
+                mux_from_callees.luts += r.mux.luts;
+                mux_from_callees.input_size += r.mux.input_size;
+                mux_from_callees.bits += r.mux.bits;
+            }
+        }
+    }
+    mux.count += mux_from_callees.count;
+    mux.luts += mux_from_callees.luts;
+    mux.input_size += mux_from_callees.input_size;
+    mux.bits += mux_from_callees.bits;
+
+    FunctionReport {
+        name: f.name.clone(),
+        resources,
+        latency_cycles: sched.latency_cycles,
+        estimated_clock_ns: sched.estimated_clock_ns,
+        memory,
+        mux,
+    }
+}
+
+/// Build the whole-design report (functions must be passed bottom-up).
+pub fn build_report(
+    module: &Module,
+    schedules: &HashMap<FuncId, Schedule>,
+    bindings: &HashMap<FuncId, Binding>,
+    lib: &CharLib,
+    clock_target_ns: f64,
+    clock_uncertainty_ns: f64,
+) -> HlsReport {
+    let mut functions: HashMap<FuncId, FunctionReport> = HashMap::new();
+    for fid in module.bottom_up_order() {
+        let f = module.function(fid);
+        let rep = function_report(f, &schedules[&fid], &bindings[&fid], lib, &functions);
+        functions.insert(fid, rep);
+    }
+    HlsReport {
+        clock_target_ns,
+        clock_uncertainty_ns,
+        top: module.top,
+        functions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_function;
+    use crate::schedule::{schedule_function, SchedulerOptions};
+    use hls_ir::frontend::compile;
+
+    fn report(src: &str) -> HlsReport {
+        let m = compile(src).unwrap();
+        let lib = CharLib::zynq7();
+        let opts = SchedulerOptions::default();
+        let mut schedules = HashMap::new();
+        let mut bindings = HashMap::new();
+        let mut lat = HashMap::new();
+        for fid in m.bottom_up_order() {
+            let f = m.function(fid);
+            let s = schedule_function(f, &lib, &opts, &lat);
+            lat.insert(fid, s.latency_cycles);
+            bindings.insert(fid, bind_function(f, &s));
+            schedules.insert(fid, s);
+        }
+        build_report(&m, &schedules, &bindings, &lib, 10.0, 1.25)
+    }
+
+    #[test]
+    fn resources_accumulate_into_top() {
+        let r = report(
+            "int32 g(int32 x) { return x * x; }\nint32 f(int32 x) { return g(x) + g(x + 1); }",
+        );
+        let top = r.top_report();
+        assert!(top.resources.dsps >= 2, "two g instances worth of DSPs");
+        assert!(top.latency_cycles >= 2);
+    }
+
+    #[test]
+    fn memory_stats_counted() {
+        let r = report(
+            "int32 f(int32 a[128]) {\n#pragma HLS array_partition variable=a cyclic factor=4\nint32 s = 0; for (i = 0; i < 128; i++) { s = s + a[i]; } return s; }",
+        );
+        let top = r.top_report();
+        assert_eq!(top.memory.words, 128);
+        assert_eq!(top.memory.banks, 4);
+        assert_eq!(top.memory.bits, 128 * 32);
+    }
+
+    #[test]
+    fn shared_units_produce_mux_stats() {
+        let r = report("int32 f(int32 x, int32 y) { return (x / y) / y; }");
+        let top = r.top_report();
+        assert!(top.mux.count >= 2, "shared divider needs input muxes");
+        assert!(top.mux.luts > 0);
+    }
+
+    #[test]
+    fn estimated_clock_below_target() {
+        let r = report("int32 f(int32 x) { return x + 1; }");
+        assert!(r.top_report().estimated_clock_ns <= r.clock_target_ns);
+    }
+}

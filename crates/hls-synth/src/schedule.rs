@@ -1,0 +1,402 @@
+//! Resource-constrained list scheduling with operator chaining.
+//!
+//! Operations are assigned to FSM **control states**. Combinational
+//! operators chain within a state while the accumulated delay fits the clock
+//! budget; multi-cycle operators (wide multipliers, dividers, memory reads)
+//! occupy a state span. Memory ports (2 per BRAM bank) are the binding
+//! resource constraint. Loop regions are scheduled once — their body states
+//! appear once in the FSM and the latency accounts for the trip count
+//! (`trip × body` rolled, `body + (trip-1) × II` pipelined), exactly the
+//! control-state model the paper's ΔTcs feature is built on.
+
+use crate::charlib::CharLib;
+use hls_ir::directives::Partition;
+use hls_ir::{ArrayId, FuncId, Function, OpId, OpKind, Region};
+use std::collections::HashMap;
+
+/// The schedule of one function.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Control state in which each op starts (indexed by op arena index).
+    pub start: Vec<u32>,
+    /// Control state in which each op's result becomes available.
+    pub end: Vec<u32>,
+    /// Intra-state arrival delay (ns) of each op's output.
+    pub out_delay: Vec<f64>,
+    /// Number of FSM states.
+    pub total_states: u32,
+    /// Total function latency in clock cycles (loop trip counts applied).
+    pub latency_cycles: u64,
+    /// Worst per-state combinational path observed (ns).
+    pub estimated_clock_ns: f64,
+    /// Ops inside pipelined loop bodies (binding must not share them).
+    pub in_pipelined_loop: Vec<bool>,
+}
+
+impl Schedule {
+    /// Control-state distance between dependent ops `p -> s` (the paper's
+    /// ΔTcs, clamped to at least 1 to stay divisible).
+    pub fn delta_tcs(&self, p: OpId, s: OpId) -> u32 {
+        let prod_end = self.end[p.index()];
+        let cons_start = self.start[s.index()];
+        cons_start.saturating_sub(prod_end).max(1)
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerOptions {
+    /// Target clock period (ns).
+    pub clock_ns: f64,
+    /// Clock uncertainty subtracted from the chaining budget (ns).
+    pub uncertainty_ns: f64,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            clock_ns: 10.0,
+            uncertainty_ns: 1.25,
+        }
+    }
+}
+
+/// Schedule `f` given the characterization library and the latencies of
+/// already-scheduled callees.
+pub fn schedule_function(
+    f: &Function,
+    lib: &CharLib,
+    opts: &SchedulerOptions,
+    callee_latency: &HashMap<FuncId, u64>,
+) -> Schedule {
+    let n = f.ops.len();
+    let mut sched = Schedule {
+        start: vec![0; n],
+        end: vec![0; n],
+        out_delay: vec![0.0; n],
+        total_states: 0,
+        latency_cycles: 0,
+        estimated_clock_ns: 0.0,
+        in_pipelined_loop: vec![false; n],
+    };
+
+    // Memory ordering predecessors.
+    let mut mem_preds: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for (p, s) in f.memory_deps() {
+        mem_preds.entry(s).or_default().push(p);
+    }
+
+    let mut ctx = Ctx {
+        f,
+        lib,
+        budget: (opts.clock_ns - opts.uncertainty_ns).max(1.0),
+        callee_latency,
+        mem_preds,
+        port_usage: HashMap::new(),
+        sched: &mut sched,
+        extra_cycles: 0,
+    };
+
+    let (frontier, _states) = ctx.sched_region(&f.body, 0, false);
+    let extra = ctx.extra_cycles;
+    sched.total_states = frontier + 1;
+    sched.latency_cycles = frontier as u64 + 1 + extra;
+    sched
+}
+
+struct Ctx<'a> {
+    f: &'a Function,
+    lib: &'a CharLib,
+    budget: f64,
+    callee_latency: &'a HashMap<FuncId, u64>,
+    mem_preds: HashMap<OpId, Vec<OpId>>,
+    /// (array, bank, state) -> accesses scheduled.
+    port_usage: HashMap<(ArrayId, u32, u32), u32>,
+    sched: &'a mut Schedule,
+    extra_cycles: u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Schedule a region starting no earlier than `floor`; returns
+    /// `(frontier, states_used)` where `frontier` is the last state used (or
+    /// `floor` if empty).
+    fn sched_region(&mut self, r: &Region, floor: u32, pipelined: bool) -> (u32, u32) {
+        match r {
+            Region::Block(ops) => {
+                let mut frontier = floor;
+                for &id in ops {
+                    let end = self.sched_op(id, floor, pipelined);
+                    frontier = frontier.max(end);
+                }
+                (frontier, frontier - floor + 1)
+            }
+            Region::Seq(rs) => {
+                let mut frontier = floor;
+                let mut cursor = floor;
+                for sub in rs {
+                    match sub {
+                        Region::Loop { .. } => {
+                            // Loops occupy their own states after everything
+                            // already issued.
+                            let entry = frontier + 1;
+                            let (fr, _) = self.sched_region(sub, entry, pipelined);
+                            frontier = fr;
+                            cursor = fr + 1;
+                        }
+                        _ => {
+                            let (fr, _) = self.sched_region(sub, cursor, pipelined);
+                            frontier = frontier.max(fr);
+                        }
+                    }
+                }
+                (frontier, frontier - floor + 1)
+            }
+            Region::Loop {
+                body,
+                trip_count,
+                pipeline_ii,
+                ..
+            } => {
+                let is_pipe = pipeline_ii.is_some();
+                let (fr, states) = self.sched_region(body, floor, pipelined || is_pipe);
+                let body_cycles = states as u64;
+                let loop_cycles = match pipeline_ii {
+                    Some(ii) => body_cycles + trip_count.saturating_sub(1) * *ii as u64,
+                    None => body_cycles * trip_count,
+                };
+                self.extra_cycles += loop_cycles - body_cycles;
+                (fr, states)
+            }
+        }
+    }
+
+    fn sched_op(&mut self, id: OpId, floor: u32, pipelined: bool) -> u32 {
+        let op = self.f.op(id);
+        let cost = self.lib.cost_of_op(self.f, op);
+        self.sched.in_pipelined_loop[id.index()] = pipelined;
+
+        // Earliest state from data dependencies (phis ignore their latch —
+        // it is a back edge).
+        let mut state = floor;
+        let mut chain_delay: f64 = 0.0;
+        let deps: Vec<OpId> = {
+            let data = op.operands.iter().map(|o| o.src);
+            match op.kind {
+                OpKind::Phi => Vec::new(),
+                _ => data.collect(),
+            }
+        };
+        let mem: Vec<OpId> = self.mem_preds.get(&id).cloned().unwrap_or_default();
+        for src in deps.iter().chain(mem.iter()) {
+            // Forward references (latches) would have end == 0 before being
+            // scheduled; program order guarantees real deps are scheduled.
+            let e = self.sched.end[src.index()];
+            let d = self.sched.out_delay[src.index()];
+            if e > state {
+                state = e;
+                chain_delay = d;
+            } else if e == state {
+                chain_delay = chain_delay.max(d);
+            }
+        }
+
+        // Memory port constraint (Complete partitions are registers: free).
+        let (is_mem, banks, complete) = match (op.kind.is_memory(), op.array) {
+            (true, Some(a)) => {
+                let arr = self.f.array(a);
+                (
+                    true,
+                    arr.banks(),
+                    arr.partition == Partition::Complete,
+                )
+            }
+            _ => (false, 1, false),
+        };
+
+        let mut latency = cost.latency;
+        let mut delay = cost.delay_ns;
+        if is_mem && complete {
+            // Register-file access: combinational mux instead of BRAM port.
+            latency = 0;
+            delay = self.lib.mux_delay(self.f.array(op.array.unwrap()).len.min(64));
+        }
+        if op.kind == OpKind::Call {
+            latency = op
+                .callee
+                .and_then(|c| self.callee_latency.get(&c))
+                .copied()
+                .unwrap_or(1)
+                .min(u32::MAX as u64 / 4) as u32;
+        }
+
+        // Chaining decision.
+        let (start, out_delay) = if latency == 0 {
+            if chain_delay + delay <= self.budget {
+                (state, chain_delay + delay)
+            } else {
+                (state + 1, delay)
+            }
+        } else {
+            // Registered operator: starts in the dependency state.
+            (if chain_delay > 0.0 { state } else { state }, 0.0)
+        };
+
+        // Find a state with a free memory port.
+        let mut start = start;
+        if is_mem && !complete {
+            let a = op.array.unwrap();
+            let bank = self.access_bank(op);
+            loop {
+                let ok = match bank {
+                    Some(b) => *self.port_usage.get(&(a, b, start)).unwrap_or(&0) < 2,
+                    None => {
+                        // Unknown index: needs a port on every bank.
+                        (0..banks)
+                            .all(|b| *self.port_usage.get(&(a, b, start)).unwrap_or(&0) < 2)
+                    }
+                };
+                if ok {
+                    break;
+                }
+                start += 1;
+            }
+            match bank {
+                Some(b) => *self.port_usage.entry((a, b, start)).or_insert(0) += 1,
+                None => {
+                    for b in 0..banks {
+                        *self.port_usage.entry((a, b, start)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        let end = start + latency;
+        let i = id.index();
+        self.sched.start[i] = start;
+        self.sched.end[i] = end;
+        self.sched.out_delay[i] = out_delay;
+        self.sched.estimated_clock_ns = self.sched.estimated_clock_ns.max(out_delay).max(delay);
+        end
+    }
+
+    /// The bank a memory op addresses, when statically determinable.
+    fn access_bank(&self, op: &hls_ir::Operation) -> Option<u32> {
+        crate::memory::access_bank(self.f, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::frontend::compile;
+
+    fn schedule_top(src: &str) -> (hls_ir::Module, Schedule) {
+        let m = compile(src).expect("compile");
+        let s = schedule_function(
+            m.top_function(),
+            &CharLib::zynq7(),
+            &SchedulerOptions::default(),
+            &HashMap::new(),
+        );
+        (m, s)
+    }
+
+    #[test]
+    fn straight_line_chains_in_few_states() {
+        let (_, s) = schedule_top("int32 f(int32 x) { return x + 1 + 2 + 3; }");
+        assert!(s.total_states <= 2, "short add chain fits one state");
+        assert!(s.latency_cycles <= 2);
+    }
+
+    #[test]
+    fn long_chain_splits_states() {
+        // 40 chained 32-bit adds exceed a 10 ns budget.
+        let mut body = String::from("int32 f(int32 x) { int32 a = x;\n");
+        for _ in 0..40 {
+            body.push_str("a = a + x;\n");
+        }
+        body.push_str("return a; }");
+        let (_, s) = schedule_top(&body);
+        assert!(s.total_states > 1, "long chains must be split");
+        assert!(s.estimated_clock_ns <= 10.0);
+    }
+
+    #[test]
+    fn rolled_loop_multiplies_latency() {
+        let (_, s) = schedule_top(
+            "int32 f(int32 a[64]) { int32 acc = 0; for (i = 0; i < 64; i++) { acc = acc + a[i]; } return acc; }",
+        );
+        // 64 iterations of a body with >= 2 states (load is 1 cycle).
+        assert!(s.latency_cycles >= 64, "latency {} too small", s.latency_cycles);
+        // but the FSM only holds one copy of the body states
+        assert!(s.total_states < 20);
+    }
+
+    #[test]
+    fn pipelined_loop_latency_uses_ii() {
+        let rolled = schedule_top(
+            "int32 f(int32 a[64]) { int32 acc = 0; for (i = 0; i < 64; i++) { acc = acc + a[i]; } return acc; }",
+        )
+        .1
+        .latency_cycles;
+        let piped = schedule_top(
+            "int32 f(int32 a[64]) { int32 acc = 0;\n#pragma HLS pipeline II=1\nfor (i = 0; i < 64; i++) { acc = acc + a[i]; } return acc; }",
+        )
+        .1
+        .latency_cycles;
+        assert!(piped < rolled, "pipelining reduces latency: {piped} vs {rolled}");
+    }
+
+    #[test]
+    fn memory_ports_serialize_unrolled_access() {
+        // Fully unrolled loop over an unpartitioned array: 2 ports -> >= 4
+        // states of loads for 8 accesses.
+        let (_, s) = schedule_top(
+            "int32 f(int32 a[8]) { int32 acc = 0;\n#pragma HLS unroll\nfor (i = 0; i < 8; i++) { acc = acc + a[i]; } return acc; }",
+        );
+        assert!(
+            s.total_states >= 4,
+            "port conflicts must serialize: {} states",
+            s.total_states
+        );
+    }
+
+    #[test]
+    fn partitioning_relieves_ports() {
+        let unpart = schedule_top(
+            "int32 f(int32 a[8]) { int32 acc = 0;\n#pragma HLS unroll\nfor (i = 0; i < 8; i++) { acc = acc + a[i]; } return acc; }",
+        )
+        .1
+        .latency_cycles;
+        let part = schedule_top(
+            "int32 f(int32 a[8]) {\n#pragma HLS array_partition variable=a complete\nint32 acc = 0;\n#pragma HLS unroll\nfor (i = 0; i < 8; i++) { acc = acc + a[i]; } return acc; }",
+        )
+        .1
+        .latency_cycles;
+        assert!(
+            part < unpart,
+            "complete partitioning should cut latency ({part} vs {unpart})"
+        );
+    }
+
+    #[test]
+    fn multicycle_divider_spans_states() {
+        let (m, s) = schedule_top("int32 f(int32 x, int32 y) { return x / y; }");
+        let f = m.top_function();
+        let div = f
+            .ops
+            .iter()
+            .find(|o| o.kind == OpKind::SDiv)
+            .expect("divider present");
+        assert!(s.end[div.id.index()] > s.start[div.id.index()]);
+    }
+
+    #[test]
+    fn delta_tcs_is_at_least_one() {
+        let (m, s) = schedule_top("int32 f(int32 x) { return x + 1; }");
+        let f = m.top_function();
+        let add = f.ops.iter().find(|o| o.kind == OpKind::Add).unwrap();
+        let rd = f.ops.iter().find(|o| o.kind == OpKind::Read).unwrap();
+        assert!(s.delta_tcs(rd.id, add.id) >= 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! A feed-forward artificial neural network (MLP) regressor.
+//!
+//! ReLU hidden layers, linear output, mini-batch Adam, optional early
+//! stopping. "It is more challenging to train the ANN model because a number
+//! of hyperparameters need to be tuned carefully" (paper §III-C2) — the
+//! hyperparameters live in [`MlpOptions`] so the grid search can tune them.
+
+use crate::dataset::Matrix;
+use crate::model::Regressor;
+use crate::scaler::StandardScaler;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpOptions {
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+    /// Stop early when the epoch loss improves by less than this fraction
+    /// for 5 consecutive epochs.
+    pub early_stop_tol: f64,
+}
+
+impl Default for MlpOptions {
+    fn default() -> Self {
+        MlpOptions {
+            hidden: vec![64, 32],
+            learning_rate: 1e-3,
+            epochs: 120,
+            batch_size: 32,
+            weight_decay: 1e-5,
+            seed: 7,
+            early_stop_tol: 1e-4,
+        }
+    }
+}
+
+/// One dense layer.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam state
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Layer {
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = row.iter().zip(input).map(|(a, b)| a * b).sum::<f64>() + self.b[o];
+            out.push(z);
+        }
+    }
+}
+
+/// The MLP regressor.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    /// Hyperparameters.
+    pub options: MlpOptions,
+    layers: Vec<Layer>,
+    x_scaler: StandardScaler,
+    y_mean: f64,
+    y_std: f64,
+    trained: bool,
+}
+
+impl MlpRegressor {
+    /// A regressor with the given options.
+    pub fn new(options: MlpOptions) -> Self {
+        MlpRegressor {
+            options,
+            layers: Vec::new(),
+            x_scaler: StandardScaler::default(),
+            y_mean: 0.0,
+            y_std: 1.0,
+            trained: false,
+        }
+    }
+
+    /// Forward pass on a standardized row; returns per-layer activations
+    /// (activations[0] = input).
+    fn forward_all(&self, row: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts: Vec<Vec<f64>> = vec![row.to_vec()];
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().unwrap(), &mut buf);
+            let last = li == self.layers.len() - 1;
+            let act: Vec<f64> = if last {
+                buf.clone()
+            } else {
+                buf.iter().map(|&z| z.max(0.0)).collect()
+            };
+            acts.push(act);
+        }
+        acts
+    }
+}
+
+impl Default for MlpRegressor {
+    fn default() -> Self {
+        MlpRegressor::new(MlpOptions::default())
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len());
+        assert!(!y.is_empty());
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+
+        self.x_scaler = StandardScaler::fit(x);
+        let xs = self.x_scaler.transform(x);
+        self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        self.y_std = {
+            let v = y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+            v.sqrt().max(1e-9)
+        };
+        let ys: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_std).collect();
+
+        // Build layers.
+        let mut sizes = vec![x.cols()];
+        sizes.extend(&self.options.hidden);
+        sizes.push(1);
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let n = xs.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t_step = 0u64;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut prev_loss = f64::INFINITY;
+        let mut stall = 0;
+
+        for _epoch in 0..self.options.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(self.options.batch_size.max(1)) {
+                // Accumulate gradients over the batch.
+                let mut gw: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+                let mut gb: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                for &i in batch {
+                    let acts = self.forward_all(xs.row(i));
+                    let pred = acts.last().unwrap()[0];
+                    let err = pred - ys[i];
+                    epoch_loss += err * err;
+                    // Backprop.
+                    let mut delta = vec![err];
+                    for li in (0..self.layers.len()).rev() {
+                        let layer = &self.layers[li];
+                        let input = &acts[li];
+                        for o in 0..layer.n_out {
+                            gb[li][o] += delta[o];
+                            let row = &mut gw[li][o * layer.n_in..(o + 1) * layer.n_in];
+                            for (g, inp) in row.iter_mut().zip(input) {
+                                *g += delta[o] * inp;
+                            }
+                        }
+                        if li > 0 {
+                            let mut next = vec![0.0; layer.n_in];
+                            for o in 0..layer.n_out {
+                                let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                                for (j, &w) in row.iter().enumerate() {
+                                    next[j] += delta[o] * w;
+                                }
+                            }
+                            // ReLU derivative on the hidden activation.
+                            for (j, v) in next.iter_mut().enumerate() {
+                                if acts[li][j] <= 0.0 {
+                                    *v = 0.0;
+                                }
+                            }
+                            delta = next;
+                        }
+                    }
+                }
+                // Adam update.
+                t_step += 1;
+                let bs = batch.len() as f64;
+                let lr = self.options.learning_rate;
+                let bc1 = 1.0 - b1.powi(t_step as i32);
+                let bc2 = 1.0 - b2.powi(t_step as i32);
+                for (li, layer) in self.layers.iter_mut().enumerate() {
+                    for k in 0..layer.w.len() {
+                        let g = gw[li][k] / bs + self.options.weight_decay * layer.w[k];
+                        layer.mw[k] = b1 * layer.mw[k] + (1.0 - b1) * g;
+                        layer.vw[k] = b2 * layer.vw[k] + (1.0 - b2) * g * g;
+                        let mhat = layer.mw[k] / bc1;
+                        let vhat = layer.vw[k] / bc2;
+                        layer.w[k] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                    for k in 0..layer.b.len() {
+                        let g = gb[li][k] / bs;
+                        layer.mb[k] = b1 * layer.mb[k] + (1.0 - b1) * g;
+                        layer.vb[k] = b2 * layer.vb[k] + (1.0 - b2) * g * g;
+                        let mhat = layer.mb[k] / bc1;
+                        let vhat = layer.vb[k] / bc2;
+                        layer.b[k] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            }
+            epoch_loss /= n as f64;
+            if prev_loss - epoch_loss < self.options.early_stop_tol * prev_loss.abs().max(1e-9) {
+                stall += 1;
+                if stall >= 5 {
+                    break;
+                }
+            } else {
+                stall = 0;
+            }
+            prev_loss = epoch_loss;
+        }
+        self.trained = true;
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        if !self.trained {
+            return 0.0;
+        }
+        let mut r = row.to_vec();
+        self.x_scaler.transform_row(&mut r);
+        let acts = self.forward_all(&r);
+        acts.last().unwrap()[0] * self.y_std + self.y_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+
+    fn nonlinear_data(n: usize) -> (Matrix, Vec<f64>) {
+        // y = x0^2 + 2 x1
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 20) as f64 / 10.0 - 1.0;
+            let b = ((i * 3) % 15) as f64 / 7.0 - 1.0;
+            rows.push(vec![a, b]);
+            y.push(a * a + 2.0 * b);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let (x, y) = nonlinear_data(300);
+        let mut m = MlpRegressor::new(MlpOptions {
+            hidden: vec![32],
+            epochs: 200,
+            ..Default::default()
+        });
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        let err = mae(&y, &pred);
+        assert!(err < 0.15, "mae = {err}");
+    }
+
+    #[test]
+    fn beats_linear_on_quadratic() {
+        use crate::linear::{Lasso, LassoOptions};
+        let (x, y) = nonlinear_data(300);
+        let mut mlp = MlpRegressor::new(MlpOptions {
+            hidden: vec![32],
+            epochs: 200,
+            ..Default::default()
+        });
+        mlp.fit(&x, &y);
+        let mut lin = Lasso::new(LassoOptions {
+            alpha: 1e-3,
+            ..Default::default()
+        });
+        lin.fit(&x, &y);
+        let mlp_err = mae(&y, &mlp.predict(&x));
+        let lin_err = mae(&y, &lin.predict(&x));
+        assert!(
+            mlp_err < lin_err,
+            "mlp {mlp_err} should beat linear {lin_err} on x^2"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = nonlinear_data(100);
+        let opts = MlpOptions {
+            hidden: vec![8],
+            epochs: 20,
+            ..Default::default()
+        };
+        let mut a = MlpRegressor::new(opts.clone());
+        a.fit(&x, &y);
+        let mut b = MlpRegressor::new(opts);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(x.row(0)), b.predict_one(x.row(0)));
+    }
+
+    #[test]
+    fn untrained_predicts_zero() {
+        let m = MlpRegressor::default();
+        assert_eq!(m.predict_one(&[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! K-fold cross-validation and grid search.
+//!
+//! The paper "employ[s] a 10-fold cross-validation on the training set and
+//! grid search … to find the best hyperparameters of each model" (§IV-A).
+
+use crate::dataset::Dataset;
+use crate::metrics::mae;
+use crate::model::Regressor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic k-fold index split: returns `(train, validation)` index
+/// vectors for each fold.
+///
+/// # Panics
+/// Panics if `k < 2` or `n < k`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(n >= k, "need at least k samples");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let val: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        folds.push((train, val));
+    }
+    folds
+}
+
+/// Mean CV MAE of a model factory over `k` folds.
+pub fn cross_val_mae<M, F>(data: &Dataset, k: usize, seed: u64, make: F) -> f64
+where
+    M: Regressor,
+    F: Fn() -> M,
+{
+    let folds = kfold(data.len(), k, seed);
+    let mut total = 0.0;
+    for (train_idx, val_idx) in &folds {
+        let train = data.select(train_idx);
+        let val = data.select(val_idx);
+        let mut model = make();
+        model.fit(&train.x, &train.y);
+        let pred = model.predict(&val.x);
+        total += mae(&val.y, &pred);
+    }
+    total / folds.len() as f64
+}
+
+/// Pick the parameter set with the lowest CV MAE. Returns
+/// `(best_param_index, best_score)`.
+///
+/// # Panics
+/// Panics if `params` is empty.
+pub fn grid_search<M, P, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    params: &[P],
+    make: F,
+) -> (usize, f64)
+where
+    M: Regressor,
+    F: Fn(&P) -> M,
+{
+    assert!(!params.is_empty(), "empty parameter grid");
+    let mut best = (0usize, f64::INFINITY);
+    for (i, p) in params.iter().enumerate() {
+        let score = cross_val_mae(data, k, seed, || make(p));
+        if score < best.1 {
+            best = (i, score);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{Lasso, LassoOptions};
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::with_cols(1);
+        for i in 0..n {
+            let x = i as f64;
+            d.push(&[x], 2.0 * x + 1.0);
+        }
+        d
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let folds = kfold(100, 10, 1);
+        assert_eq!(folds.len(), 10);
+        let mut seen = [false; 100];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 100);
+            for &i in val {
+                assert!(!seen[i], "sample {i} in two validation folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kfold_handles_uneven_sizes() {
+        let folds = kfold(10, 3, 1);
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn kfold_rejects_k_one() {
+        kfold(10, 1, 0);
+    }
+
+    #[test]
+    fn cv_score_near_zero_on_learnable_data() {
+        let d = toy(60);
+        let score = cross_val_mae(&d, 5, 1, || {
+            Lasso::new(LassoOptions {
+                alpha: 1e-5,
+                ..Default::default()
+            })
+        });
+        assert!(score < 0.5, "cv mae = {score}");
+    }
+
+    #[test]
+    fn grid_search_prefers_lower_alpha_on_clean_data() {
+        let d = toy(60);
+        let alphas = [1e3, 1e-4];
+        let (best, score) = grid_search(&d, 5, 1, &alphas, |&a| {
+            Lasso::new(LassoOptions {
+                alpha: a,
+                ..Default::default()
+            })
+        });
+        assert_eq!(best, 1, "small alpha wins on noiseless linear data");
+        assert!(score < 1.0);
+    }
+}

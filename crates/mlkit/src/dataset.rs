@@ -1,0 +1,217 @@
+//! Row-major feature matrices and labelled datasets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dense row-major matrix of `f64` features.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An empty matrix with `cols` columns.
+    pub fn with_cols(cols: usize) -> Self {
+        Matrix {
+            data: Vec::new(),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Build from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut m = Matrix::with_cols(cols);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the column count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `i`-th row.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable access to the `i`-th row.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// A new matrix containing the given rows (by index).
+    pub fn select(&self, indices: &[usize]) -> Matrix {
+        let mut m = Matrix::with_cols(self.cols);
+        for &i in indices {
+            m.push_row(self.row(i));
+        }
+        m
+    }
+
+    /// Column `j` as a vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i)[j]).collect()
+    }
+}
+
+/// A labelled dataset: features plus one target per row.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature matrix.
+    pub x: Matrix,
+    /// Targets, one per row.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// An empty dataset with `cols` feature columns.
+    pub fn with_cols(cols: usize) -> Self {
+        Dataset {
+            x: Matrix::with_cols(cols),
+            y: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, features: &[f64], target: f64) {
+        self.x.push_row(features);
+        self.y.push(target);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Subset by row indices.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Deterministic shuffled train/test split with `test_fraction` of the
+    /// samples held out (the paper holds out 20 %).
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = ((self.len() as f64) * test_fraction).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(self.len()));
+        (self.select(train_idx), self.select(test_idx))
+    }
+
+    /// Merge another dataset into this one.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn extend(&mut self, other: &Dataset) {
+        for (row, &t) in other.x.iter_rows().zip(&other.y) {
+            self.push(row, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::with_cols(2);
+        for i in 0..n {
+            d.push(&[i as f64, (i * 2) as f64], i as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn matrix_row_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_rejected() {
+        let mut m = Matrix::with_cols(3);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy(100);
+        let (train, test) = d.train_test_split(0.2, 7);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<f64> = train.y.iter().chain(test.y.iter()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(50);
+        let (a, _) = d.train_test_split(0.2, 3);
+        let (b, _) = d.train_test_split(0.2, 3);
+        assert_eq!(a.y, b.y);
+        let (c, _) = d.train_test_split(0.2, 4);
+        assert_ne!(a.y, c.y);
+    }
+
+    #[test]
+    fn select_and_extend() {
+        let d = toy(10);
+        let sub = d.select(&[1, 3, 5]);
+        assert_eq!(sub.y, vec![1.0, 3.0, 5.0]);
+        let mut e = Dataset::with_cols(2);
+        e.extend(&sub);
+        e.extend(&sub);
+        assert_eq!(e.len(), 6);
+    }
+}

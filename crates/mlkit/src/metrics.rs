@@ -1,0 +1,126 @@
+//! Regression error metrics.
+//!
+//! The paper evaluates with MAE (mean absolute error) and MedAE (median
+//! absolute error): "MedAE reflects the distribution of the absolute …
+//! errors which is robust to outliers" (§IV-A).
+
+/// Mean absolute error `1/N Σ |yᵢ − ŷᵢ|`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Median absolute error `median(|y₁ − ŷ₁|, …)`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn medae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    let mut errs: Vec<f64> = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b).abs())
+        .collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = errs.len();
+    if n % 2 == 1 {
+        errs[n / 2]
+    } else {
+        (errs[n / 2 - 1] + errs[n / 2]) / 2.0
+    }
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let ss_tot: f64 = y_true.iter().map(|a| (a - mean) * (a - mean)).sum();
+    if ss_tot < 1e-12 {
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 2.0, 3.0], &[1.0, 3.0, 5.0]), 1.0);
+        assert_eq!(mae(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn medae_is_outlier_robust() {
+        let y = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, 1.0, 1.0, 1.0, 100.0];
+        assert_eq!(medae(&y, &p), 1.0);
+        assert!(mae(&y, &p) > 20.0);
+    }
+
+    #[test]
+    fn medae_even_count_averages() {
+        assert_eq!(medae(&[0.0, 0.0], &[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_large_errors() {
+        let y = [0.0, 0.0];
+        assert!(rmse(&y, &[2.0, 0.0]) > mae(&y, &[2.0, 0.0]));
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r2(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        mae(&[], &[]);
+    }
+}

@@ -1,0 +1,44 @@
+//! The common regressor interface.
+
+use crate::dataset::Matrix;
+
+/// A trainable regression model.
+pub trait Regressor {
+    /// Fit the model to features `x` and targets `y`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `x.rows() != y.len()` or the data is
+    /// empty.
+    fn fit(&mut self, x: &Matrix, y: &[f64]);
+
+    /// Predict the target of a single feature row.
+    fn predict_one(&self, row: &[f64]) -> f64;
+
+    /// Predict every row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mean(f64);
+    impl Regressor for Mean {
+        fn fit(&mut self, _x: &Matrix, y: &[f64]) {
+            self.0 = y.iter().sum::<f64>() / y.len() as f64;
+        }
+        fn predict_one(&self, _row: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_predict_maps_rows() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let mut m = Mean(0.0);
+        m.fit(&x, &[2.0, 4.0]);
+        assert_eq!(m.predict(&x), vec![3.0, 3.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Feature standardization (zero mean, unit variance).
+
+use crate::dataset::Matrix;
+
+/// A per-column standard scaler.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    /// Column means.
+    pub mean: Vec<f64>,
+    /// Column standard deviations (zero-variance columns get 1.0).
+    pub std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit to the columns of `x`.
+    pub fn fit(x: &Matrix) -> StandardScaler {
+        let n = x.rows().max(1) as f64;
+        let cols = x.cols();
+        let mut mean = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for j in 0..cols {
+                let d = row[j] - mean[j];
+                var[j] += d * d;
+            }
+        }
+        let std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Standardize one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for j in 0..row.len().min(self.mean.len()) {
+            row[j] = (row[j] - self.mean[j]) / self.std[j];
+        }
+    }
+
+    /// Standardize a whole matrix into a new one.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::with_cols(x.cols());
+        for row in x.iter_rows() {
+            let mut r = row.to_vec();
+            self.transform_row(&mut r);
+            out.push_row(&r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]]);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        // Column 0: mean 3, values -> symmetric around 0.
+        let c0 = t.column(0);
+        assert!((c0.iter().sum::<f64>()).abs() < 1e-9);
+        assert!(c0[0] < 0.0 && c0[2] > 0.0);
+        // Constant column: untouched scale (std fallback 1.0), zero-centred.
+        let c1 = t.column(1);
+        assert!(c1.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[vec![2.0], vec![4.0]]);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        let mut r = vec![2.0];
+        s.transform_row(&mut r);
+        assert_eq!(r[0], t.row(0)[0]);
+    }
+}

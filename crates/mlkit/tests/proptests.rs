@@ -1,0 +1,91 @@
+//! Property-based tests of the ML toolkit's invariants.
+
+use mlkit::cv::kfold;
+use mlkit::dataset::Matrix;
+use mlkit::metrics::{mae, medae, r2, rmse};
+use mlkit::scaler::StandardScaler;
+use mlkit::tree::{BinnedMatrix, RegressionTree, TreeOptions};
+use proptest::prelude::*;
+
+fn vec_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..64)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_nonnegative_and_zero_on_identity((y, p) in vec_pair()) {
+        prop_assert!(mae(&y, &p) >= 0.0);
+        prop_assert!(medae(&y, &p) >= 0.0);
+        prop_assert!(rmse(&y, &p) >= 0.0);
+        prop_assert!(mae(&y, &y) == 0.0);
+        prop_assert!(medae(&y, &y) == 0.0);
+        prop_assert!((r2(&y, &y) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_dominates_medae_up_to_max((y, p) in vec_pair()) {
+        // MedAE <= max error, MAE <= max error, MedAE can exceed MAE only
+        // when more than half the errors are above the mean — but never the
+        // maximum.
+        let max_err = y.iter().zip(&p).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(mae(&y, &p) <= max_err + 1e-9);
+        prop_assert!(medae(&y, &p) <= max_err + 1e-9);
+    }
+
+    #[test]
+    fn rmse_dominates_mae((y, p) in vec_pair()) {
+        prop_assert!(rmse(&y, &p) + 1e-9 >= mae(&y, &p));
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 4usize..200, k in 2usize..8, seed in 0u64..100) {
+        prop_assume!(n >= k);
+        let folds = kfold(n, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0u32; n];
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), n);
+            for &i in val {
+                seen[i] += 1;
+            }
+            // No index appears in both halves of a fold.
+            let tset: std::collections::HashSet<_> = train.iter().collect();
+            prop_assert!(val.iter().all(|i| !tset.contains(i)));
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each sample validates exactly once");
+    }
+
+    #[test]
+    fn scaler_produces_zero_mean(rows in prop::collection::vec(
+        prop::collection::vec(-1e4f64..1e4, 3), 2..40)) {
+        let x = Matrix::from_rows(&rows);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        for j in 0..3 {
+            let col = t.column(j);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn tree_predictions_stay_within_target_range(
+        data in prop::collection::vec((-100f64..100.0, -50f64..50.0), 10..80)
+    ) {
+        let rows: Vec<Vec<f64>> = data.iter().map(|&(a, _)| vec![a]).collect();
+        let y: Vec<f64> = data.iter().map(|&(_, b)| b).collect();
+        let x = Matrix::from_rows(&rows);
+        let binned = BinnedMatrix::from_matrix(&x);
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let tree = RegressionTree::fit(&binned, &y, &samples, &[0], &TreeOptions::default());
+        let lo = y.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = y.iter().cloned().fold(f64::MIN, f64::max);
+        for row in x.iter_rows() {
+            let p = tree.predict_one(row);
+            // Leaf values are means of targets, so they stay inside the
+            // observed range.
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+}

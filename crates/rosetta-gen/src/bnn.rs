@@ -1,0 +1,78 @@
+//! Synthetic **BNN**: a binarized fully-connected layer — per-neuron
+//! XNOR-popcount accumulation over packed 64-bit weight words, then a sign
+//! activation. Popcount forests are classic congestion generators.
+
+use crate::{Benchmark, Preset};
+use hls_ir::directives::{Directives, Partition};
+use std::fmt::Write;
+
+/// Output neurons.
+pub const NEURONS: usize = 24;
+/// 64-bit words per neuron input.
+pub const WORDS: usize = 4;
+
+/// The kernel source.
+pub fn source() -> String {
+    let mut s = String::new();
+    let wlen = NEURONS * WORDS;
+    let _ = writeln!(s, "int32 bnn(int64 act[{WORDS}], int64 wts[{wlen}]) {{");
+    let _ = writeln!(s, "    int32 fired = 0;");
+    let _ = writeln!(s, "    for (n = 0; n < {NEURONS}; n++) {{");
+    let _ = writeln!(s, "        int32 acc = 0;");
+    let _ = writeln!(s, "        for (k = 0; k < {WORDS}; k++) {{");
+    let _ = writeln!(
+        s,
+        "            acc = acc + popcount(act[k] ^ wts[n * {WORDS} + k]);"
+    );
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "        fired = fired + (acc > {} ? 1 : 0);", WORDS * 32);
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return fired;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Preset directives.
+pub fn directives(preset: Preset) -> Directives {
+    let mut d = Directives::new();
+    if preset == Preset::Optimized {
+        d.set_full_unroll("bnn/loop1"); // words
+        d.set_unroll("bnn/loop0", 4); // neurons
+        d.set_partition("bnn/act", Partition::Complete);
+        d.set_partition("bnn/wts", Partition::Cyclic(16));
+    }
+    d
+}
+
+/// The benchmark for a preset.
+pub fn benchmark(preset: Preset) -> Benchmark {
+    Benchmark {
+        name: format!("bnn_{preset:?}").to_lowercase(),
+        source: source(),
+        directives: directives(preset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::OpKind;
+
+    #[test]
+    fn optimized_builds_popcount_forest() {
+        let m = benchmark(Preset::Optimized).build().unwrap();
+        let h = m.top_function().kind_histogram();
+        // 4 neurons x 4 words unrolled = 16 XORs per iteration.
+        assert!(h[OpKind::Xor.index()] >= 16);
+        assert!(h[OpKind::Add.index()] >= 16 * 6, "SWAR adder forest");
+    }
+
+    #[test]
+    fn plain_stays_rolled() {
+        let m = benchmark(Preset::Plain).build().unwrap();
+        let top = m.top_function();
+        assert_eq!(top.body.loop_count(), 2);
+        let h = top.kind_histogram();
+        assert!(h[OpKind::Xor.index()] <= 1);
+    }
+}

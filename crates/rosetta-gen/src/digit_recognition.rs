@@ -1,0 +1,76 @@
+//! Synthetic **Digit Recognition**: K-nearest-neighbour over binarized
+//! digits — Hamming distances (XOR + popcount) against a training set,
+//! followed by a best-match reduction.
+
+use crate::{Benchmark, Preset};
+use hls_ir::directives::{Directives, Partition};
+use std::fmt::Write;
+
+/// Number of training digits.
+pub const TRAIN: usize = 48;
+
+/// The kernel source.
+pub fn source() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "int32 dr_distance(int64 a, int64 b) {{");
+    let _ = writeln!(s, "    return popcount(a ^ b);");
+    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "int32 digit_rec(int64 test, int64 train[{TRAIN}]) {{");
+    let _ = writeln!(s, "    int32 best = 9999;");
+    let _ = writeln!(s, "    int32 besti = 0;");
+    let _ = writeln!(s, "    for (i = 0; i < {TRAIN}; i++) {{");
+    let _ = writeln!(s, "        int32 d = dr_distance(test, train[i]);");
+    let _ = writeln!(s, "        if (d < best) {{");
+    let _ = writeln!(s, "            best = d;");
+    let _ = writeln!(s, "            besti = i;");
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return besti;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Preset directives.
+pub fn directives(preset: Preset) -> Directives {
+    let mut d = Directives::new();
+    if preset == Preset::Optimized {
+        d.set_inline("dr_distance", true);
+        d.set_unroll("digit_rec/loop0", 8);
+        d.set_partition("digit_rec/train", Partition::Cyclic(8));
+    }
+    d
+}
+
+/// The benchmark for a preset.
+pub fn benchmark(preset: Preset) -> Benchmark {
+    Benchmark {
+        name: format!("digit_recognition_{preset:?}").to_lowercase(),
+        source: source(),
+        directives: directives(preset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::OpKind;
+
+    #[test]
+    fn optimized_unrolls_popcount_forest() {
+        let m = benchmark(Preset::Optimized).build().unwrap();
+        let top = m.function_by_name("digit_rec").unwrap();
+        let h = top.kind_histogram();
+        // 8 inlined distance computations per iteration, each with a SWAR
+        // popcount containing several shifts.
+        assert!(h[OpKind::Xor.index()] >= 8);
+        assert!(h[OpKind::LShr.index()] >= 8 * 4);
+        assert!(top.call_sites().is_empty());
+    }
+
+    #[test]
+    fn plain_keeps_call() {
+        let m = benchmark(Preset::Plain).build().unwrap();
+        let top = m.function_by_name("digit_rec").unwrap();
+        assert_eq!(top.call_sites().len(), 1);
+    }
+}

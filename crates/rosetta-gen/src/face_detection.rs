@@ -1,0 +1,216 @@
+//! Synthetic **Face Detection**: a cascade of classifiers sliding over an
+//! image, modelled on the Rosetta kernel the paper uses for its motivation
+//! (Table I, Fig 1) and its case study (Table VI, Fig 6).
+//!
+//! Each window position runs `STAGES` weighted-sum classifiers whose votes
+//! are summed and compared — the exact structure where the paper's model
+//! localizes congestion ("the region where multiple results returned by the
+//! classifiers are summed up and compared").
+
+use crate::Benchmark;
+use hls_ir::directives::{Directives, Partition};
+use std::fmt::Write;
+
+/// Number of classifier stages in the cascade.
+pub const STAGES: usize = 6;
+/// Window size in pixels.
+pub const WIN: usize = 16;
+/// Number of sliding-window positions.
+pub const POSITIONS: usize = 8;
+/// Image buffer length.
+pub const IMG: usize = 128;
+
+/// The case-study implementation variants (paper Table VI + Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FdVariant {
+    /// No directives at all (Table I, "Without Directives").
+    Plain,
+    /// Inlined cascade, full unrolling, complete partitions — the congested
+    /// baseline (Table I "With Directives", Table VI "Baseline").
+    Optimized,
+    /// Step 1 of the case study: remove classifier inlining (classifier
+    /// instances are reused across window positions, which also relaxes the
+    /// window-loop unrolling — the instance-reuse mechanism our simulated
+    /// flow captures; see EXPERIMENTS.md).
+    NoInline,
+    /// Step 2: additionally replicate the window buffer so each half of the
+    /// cascade reads its own copy, cutting the fan-out of the shared
+    /// partitioned array (the paper's "Replication").
+    Replicated,
+}
+
+/// The classifier + detector source. `replicate` selects the step-2 source
+/// with duplicated window buffers.
+pub fn source(replicate: bool) -> String {
+    let step = WIN / 2;
+    let mut s = String::new();
+    // Cascade classifier: weighted sum against per-stage weights + threshold.
+    let _ = writeln!(
+        s,
+        "int32 fd_classifier(int8 win[{WIN}], int8 wgt[{WIN}], int32 thr) {{"
+    );
+    let _ = writeln!(s, "    int32 acc = 0;");
+    let _ = writeln!(s, "    for (j = 0; j < {WIN}; j++) {{");
+    let _ = writeln!(s, "        acc = acc + win[j] * wgt[j];");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return acc > thr ? 1 : 0;");
+    let _ = writeln!(s, "}}");
+
+    // Detector top.
+    let weight_params: Vec<String> = (0..STAGES).map(|k| format!("int8 w{k}[{WIN}]")).collect();
+    let _ = writeln!(
+        s,
+        "int32 face_detect(int8 img[{IMG}], {}) {{",
+        weight_params.join(", ")
+    );
+    let _ = writeln!(s, "    int32 votes = 0;");
+    let _ = writeln!(s, "    for (p = 0; p < {POSITIONS}; p++) {{");
+    if replicate {
+        // Replicated window buffers, one per pair of cascade stages; the
+        // copies are chained off the first buffer's registers so the image
+        // memory is still read only once per pixel.
+        for c in ["wa", "wb", "wc"] {
+            let _ = writeln!(s, "        int8 {c}[{WIN}];");
+        }
+        let _ = writeln!(s, "        for (j = 0; j < {WIN}; j++) {{");
+        let _ = writeln!(s, "            int8 pix = img[p * {step} + j];");
+        let _ = writeln!(s, "            wa[j] = pix;");
+        let _ = writeln!(s, "            wb[j] = pix;");
+        let _ = writeln!(s, "            wc[j] = pix;");
+        let _ = writeln!(s, "        }}");
+    } else {
+        let _ = writeln!(s, "        int8 win[{WIN}];");
+        let _ = writeln!(s, "        for (j = 0; j < {WIN}; j++) {{");
+        let _ = writeln!(s, "            win[j] = img[p * {step} + j];");
+        let _ = writeln!(s, "        }}");
+    }
+    let _ = writeln!(s, "        int32 score = 0;");
+    for k in 0..STAGES {
+        let buf = if !replicate {
+            "win"
+        } else {
+            ["wa", "wb", "wc"][(k * 3 / STAGES).min(2)]
+        };
+        let thr = 60 + 10 * k;
+        let _ = writeln!(
+            s,
+            "        score = score + fd_classifier({buf}, w{k}, {thr});"
+        );
+    }
+    let _ = writeln!(s, "        votes = votes + (score > {} ? 1 : 0);", STAGES / 2);
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return votes;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Directives for each variant.
+pub fn directives(variant: FdVariant) -> Directives {
+    let mut d = Directives::new();
+    match variant {
+        FdVariant::Plain => {}
+        FdVariant::Optimized => {
+            d.set_inline("fd_classifier", true);
+            d.set_full_unroll("fd_classifier/loop0");
+            d.set_full_unroll("face_detect/loop0"); // window positions
+            d.set_full_unroll("face_detect/loop1"); // window copy
+            partition_all(&mut d);
+        }
+        FdVariant::NoInline | FdVariant::Replicated => {
+            // The paper's step 1 removes *only* the inlining. In our flow
+            // the relief mechanism this exposes is structural: the flat
+            // inlined design serializes on memory ports, which makes the
+            // binder share multipliers behind wide input muxes (wiring
+            // concentrators), while per-call classifier instances keep
+            // private, directly-wired operators.
+            d.set_inline("fd_classifier", false);
+            d.set_full_unroll("fd_classifier/loop0");
+            d.set_full_unroll("face_detect/loop0");
+            d.set_full_unroll("face_detect/loop1");
+            partition_all(&mut d);
+            if variant == FdVariant::Replicated {
+                for buf in ["wa", "wb", "wc"] {
+                    d.set_partition(&format!("face_detect/{buf}"), Partition::Complete);
+                }
+            }
+        }
+    }
+    d
+}
+
+fn partition_all(d: &mut Directives) {
+    d.set_partition("face_detect/win", Partition::Complete);
+    d.set_partition("face_detect/img", Partition::Cyclic(8));
+    for k in 0..STAGES {
+        d.set_partition(&format!("face_detect/w{k}"), Partition::Complete);
+    }
+    d.set_partition("fd_classifier/win", Partition::Complete);
+    d.set_partition("fd_classifier/wgt", Partition::Complete);
+}
+
+/// The benchmark for a variant.
+pub fn benchmark(variant: FdVariant) -> Benchmark {
+    let replicate = variant == FdVariant::Replicated;
+    Benchmark {
+        name: format!("face_detection_{variant:?}").to_lowercase(),
+        source: source(replicate),
+        directives: directives(variant),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::OpKind;
+
+    #[test]
+    fn all_variants_compile() {
+        for v in [
+            FdVariant::Plain,
+            FdVariant::Optimized,
+            FdVariant::NoInline,
+            FdVariant::Replicated,
+        ] {
+            let m = benchmark(v).build().unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            assert!(m.total_ops() > 20, "{v:?} too small");
+        }
+    }
+
+    #[test]
+    fn optimized_inlines_everything() {
+        let m = benchmark(FdVariant::Optimized).build().unwrap();
+        let top = m.function_by_name("face_detect").unwrap();
+        assert!(top.call_sites().is_empty(), "cascade must be inlined");
+        // Fully unrolled MAC array.
+        let h = top.kind_histogram();
+        assert_eq!(
+            h[OpKind::Mul.index()] as usize,
+            STAGES * WIN * POSITIONS,
+            "one multiplier per (stage, pixel, position)"
+        );
+    }
+
+    #[test]
+    fn no_inline_keeps_call_sites() {
+        let m = benchmark(FdVariant::NoInline).build().unwrap();
+        let top = m.function_by_name("face_detect").unwrap();
+        assert!(!top.call_sites().is_empty());
+    }
+
+    #[test]
+    fn replicated_has_two_window_buffers() {
+        let m = benchmark(FdVariant::Replicated).build().unwrap();
+        let top = m.function_by_name("face_detect").unwrap();
+        assert!(top.array_by_name("wa").is_some());
+        assert!(top.array_by_name("wb").is_some());
+    }
+
+    #[test]
+    fn plain_is_fully_rolled() {
+        let m = benchmark(FdVariant::Plain).build().unwrap();
+        let top = m.function_by_name("face_detect").unwrap();
+        assert!(top.body.loop_count() >= 2, "loops stay rolled");
+        let h = top.kind_histogram();
+        assert!(h[OpKind::Mul.index()] <= 2, "no MAC replication");
+    }
+}

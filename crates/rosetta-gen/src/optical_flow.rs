@@ -1,0 +1,80 @@
+//! Synthetic **Optical Flow**: a Lucas–Kanade-style stencil — spatial and
+//! temporal gradients over two frames, multiplied and accumulated per pixel.
+
+use crate::{Benchmark, Preset};
+use hls_ir::directives::{Directives, Partition};
+use std::fmt::Write;
+
+/// Frame edge length (frames are `SIZE x SIZE`).
+pub const SIZE: usize = 16;
+
+/// The kernel source.
+pub fn source() -> String {
+    let mut s = String::new();
+    let n = SIZE * SIZE;
+    let inner = SIZE - 1;
+    let _ = writeln!(
+        s,
+        "int32 optical_flow(int16 f0[{n}], int16 f1[{n}]) {{"
+    );
+    let _ = writeln!(s, "    int32 sum_u = 0;");
+    let _ = writeln!(s, "    int32 sum_v = 0;");
+    let _ = writeln!(s, "    for (y = 1; y < {inner}; y++) {{");
+    let _ = writeln!(s, "        for (x = 1; x < {inner}; x++) {{");
+    let _ = writeln!(s, "            int32 idx = y * {SIZE} + x;");
+    let _ = writeln!(s, "            int32 ix = f0[idx + 1] - f0[idx - 1];");
+    let _ = writeln!(
+        s,
+        "            int32 iy = f0[idx + {SIZE}] - f0[idx - {SIZE}];"
+    );
+    let _ = writeln!(s, "            int32 it = f1[idx] - f0[idx];");
+    let _ = writeln!(s, "            sum_u = sum_u + ix * it;");
+    let _ = writeln!(s, "            sum_v = sum_v + iy * it;");
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return sum_u + sum_v;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Preset directives.
+pub fn directives(preset: Preset) -> Directives {
+    let mut d = Directives::new();
+    if preset == Preset::Optimized {
+        d.set_full_unroll("optical_flow/loop1"); // inner row
+        d.set_pipeline("optical_flow/loop0", 2);
+        d.set_partition("optical_flow/f0", Partition::Cyclic(8));
+        d.set_partition("optical_flow/f1", Partition::Cyclic(8));
+    }
+    d
+}
+
+/// The benchmark for a preset.
+pub fn benchmark(preset: Preset) -> Benchmark {
+    Benchmark {
+        name: format!("optical_flow_{preset:?}").to_lowercase(),
+        source: source(),
+        directives: directives(preset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::OpKind;
+
+    #[test]
+    fn stencil_reads_five_points() {
+        let m = benchmark(Preset::Plain).build().unwrap();
+        let h = m.top_function().kind_histogram();
+        assert!(h[OpKind::Load.index()] >= 6, "stencil neighborhood loads");
+        assert!(h[OpKind::Mul.index()] >= 2, "two gradient products");
+    }
+
+    #[test]
+    fn optimized_unrolls_inner_row() {
+        let plain = benchmark(Preset::Plain).build().unwrap().total_ops();
+        let opt = benchmark(Preset::Optimized).build().unwrap().total_ops();
+        assert!(opt > plain * 5, "row unroll multiplies ops: {opt} vs {plain}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Synthetic **3D Rendering**: triangle rasterization at one pixel — edge
+//! functions (cross products) per triangle, an inside test, and a z-buffer
+//! update, matching the Rosetta kernel's multiply-heavy shape.
+
+use crate::{Benchmark, Preset};
+use hls_ir::directives::{Directives, Partition};
+use std::fmt::Write;
+
+/// Number of triangles.
+pub const TRIANGLES: usize = 24;
+/// Coordinates per triangle (x0 y0 x1 y1 x2 y2 z).
+pub const COORDS: usize = 7;
+
+/// The kernel source.
+pub fn source() -> String {
+    let mut s = String::new();
+    let len = TRIANGLES * COORDS;
+    let _ = writeln!(
+        s,
+        "int32 render3d(int16 tris[{len}], int16 px, int16 py, int16 zbuf[{TRIANGLES}]) {{"
+    );
+    let _ = writeln!(s, "    int32 hits = 0;");
+    let _ = writeln!(s, "    for (t = 0; t < {TRIANGLES}; t++) {{");
+    let _ = writeln!(s, "        int16 x0 = tris[t * {COORDS}];");
+    let _ = writeln!(s, "        int16 y0 = tris[t * {COORDS} + 1];");
+    let _ = writeln!(s, "        int16 x1 = tris[t * {COORDS} + 2];");
+    let _ = writeln!(s, "        int16 y1 = tris[t * {COORDS} + 3];");
+    let _ = writeln!(s, "        int16 x2 = tris[t * {COORDS} + 4];");
+    let _ = writeln!(s, "        int16 y2 = tris[t * {COORDS} + 5];");
+    let _ = writeln!(s, "        int16 z = tris[t * {COORDS} + 6];");
+    // Three edge functions: (b-a) x (p-a).
+    let _ = writeln!(
+        s,
+        "        int32 e0 = (x1 - x0) * (py - y0) - (y1 - y0) * (px - x0);"
+    );
+    let _ = writeln!(
+        s,
+        "        int32 e1 = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1);"
+    );
+    let _ = writeln!(
+        s,
+        "        int32 e2 = (x0 - x2) * (py - y2) - (y0 - y2) * (px - x2);"
+    );
+    let _ = writeln!(
+        s,
+        "        int32 inside = (e0 >= 0 && e1 >= 0 && e2 >= 0) ? 1 : 0;"
+    );
+    let _ = writeln!(s, "        if (inside > 0) {{");
+    let _ = writeln!(s, "            int16 old = zbuf[t];");
+    let _ = writeln!(s, "            zbuf[t] = min(old, z);");
+    let _ = writeln!(s, "            hits = hits + 1;");
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return hits;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Preset directives.
+pub fn directives(preset: Preset) -> Directives {
+    let mut d = Directives::new();
+    if preset == Preset::Optimized {
+        d.set_unroll("render3d/loop0", 4);
+        // One bank per coordinate: `t*7 + c` always lands in bank `c`.
+        d.set_partition("render3d/tris", Partition::Cyclic(7));
+        d.set_partition("render3d/zbuf", Partition::Complete);
+    }
+    d
+}
+
+/// The benchmark for a preset.
+pub fn benchmark(preset: Preset) -> Benchmark {
+    Benchmark {
+        name: format!("rendering_3d_{preset:?}").to_lowercase(),
+        source: source(),
+        directives: directives(preset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::OpKind;
+
+    #[test]
+    fn edge_functions_generate_multiplies() {
+        let m = benchmark(Preset::Optimized).build().unwrap();
+        let h = m.top_function().kind_histogram();
+        // 6 multiplies per triangle x 4 unrolled (plus index arithmetic).
+        assert!(
+            h[OpKind::Mul.index()] >= 24,
+            "muls = {}",
+            h[OpKind::Mul.index()]
+        );
+    }
+
+    #[test]
+    fn conditional_zbuf_update_is_predicated() {
+        let m = benchmark(Preset::Plain).build().unwrap();
+        let h = m.top_function().kind_histogram();
+        assert!(h[OpKind::Select.index()] >= 2, "min() + predicated store");
+        assert!(h[OpKind::Store.index()] >= 1);
+    }
+}

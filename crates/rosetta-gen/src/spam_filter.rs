@@ -1,0 +1,89 @@
+//! Synthetic **Spam Filtering**: stochastic-gradient-descent steps of a
+//! linear classifier — dot products over a feature vector followed by a
+//! shift-scaled weight update (the Rosetta kernel's compute shape).
+
+use crate::{Benchmark, Preset};
+use hls_ir::directives::{Directives, Partition};
+use std::fmt::Write;
+
+/// Feature vector dimension.
+pub const DIM: usize = 64;
+/// Training samples per invocation.
+pub const SAMPLES: usize = 6;
+
+/// The kernel source.
+pub fn source() -> String {
+    let mut s = String::new();
+    let total = DIM * SAMPLES;
+    let _ = writeln!(
+        s,
+        "int32 spam_filter(int16 wvec[{DIM}], int16 feats[{total}]) {{"
+    );
+    let _ = writeln!(s, "    int32 hits = 0;");
+    let _ = writeln!(s, "    for (k = 0; k < {SAMPLES}; k++) {{");
+    let _ = writeln!(s, "        int32 acc = 0;");
+    let _ = writeln!(s, "        for (j = 0; j < {DIM}; j++) {{");
+    let _ = writeln!(s, "            acc = acc + wvec[j] * feats[k * {DIM} + j];");
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "        int32 pred = acc > 0 ? 1 : 0;");
+    let _ = writeln!(s, "        hits = hits + pred;");
+    let _ = writeln!(s, "        for (j = 0; j < {DIM}; j++) {{");
+    let _ = writeln!(
+        s,
+        "            wvec[j] = wvec[j] + (feats[k * {DIM} + j] >> 4);"
+    );
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return hits;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Preset directives.
+pub fn directives(preset: Preset) -> Directives {
+    let mut d = Directives::new();
+    if preset == Preset::Optimized {
+        d.set_unroll("spam_filter/loop1", 16); // dot product
+        d.set_unroll("spam_filter/loop2", 16); // weight update
+        d.set_partition("spam_filter/wvec", Partition::Cyclic(16));
+        d.set_partition("spam_filter/feats", Partition::Cyclic(16));
+        d.set_pipeline("spam_filter/loop0", 4);
+    }
+    d
+}
+
+/// The benchmark for a preset.
+pub fn benchmark(preset: Preset) -> Benchmark {
+    Benchmark {
+        name: format!("spam_filter_{preset:?}").to_lowercase(),
+        source: source(),
+        directives: directives(preset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::OpKind;
+
+    #[test]
+    fn optimized_unrolls_dot_product() {
+        let m = benchmark(Preset::Optimized).build().unwrap();
+        let top = m.top_function();
+        let h = top.kind_histogram();
+        assert!(
+            h[OpKind::Mul.index()] >= 16,
+            "16-way unrolled MACs, got {}",
+            h[OpKind::Mul.index()]
+        );
+        assert!(h[OpKind::Store.index()] >= 16, "unrolled weight updates");
+    }
+
+    #[test]
+    fn plain_has_single_mac() {
+        let m = benchmark(Preset::Plain).build().unwrap();
+        let h = m.top_function().kind_histogram();
+        // One multiply in the dot-product loop plus index arithmetic.
+        assert!(h[OpKind::Mul.index()] <= 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's benchmark groupings (§IV): "Face Detection … is tested
+//! individually. Digit Recognition and Spam Filtering are invoked by the
+//! same function and the rest three applications, namely, BNN, 3D Rendering
+//! and Optical Flow, are tested in an integrated function."
+
+use crate::{
+    bnn, digit_recognition, face_detection, optical_flow, rendering_3d, spam_filter, Benchmark,
+    Preset,
+};
+use std::fmt::Write;
+
+/// The Face Detection group (tested individually).
+pub fn face_detection_group(preset: Preset) -> Benchmark {
+    match preset {
+        Preset::Plain => face_detection::benchmark(face_detection::FdVariant::Plain),
+        Preset::Optimized => face_detection::benchmark(face_detection::FdVariant::Optimized),
+    }
+}
+
+/// Digit Recognition + Spam Filtering combined under one top function.
+pub fn digit_spam_group(preset: Preset) -> Benchmark {
+    let dr = digit_recognition::benchmark(preset);
+    let sf = spam_filter::benchmark(preset);
+    let mut source = String::new();
+    source.push_str(&dr.source);
+    source.push_str(&sf.source);
+    let sf_total = spam_filter::DIM * spam_filter::SAMPLES;
+    let _ = writeln!(
+        source,
+        "int32 top_dr_sf(int64 test, int64 train[{}], int16 wvec[{}], int16 feats[{}]) {{",
+        digit_recognition::TRAIN,
+        spam_filter::DIM,
+        sf_total
+    );
+    let _ = writeln!(
+        source,
+        "    return digit_rec(test, train) + spam_filter(wvec, feats);"
+    );
+    let _ = writeln!(source, "}}");
+    let mut directives = dr.directives.clone();
+    directives.merge(&sf.directives);
+    Benchmark {
+        name: format!("digit_spam_{preset:?}").to_lowercase(),
+        source,
+        directives,
+    }
+}
+
+/// BNN + 3D Rendering + Optical Flow combined under one top function.
+pub fn bnn_render_flow_group(preset: Preset) -> Benchmark {
+    let b = bnn::benchmark(preset);
+    let r = rendering_3d::benchmark(preset);
+    let o = optical_flow::benchmark(preset);
+    let mut source = String::new();
+    source.push_str(&b.source);
+    source.push_str(&r.source);
+    source.push_str(&o.source);
+    let wlen = bnn::NEURONS * bnn::WORDS;
+    let tlen = rendering_3d::TRIANGLES * rendering_3d::COORDS;
+    let flen = optical_flow::SIZE * optical_flow::SIZE;
+    let _ = writeln!(
+        source,
+        "int32 top_bro(int64 act[{}], int64 wts[{}], int16 tris[{}], int16 px, int16 py, int16 zbuf[{}], int16 f0[{}], int16 f1[{}]) {{",
+        bnn::WORDS,
+        wlen,
+        tlen,
+        rendering_3d::TRIANGLES,
+        flen,
+        flen
+    );
+    let _ = writeln!(source, "    int32 a = bnn(act, wts);");
+    let _ = writeln!(source, "    int32 b = render3d(tris, px, py, zbuf);");
+    let _ = writeln!(source, "    int32 c = optical_flow(f0, f1);");
+    let _ = writeln!(source, "    return a + b + c;");
+    let _ = writeln!(source, "}}");
+    let mut directives = b.directives.clone();
+    directives.merge(&r.directives);
+    directives.merge(&o.directives);
+    Benchmark {
+        name: format!("bnn_render_flow_{preset:?}").to_lowercase(),
+        source,
+        directives,
+    }
+}
+
+/// All three groups, in the paper's order.
+pub fn groups(preset: Preset) -> Vec<Benchmark> {
+    vec![
+        face_detection_group(preset),
+        digit_spam_group(preset),
+        bnn_render_flow_group(preset),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_compile_in_both_presets() {
+        for preset in [Preset::Plain, Preset::Optimized] {
+            for g in groups(preset) {
+                let m = g
+                    .build()
+                    .unwrap_or_else(|e| panic!("{} ({preset:?}): {e}", g.name));
+                assert!(m.total_ops() > 50, "{} too small", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_groups_call_their_kernels() {
+        let m = digit_spam_group(Preset::Plain).build().unwrap();
+        let top = m.function_by_name("top_dr_sf").unwrap();
+        assert_eq!(top.call_sites().len(), 2);
+        let m = bnn_render_flow_group(Preset::Plain).build().unwrap();
+        let top = m.function_by_name("top_bro").unwrap();
+        assert_eq!(top.call_sites().len(), 3);
+    }
+
+    #[test]
+    fn optimized_groups_are_larger() {
+        for mk in [digit_spam_group, bnn_render_flow_group] {
+            let p = mk(Preset::Plain).build().unwrap().total_ops();
+            let o = mk(Preset::Optimized).build().unwrap().total_ops();
+            assert!(o > p, "optimized {o} vs plain {p}");
+        }
+    }
+}

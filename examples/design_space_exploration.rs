@@ -1,0 +1,88 @@
+//! Design-space exploration with predicted congestion: sweep unroll factors
+//! and partition schemes of a dot-product kernel and compare the *predicted*
+//! congestion of each point against the *measured* (post-PAR) value — the
+//! workflow the paper enables ("guide the optimization and shorten the
+//! design cycle").
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use fpga_hls_congestion::prelude::*;
+use rosetta_gen::{suite, Preset};
+
+const KERNEL: &str = r#"
+int32 dot(int32 a[64], int32 b[64]) {
+    int32 acc = 0;
+    for (i = 0; i < 64; i++) {
+        acc = acc + a[i] * b[i];
+    }
+    return acc;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = CongestionFlow::new();
+
+    // Train once on the benchmark suite.
+    let training: Vec<Module> = suite::groups(Preset::Optimized)
+        .into_iter()
+        .map(|b| b.build())
+        .collect::<Result<_, _>>()?;
+    println!("training congestion model on the suite...");
+    let dataset = flow.build_dataset(&training)?;
+    let filtered = filter_marginal(&dataset, &FilterOptions::default());
+    let model = CongestionPredictor::train(
+        ModelKind::Gbrt,
+        Target::Average,
+        &filtered.kept,
+        &TrainOptions::default(),
+    );
+
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>12} {:>10}",
+        "design point", "latency", "pred max %", "actual max %", "Fmax MHz"
+    );
+    for (label, unroll, partition) in [
+        ("rolled, no partition", 1u32, 1u32),
+        ("unroll 8, cyclic 8", 8, 8),
+        ("unroll 16, cyclic 16", 16, 16),
+        ("unroll 64, complete", 64, 64),
+    ] {
+        let mut d = Directives::new();
+        if unroll > 1 {
+            d.set_unroll("dot/loop0", unroll);
+        }
+        if partition > 1 {
+            let p = if partition >= 64 {
+                Partition::Complete
+            } else {
+                Partition::Cyclic(partition)
+            };
+            d.set_partition("dot/a", p);
+            d.set_partition("dot/b", p);
+        }
+        let module = compile_with_directives(KERNEL, &format!("dot_u{unroll}"), &d)?;
+
+        // Prediction phase (cheap: HLS only).
+        let design = flow.synthesize(&module)?;
+        let predictions = model.predict_design(&design, &flow.device);
+        let predicted_max = predictions
+            .iter()
+            .map(|p| p.predicted)
+            .fold(0.0f64, f64::max);
+
+        // Ground truth (expensive: full PAR) for comparison.
+        let (design, result) = flow.implement(&module)?;
+        println!(
+            "{:<28} {:>10} {:>12.1} {:>12.1} {:>10.1}",
+            label,
+            design.report.latency_cycles(),
+            predicted_max,
+            result.congestion.max_any(),
+            result.timing.fmax_mhz
+        );
+    }
+    println!("\n(prediction needs only the HLS run — the PAR column is just for validation)");
+    Ok(())
+}

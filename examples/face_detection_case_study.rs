@@ -1,0 +1,95 @@
+//! The paper's §IV-C case study, end to end: train a model, predict the
+//! congested source lines of the optimized Face Detection design *without*
+//! implementing it, apply the advisor's fixes (un-inline, replicate), and
+//! verify with the full flow that congestion actually fell.
+//!
+//! ```sh
+//! cargo run --release --example face_detection_case_study
+//! ```
+
+use fpga_hls_congestion::prelude::*;
+use rosetta_gen::face_detection::{self, FdVariant};
+use rosetta_gen::{suite, Preset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = CongestionFlow::new();
+
+    // Train on the other two suite groups so Face Detection is unseen.
+    let training: Vec<Module> = [
+        suite::digit_spam_group(Preset::Optimized),
+        suite::bnn_render_flow_group(Preset::Optimized),
+    ]
+    .into_iter()
+    .map(|b| b.build())
+    .collect::<Result<_, _>>()?;
+    println!("building training dataset from 2 suite groups...");
+    let dataset = flow.build_dataset(&training)?;
+    let filtered = filter_marginal(&dataset, &FilterOptions::default());
+    let model = CongestionPredictor::train(
+        ModelKind::Gbrt,
+        Target::Average,
+        &filtered.kept,
+        &TrainOptions::default(),
+    );
+
+    // Prediction phase: HLS only on the congested baseline.
+    let bench = face_detection::benchmark(FdVariant::Optimized);
+    let module = bench.build()?;
+    let design = flow.synthesize(&module)?;
+    let predictions = model.predict_design(&design, &flow.device);
+
+    // Locate the hottest source lines.
+    let regions = locate_congested(&design.module, &predictions);
+    println!("\npredicted congestion hot spots:");
+    println!("{}", render_report(&regions, Some(&bench.source), 5));
+
+    // Ask the advisor for fixes. The model was trained on other designs, so
+    // its absolute scale is conservative; flag the top of *this* design's
+    // predicted range as hot.
+    let max_pred = predictions
+        .iter()
+        .map(|p| p.predicted)
+        .fold(0.0f64, f64::max);
+    let opts = ResolveOptions {
+        hot_threshold: max_pred * 0.85,
+        ..ResolveOptions::default()
+    };
+    let suggestions = suggest_fixes(&design.module, &predictions, &opts);
+    println!("advisor suggestions:");
+    for s in &suggestions {
+        match s {
+            Suggestion::RemoveInline { function } => {
+                println!("  - remove inlining of `{function}` (paper step 1)");
+            }
+            Suggestion::ReplicateArray {
+                function,
+                array,
+                readers,
+            } => println!(
+                "  - replicate `{array}` in `{function}` ({readers} readers, paper step 2)"
+            ),
+            Suggestion::PartitionArray {
+                function,
+                array,
+                accessors,
+            } => println!("  - partition `{array}` in `{function}` ({accessors} accessors)"),
+        }
+    }
+
+    // Apply the paper's two steps and verify with the full flow.
+    println!("\nverifying with full place-and-route:");
+    for variant in [FdVariant::Optimized, FdVariant::NoInline, FdVariant::Replicated] {
+        let m = face_detection::benchmark(variant).build()?;
+        let (d, r) = flow.implement(&m)?;
+        println!(
+            "  {:<26} max cong (V, H) = ({:>6.1}%, {:>6.1}%)  congested CLBs = {:>4}  Fmax = {:>5.1} MHz  latency = {}",
+            format!("{variant:?}"),
+            r.congestion.max_vertical(),
+            r.congestion.max_horizontal(),
+            r.congestion.tiles_over(100.0),
+            r.timing.fmax_mhz,
+            d.report.latency_cycles()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: train a congestion model on the benchmark suite, evaluate it
+//! on held-out operations, and print the paper's accuracy metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fpga_hls_congestion::prelude::*;
+use rosetta_gen::{suite, Preset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the training designs: the paper's three suite groups
+    //    (Face Detection; DigitRec + SpamFilter; BNN + 3DRendering + Flow).
+    let modules: Vec<Module> = suite::groups(Preset::Optimized)
+        .into_iter()
+        .map(|b| b.build())
+        .collect::<Result<_, _>>()?;
+
+    // 2. Training phase: one full HLS + place-and-route run per design,
+    //    back-trace per-CLB congestion to IR operations, extract the 302
+    //    features.
+    let flow = CongestionFlow::new();
+    println!("implementing {} designs (HLS + PAR)...", modules.len());
+    let dataset = flow.build_dataset(&modules)?;
+    println!("dataset: {} labelled operations", dataset.len());
+
+    // 3. Filter marginal unroll replicas (paper §III-C1).
+    let filtered = filter_marginal(&dataset, &FilterOptions::default());
+    println!(
+        "filtered {} marginal samples ({:.1}%)",
+        filtered.removed,
+        filtered.removed_fraction * 100.0
+    );
+
+    // 4. Train the paper's three models on the vertical metric and compare.
+    let (train, test) = filtered.kept.split(0.2, 42);
+    for kind in [ModelKind::Linear, ModelKind::Ann, ModelKind::Gbrt] {
+        let model = CongestionPredictor::train(
+            kind,
+            Target::Vertical,
+            &train,
+            &TrainOptions::default(),
+        );
+        let acc = model.evaluate(&test);
+        println!(
+            "{:<7} vertical congestion: MAE {:.2}%, MedAE {:.2}%",
+            model.kind.name(),
+            acc.mae,
+            acc.medae
+        );
+    }
+    Ok(())
+}

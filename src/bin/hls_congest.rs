@@ -1,0 +1,235 @@
+//! `hls-congest` — the command-line face of the congestion-prediction flow.
+//!
+//! ```text
+//! hls-congest compile   <file.mhls>                 print the IR after directives
+//! hls-congest synth     <file.mhls>                 HLS report (latency, resources, clock)
+//! hls-congest implement <file.mhls>                 full flow: congestion map + timing
+//! hls-congest dataset   <file.mhls>... -o data.csv  build + save a labelled dataset
+//! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
+//! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
+//! ```
+
+use fpga_hls_congestion::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "compile" => compile_cmd(rest),
+        "synth" => synth_cmd(rest),
+        "implement" => implement_cmd(rest),
+        "dataset" => dataset_cmd(rest),
+        "train" => train_cmd(rest),
+        "predict" => predict_cmd(rest),
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> Box<dyn std::error::Error> {
+    "usage: hls-congest <compile|synth|implement|dataset|train|predict> ... (see --help in README)"
+        .into()
+}
+
+fn load_module(path: &str) -> Result<(Module, String), Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design")
+        .to_string();
+    let module = compile_named(&source, &name)?;
+    Ok((module, source))
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || (a.starts_with('-') && a.len() == 2) {
+            skip = true;
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn compile_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let files = positional(args);
+    let path = files.first().ok_or_else(usage)?;
+    let (module, _) = load_module(path)?;
+    print!("{}", hls_ir::printer::print_module(&module));
+    Ok(())
+}
+
+fn synth_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let files = positional(args);
+    let path = files.first().ok_or_else(usage)?;
+    let (module, _) = load_module(path)?;
+    let design = HlsFlow::new(HlsOptions::default()).run(&module)?;
+    for fid in design.module.bottom_up_order() {
+        let rep = &design.report.functions[&fid];
+        println!(
+            "{:<24} latency {:>8} cycles | clock est {:>5.2} ns | {:>6} LUT {:>6} FF {:>4} DSP {:>4} BRAM | {} muxes",
+            rep.name,
+            rep.latency_cycles,
+            rep.estimated_clock_ns,
+            rep.resources.luts,
+            rep.resources.ffs,
+            rep.resources.dsps,
+            rep.resources.brams,
+            rep.mux.count
+        );
+    }
+    println!(
+        "netlist: {} cells, {} nets",
+        design.rtl.cells.len(),
+        design.rtl.nets.len()
+    );
+    Ok(())
+}
+
+fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let files = positional(args);
+    let path = files.first().ok_or_else(usage)?;
+    let (module, _) = load_module(path)?;
+    let flow = CongestionFlow::new();
+    let (design, result) = flow.implement(&module)?;
+    println!(
+        "latency {} cycles | WNS {:.2} ns | Fmax {:.1} MHz",
+        design.report.latency_cycles(),
+        result.timing.wns_ns,
+        result.timing.fmax_mhz
+    );
+    println!(
+        "congestion: max (V, H) = ({:.1}%, {:.1}%), {} tiles over 100%",
+        result.congestion.max_vertical(),
+        result.congestion.max_horizontal(),
+        result.congestion.tiles_over(100.0)
+    );
+    println!(
+        "\nutilization:\n{}",
+        fpga_fabric::UtilizationReport::new(&design.rtl, &flow.device)
+    );
+    println!("vertical congestion map:\n{}", result.congestion.render(true));
+    Ok(())
+}
+
+fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let out = flag(args, "-o").or(flag(args, "--out")).unwrap_or("dataset.csv");
+    let files = positional(args);
+    if files.is_empty() {
+        return Err(usage());
+    }
+    let flow = CongestionFlow::new();
+    let mut modules = Vec::new();
+    for f in &files {
+        modules.push(load_module(f)?.0);
+    }
+    let ds = flow.build_dataset(&modules)?;
+    congestion_core::persist::save(&ds, out)?;
+    println!(
+        "{}",
+        congestion_core::stats::dataset_stats(&ds, Target::Average)
+    );
+    println!("wrote {} samples to {out}", ds.len());
+    Ok(())
+}
+
+fn parse_model(s: Option<&str>) -> Result<ModelKind, Box<dyn std::error::Error>> {
+    Ok(match s.unwrap_or("gbrt") {
+        "linear" => ModelKind::Linear,
+        "ann" => ModelKind::Ann,
+        "gbrt" => ModelKind::Gbrt,
+        other => return Err(format!("unknown model `{other}`").into()),
+    })
+}
+
+fn parse_target(s: Option<&str>) -> Result<Target, Box<dyn std::error::Error>> {
+    Ok(match s.unwrap_or("v") {
+        "v" | "vertical" => Target::Vertical,
+        "h" | "horizontal" => Target::Horizontal,
+        "avg" | "average" => Target::Average,
+        other => return Err(format!("unknown target `{other}`").into()),
+    })
+}
+
+fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let files = positional(args);
+    let path = files.first().ok_or_else(usage)?;
+    let kind = parse_model(flag(args, "--model"))?;
+    let target = parse_target(flag(args, "--target"))?;
+    let ds = congestion_core::persist::load(path)?;
+    let filtered = filter_marginal(&ds, &FilterOptions::default());
+    println!(
+        "{} samples ({} marginal filtered)",
+        filtered.kept.len(),
+        filtered.removed
+    );
+    let (train, test) = filtered.kept.split(0.2, 42);
+    let model = CongestionPredictor::train(kind, target, &train, &TrainOptions::default());
+    let acc = model.evaluate(&test);
+    println!(
+        "{} on {}: MAE {:.2}%, MedAE {:.2}% (held-out 20%)",
+        kind.name(),
+        target.name(),
+        acc.mae,
+        acc.medae
+    );
+    Ok(())
+}
+
+fn predict_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let files = positional(args);
+    let path = files.first().ok_or_else(usage)?;
+    let data = flag(args, "--data").ok_or("predict needs --data <dataset.csv>")?;
+    let (module, source) = load_module(path)?;
+    let ds = congestion_core::persist::load(data)?;
+    let filtered = filter_marginal(&ds, &FilterOptions::default());
+    let model = CongestionPredictor::train(
+        ModelKind::Gbrt,
+        Target::Average,
+        &filtered.kept,
+        &TrainOptions::default(),
+    );
+    let flow = CongestionFlow::new();
+    let design = flow.synthesize(&module)?;
+    let predictions = model.predict_design(&design, &flow.device);
+    let regions = locate_congested(&design.module, &predictions);
+    println!("{}", render_report(&regions, Some(&source), 10));
+    let suggestions = suggest_fixes(&design.module, &predictions, &ResolveOptions::default());
+    if suggestions.is_empty() {
+        println!("no fixes suggested (no hot regions above threshold)");
+    } else {
+        println!("suggested fixes:");
+        for s in suggestions {
+            println!("  - {s:?}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration: the full training + prediction pipeline on
+//! small designs, exercising every crate through the public facade.
+
+use fpga_hls_congestion::prelude::*;
+
+const KERNELS: [&str; 4] = [
+    "int32 mac(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+    "int32 red(int32 a[32]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 32; i++) { s = s + a[i]; } return s; }",
+    "int32 cmp(int32 x, int32 y) { int32 m = max(x, y); int32 n = min(x, y); return m - n + abs(x); }",
+    "int32 pc(int64 a[8]) { int32 s = 0; for (i = 0; i < 8; i++) { s = s + popcount(a[i]); } return s; }",
+];
+
+fn fast_flow() -> CongestionFlow {
+    CongestionFlow::fast()
+}
+
+fn modules() -> Vec<Module> {
+    KERNELS
+        .iter()
+        .enumerate()
+        .map(|(i, s)| compile_named(s, &format!("k{i}")).expect("kernel compiles"))
+        .collect()
+}
+
+#[test]
+fn training_and_prediction_pipeline() {
+    let flow = fast_flow();
+    let dataset = flow.build_dataset(&modules()).expect("dataset builds");
+    assert!(dataset.len() > 30, "dataset size {}", dataset.len());
+
+    // Every sample has the full, finite feature vector and sane labels.
+    for s in &dataset.samples {
+        assert_eq!(s.features.len(), congestion_core::FEATURE_COUNT);
+        assert!(s.features.iter().all(|v| v.is_finite()));
+        assert!(s.vertical >= 0.0 && s.vertical < 1000.0);
+        assert!(s.horizontal >= 0.0 && s.horizontal < 1000.0);
+    }
+
+    let filtered = filter_marginal(&dataset, &FilterOptions::default());
+    let (train, test) = filtered.kept.split(0.25, 3);
+    let model =
+        CongestionPredictor::train(ModelKind::Gbrt, Target::Average, &train, &TrainOptions::fast());
+    let acc = model.evaluate(&test);
+    assert!(acc.mae.is_finite() && acc.mae >= 0.0);
+    assert!(acc.medae <= acc.mae * 5.0 + 1.0);
+
+    // Prediction phase on a fresh design without PAR.
+    let unseen = compile_named(
+        "int32 f(int32 a[8], int32 b[8]) { int32 s = 0; for (i = 0; i < 8; i++) { s = s + a[i] * b[i]; } return s; }",
+        "unseen",
+    )
+    .unwrap();
+    let design = flow.synthesize(&unseen).unwrap();
+    let predictions = model.predict_design(&design, &flow.device);
+    assert!(!predictions.is_empty());
+    let regions = locate_congested(&design.module, &predictions);
+    assert!(!regions.is_empty());
+    // Regions are sorted by max congestion.
+    for w in regions.windows(2) {
+        assert!(w[0].max_congestion >= w[1].max_congestion);
+    }
+}
+
+#[test]
+fn labels_respond_to_design_size() {
+    // A heavily parallel design must produce higher mean congestion labels
+    // than a tiny serial one.
+    let flow = fast_flow();
+    let small = compile_named("int32 f(int32 x) { return x + 1; }", "small").unwrap();
+    let big = compile_named(
+        "int32 f(int32 a[128], int32 k) {\n#pragma HLS array_partition variable=a cyclic factor=16\nint32 s = 0;\n#pragma HLS unroll factor=16\nfor (i = 0; i < 128; i++) { s = s + a[i] * k; } return s; }",
+        "big",
+    )
+    .unwrap();
+    let mean = |m: &Module| {
+        let ds = flow.build_dataset(std::slice::from_ref(m)).unwrap();
+        ds.samples.iter().map(|s| s.average()).sum::<f64>() / ds.len().max(1) as f64
+    };
+    let small_mean = mean(&small);
+    let big_mean = mean(&big);
+    assert!(
+        big_mean > small_mean,
+        "parallel design should be more congested: {big_mean:.1} vs {small_mean:.1}"
+    );
+}
+
+#[test]
+fn suggestions_surface_for_congested_designs() {
+    let flow = fast_flow();
+    let bench = rosetta_gen::face_detection::benchmark(rosetta_gen::face_detection::FdVariant::Optimized);
+    let module = bench.build().unwrap();
+    let design = flow.synthesize(&module).unwrap();
+    // Pretend everything is hot: the advisor must surface the case-study
+    // fixes for this design's structure.
+    let predictions: Vec<_> = design
+        .module
+        .functions
+        .iter()
+        .flat_map(|f| {
+            f.ops.iter().map(move |o| congestion_core::predict::OpPrediction {
+                func: f.id,
+                op: o.id,
+                line: o.loc.map(|l| l.line).unwrap_or(0),
+                predicted: 150.0,
+            })
+        })
+        .collect();
+    let suggestions = suggest_fixes(&design.module, &predictions, &ResolveOptions::default());
+    assert!(
+        suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::RemoveInline { function } if function == "fd_classifier")),
+        "advisor must find the inlined cascade: {suggestions:?}"
+    );
+    assert!(
+        suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::ReplicateArray { array, .. } if array == "win")),
+        "advisor must find the shared window buffer: {suggestions:?}"
+    );
+}

@@ -1,0 +1,108 @@
+//! Frontend + HLS robustness over a battery of MiniHLS programs, plus
+//! property-based tests that randomly generated straight-line programs
+//! always compile, verify, schedule, and produce routable netlists.
+
+use fpga_hls_congestion::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn program_battery_compiles_and_synthesizes() {
+    let programs = [
+        // Nested loops with mixed pragmas.
+        "int32 f(int16 a[64]) { int32 s = 0; for (i = 0; i < 8; i++) {\n#pragma HLS unroll\nfor (j = 0; j < 8; j++) { s = s + a[i * 8 + j]; } } return s; }",
+        // Ternaries, logical ops, shifts.
+        "int32 f(int32 x, int32 y) { return (x > 0 && y > 0) ? (x << 2) + (y >> 1) : (x | y) ^ 0xFF; }",
+        // Predicated stores through if/else.
+        "void f(int8 a[16], int8 v) { for (i = 0; i < 16; i++) { if (v > 0) { a[i] = v; } else { a[i] = 0 - v; } } }",
+        // Multi-function with arrays passed through calls.
+        "int32 sum(int32 a[8]) { int32 s = 0; for (i = 0; i < 8; i++) { s = s + a[i]; } return s; }\nint32 f(int32 a[8], int32 b[8]) { return sum(a) * sum(b); }",
+        // Division and remainder (multi-cycle operators).
+        "int32 f(int32 x, int32 y) { return x / (y | 1) + x % (y | 1); }",
+        // Wide arithmetic near the 64-bit cap.
+        "int64 f(int64 x, int64 y) { return x * y + (x >> 3); }",
+        // Builtins.
+        "int32 f(int32 x) { return sqrt(abs(x)) + popcount(x); }",
+        // Compound assignment and hex literals.
+        "int32 f(int32 x) { int32 acc = 0x10; acc += x; acc += acc >> 2; return acc; }",
+    ];
+    let flow = CongestionFlow::fast();
+    for (i, src) in programs.iter().enumerate() {
+        let m = compile_named(src, &format!("battery{i}"))
+            .unwrap_or_else(|e| panic!("program {i} failed to compile: {e}\n{src}"));
+        let (design, result) = flow
+            .implement(&m)
+            .unwrap_or_else(|e| panic!("program {i} failed to synthesize: {e}"));
+        assert!(design.report.latency_cycles() > 0, "program {i}");
+        assert!(result.timing.fmax_mhz > 0.0, "program {i}");
+    }
+}
+
+/// A tiny random straight-line MiniHLS generator.
+fn arbitrary_program() -> impl Strategy<Value = String> {
+    let ops = prop::sample::select(vec!["+", "-", "*", "&", "|", "^"]);
+    let stmts = prop::collection::vec((0usize..4, ops, 1i64..64), 1..12);
+    stmts.prop_map(|stmts| {
+        let mut body = String::new();
+        for (i, (var, op, c)) in stmts.iter().enumerate() {
+            let prev = if i == 0 {
+                "x".to_string()
+            } else {
+                format!("t{}", i - 1)
+            };
+            let operand = match var {
+                0 => "x".to_string(),
+                1 => "y".to_string(),
+                2 => c.to_string(),
+                _ => prev.clone(),
+            };
+            body.push_str(&format!("int32 t{i} = {prev} {op} {operand};\n"));
+        }
+        let last = stmts.len() - 1;
+        format!("int32 f(int32 x, int32 y) {{\n{body}return t{last};\n}}")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_straight_line_programs_flow_end_to_end(src in arbitrary_program()) {
+        let m = compile_named(&src, "prop").expect("random program must compile");
+        hls_ir::verify::verify_module(&m).expect("IR must verify");
+        let design = HlsFlow::new(HlsOptions::default()).run(&m).expect("must synthesize");
+        // Schedules cover every op and respect dependency order.
+        let f = design.module.top_function();
+        let sched = design.top_schedule();
+        for op in &f.ops {
+            for operand in &op.operands {
+                let src_end = sched.end[operand.src.index()];
+                let dst_start = sched.start[op.id.index()];
+                prop_assert!(
+                    dst_start >= src_end || op.kind == hls_ir::OpKind::Phi,
+                    "op {} starts at {} before operand {} ends at {}",
+                    op.id, dst_start, operand.src, src_end
+                );
+            }
+        }
+        // The netlist is structurally sound.
+        for net in &design.rtl.nets {
+            prop_assert!(net.driver.index() < design.rtl.cells.len());
+            prop_assert!(net.sinks.iter().all(|s| s.index() < design.rtl.cells.len()));
+        }
+    }
+
+    #[test]
+    fn random_programs_have_consistent_feature_vectors(src in arbitrary_program()) {
+        let flow = CongestionFlow::fast();
+        let m = compile_named(&src, "prop2").expect("random program must compile");
+        let ds = flow.build_dataset(std::slice::from_ref(&m)).expect("dataset");
+        for s in &ds.samples {
+            prop_assert_eq!(s.features.len(), congestion_core::FEATURE_COUNT);
+            prop_assert!(s.features.iter().all(|v| v.is_finite()));
+            // One-hot operator type sums to exactly 1.
+            let r = congestion_core::FeatureCategory::OperatorType.range();
+            let one_hot: f64 = s.features[r.start..r.start + 41].iter().sum();
+            prop_assert!((one_hot - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's qualitative claims, checked end to end at reduced effort:
+//! these are the result *shapes* EXPERIMENTS.md records at full effort.
+
+use fpga_hls_congestion::prelude::*;
+use rosetta_gen::face_detection::{self, FdVariant};
+
+fn implement(variant: FdVariant) -> (hls_synth::SynthesizedDesign, ImplResult) {
+    let flow = CongestionFlow::fast();
+    let m = face_detection::benchmark(variant).build().unwrap();
+    flow.implement(&m).unwrap()
+}
+
+#[test]
+fn directives_trade_latency_for_congestion_and_frequency() {
+    // Paper Table I: optimized FD is ~16x faster in cycles but misses
+    // timing and is far more congested.
+    let (opt_d, opt_r) = implement(FdVariant::Optimized);
+    let (plain_d, plain_r) = implement(FdVariant::Plain);
+    assert!(opt_d.report.latency_cycles() * 5 < plain_d.report.latency_cycles());
+    assert!(opt_r.timing.fmax_mhz < plain_r.timing.fmax_mhz);
+    assert!(opt_r.congestion.max_any() > plain_r.congestion.max_any() * 2.0);
+    assert!(opt_r.timing.wns_ns < plain_r.timing.wns_ns);
+}
+
+#[test]
+fn case_study_steps_resolve_congestion() {
+    // Paper Table VI: max congestion falls across Baseline -> NotInline ->
+    // Replication while frequency recovers.
+    let (_, base) = implement(FdVariant::Optimized);
+    let (_, noinl) = implement(FdVariant::NoInline);
+    let (_, repl) = implement(FdVariant::Replicated);
+    assert!(
+        base.congestion.max_any() > noinl.congestion.max_any(),
+        "step 1: {:.0} -> {:.0}",
+        base.congestion.max_any(),
+        noinl.congestion.max_any()
+    );
+    assert!(
+        base.congestion.max_any() > repl.congestion.max_any(),
+        "step 2 vs baseline: {:.0} -> {:.0}",
+        base.congestion.max_any(),
+        repl.congestion.max_any()
+    );
+    assert!(
+        base.congestion.tiles_over(100.0) > repl.congestion.tiles_over(100.0),
+        "congested area shrinks"
+    );
+    assert!(base.timing.fmax_mhz <= repl.timing.fmax_mhz + 1.0);
+}
+
+#[test]
+fn congestion_concentrates_in_device_center() {
+    // Paper Fig 5: marginal rows are less congested than central rows.
+    let (_, res) = implement(FdVariant::Optimized);
+    let profile = res.congestion.row_profile(true);
+    let n = profile.len();
+    let margin: f64 = profile[..n / 8]
+        .iter()
+        .chain(profile[n - n / 8..].iter())
+        .sum::<f64>()
+        / (2 * (n / 8)) as f64;
+    let center: f64 = profile[3 * n / 8..5 * n / 8].iter().sum::<f64>() / (n / 4) as f64;
+    assert!(
+        center > margin,
+        "center {center:.1}% must exceed margin {margin:.1}%"
+    );
+}
+
+#[test]
+fn gbrt_beats_linear_on_real_congestion_data() {
+    // Paper Table IV's model ordering on an actual (small) dataset.
+    let flow = CongestionFlow::fast();
+    let modules: Vec<Module> = [
+        "int32 f(int32 a[64], int32 k) {\n#pragma HLS array_partition variable=a cyclic factor=8\nint32 s = 0;\n#pragma HLS unroll factor=8\nfor (i = 0; i < 64; i++) { s = s + a[i] * k; } return s; }",
+        "int32 g(int64 a[16]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 16; i++) { s = s + popcount(a[i]); } return s; }",
+        "int32 h(int16 a[32], int16 b[32]) { int32 s = 0; for (i = 0; i < 32; i++) { s = s + a[i] * b[i]; } return s; }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| compile_named(s, &format!("m{i}")).unwrap())
+    .collect();
+    let ds = flow.build_dataset(&modules).unwrap();
+    let filtered = filter_marginal(&ds, &FilterOptions::default());
+    let (train, test) = filtered.kept.split(0.25, 7);
+    let opts = TrainOptions {
+        effort: 0.5,
+        ..TrainOptions::fast()
+    };
+    let gbrt = CongestionPredictor::train(ModelKind::Gbrt, Target::Average, &train, &opts)
+        .evaluate(&test);
+    let linear = CongestionPredictor::train(ModelKind::Linear, Target::Average, &train, &opts)
+        .evaluate(&test);
+    assert!(
+        gbrt.mae <= linear.mae * 1.1,
+        "GBRT ({:.2}) should be competitive with or beat Linear ({:.2})",
+        gbrt.mae,
+        linear.mae
+    );
+}
