@@ -30,7 +30,14 @@ fn bench_router_passes(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_routing");
     g.sample_size(10);
     g.bench_function("maze_refine_2", |b| {
-        b.iter(|| route(&design.rtl, &placement, &device, &RouterOptions::with_maze(2)))
+        b.iter(|| {
+            route(
+                &design.rtl,
+                &placement,
+                &device,
+                &RouterOptions::with_maze(2),
+            )
+        })
     });
     for passes in [0u32, 1, 2, 4] {
         g.bench_function(format!("refine_passes_{passes}"), |b| {

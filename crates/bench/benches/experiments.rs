@@ -62,16 +62,22 @@ fn bench_table5_importance(c: &mut Criterion) {
 fn bench_table6_case_study(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper");
     g.sample_size(10);
-    g.bench_function("table6_case_study", |b| b.iter(|| table6::run(Effort::Fast)));
+    g.bench_function("table6_case_study", |b| {
+        b.iter(|| table6::run(Effort::Fast))
+    });
     g.finish();
 }
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper");
     g.sample_size(10);
-    g.bench_function("fig1_congestion_maps", |b| b.iter(|| fig1::run(Effort::Fast)));
+    g.bench_function("fig1_congestion_maps", |b| {
+        b.iter(|| fig1::run(Effort::Fast))
+    });
     g.bench_function("fig5_distribution", |b| b.iter(|| fig5::run(Effort::Fast)));
-    g.bench_function("fig6_resolution_maps", |b| b.iter(|| fig6::run(Effort::Fast)));
+    g.bench_function("fig6_resolution_maps", |b| {
+        b.iter(|| fig6::run(Effort::Fast))
+    });
     g.finish();
 }
 

@@ -7,10 +7,9 @@ use congestion_core::dataset::Target;
 use congestion_core::features::FeatureCategory;
 use congestion_core::predict::{CongestionPredictor, ModelKind};
 use congestion_core::CongestionDataset;
-use serde::Serialize;
 
 /// MAE with a feature subset zeroed out vs the full vector.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KnockoutResult {
     /// Knocked-out category.
     pub category: String,
@@ -46,22 +45,19 @@ pub fn category_knockout(data: &CongestionDataset, effort: Effort) -> Vec<Knocko
     let baseline = CongestionPredictor::train(ModelKind::Gbrt, Target::Vertical, &train, &opts)
         .evaluate(&test)
         .mae;
-    FeatureCategory::ALL
-        .iter()
-        .map(|&cat| {
-            let ko_train = knock_out(&train, cat);
-            let ko_test = knock_out(&test, cat);
-            let mae =
-                CongestionPredictor::train(ModelKind::Gbrt, Target::Vertical, &ko_train, &opts)
-                    .evaluate(&ko_test)
-                    .mae;
-            KnockoutResult {
-                category: cat.name().to_string(),
-                mae,
-                baseline_mae: baseline,
-            }
-        })
-        .collect()
+    // Each knock-out trains an independent model — one category per worker.
+    parkit::par_map(&FeatureCategory::ALL, |&cat| {
+        let ko_train = knock_out(&train, cat);
+        let ko_test = knock_out(&test, cat);
+        let mae = CongestionPredictor::train(ModelKind::Gbrt, Target::Vertical, &ko_train, &opts)
+            .evaluate(&ko_test)
+            .mae;
+        KnockoutResult {
+            category: cat.name().to_string(),
+            mae,
+            baseline_mae: baseline,
+        }
+    })
 }
 
 /// MAE when training only on 1-hop features (two-hop ablation): zeroes the
@@ -133,10 +129,7 @@ mod tests {
     #[test]
     fn removing_the_informative_category_hurts() {
         let results = category_knockout(&toy(), Effort::Fast);
-        let bitwidth = results
-            .iter()
-            .find(|r| r.category == "Bitwidth")
-            .unwrap();
+        let bitwidth = results.iter().find(|r| r.category == "Bitwidth").unwrap();
         assert!(
             bitwidth.delta() > 1.0,
             "label depends on bitwidth; knockout must hurt (delta {})",

@@ -1,7 +1,7 @@
 //! Experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|ablation|all>
+//! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|all>
 //! ```
 //!
 //! Reports are printed to stdout and written under `reports/`.
@@ -33,10 +33,7 @@ fn main() {
         "fig1" => {
             let f = fig1::run(effort);
             for fig in [&f.with_directives, &f.without_directives] {
-                emit(
-                    &format!("fig1_{}_vertical", fig.label),
-                    &fig.vertical_art,
-                );
+                emit(&format!("fig1_{}_vertical", fig.label), &fig.vertical_art);
                 emit(
                     &format!("fig1_{}_horizontal", fig.label),
                     &fig.horizontal_art,
@@ -89,6 +86,15 @@ fn main() {
             }
             emit("fig6_summary", &summary);
             println!("congested area shrinks: {}", f.area_shrinks());
+        }
+        "dataset" => {
+            // Parallel fault-tolerant dataset build over the training suite,
+            // with the per-design / per-stage timing breakdown. Worker count
+            // honours RAYON_NUM_THREADS.
+            let flow = effort.flow();
+            let modules = designs::training_suite();
+            let report = flow.build_dataset_report(&modules);
+            emit("dataset_timing", &report.render());
         }
         "ablation" => {
             let (_, ds) = table3::run(effort);

@@ -3,11 +3,10 @@
 
 use crate::designs::{face_detection, Effort};
 use rosetta_gen::face_detection::FdVariant;
-use serde::Serialize;
 use std::fmt::Write;
 
 /// Fig 5 result: the per-row vertical-congestion profile.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5 {
     /// Mean vertical congestion per device row (bottom to top).
     pub row_profile: Vec<f64>,
@@ -33,7 +32,13 @@ impl Fig5 {
         for (b, chunk) in self.row_profile.chunks(per).enumerate() {
             let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
             let width = ((mean / max) * 50.0).round() as usize;
-            let _ = writeln!(out, "row {:>3}+ {:>7.2}% |{}", b * per, mean, "#".repeat(width));
+            let _ = writeln!(
+                out,
+                "row {:>3}+ {:>7.2}% |{}",
+                b * per,
+                mean,
+                "#".repeat(width)
+            );
         }
         let _ = writeln!(
             out,

@@ -33,16 +33,16 @@ impl Fig6 {
     }
 }
 
-/// Run the Fig 6 experiment.
+/// Run the Fig 6 experiment. Steps are implemented on parallel workers;
+/// `parkit::par_map` keeps them in case-study order.
 pub fn run(effort: Effort) -> Fig6 {
     let flow = effort.flow();
-    let steps = [
+    let variants = [
         (FdVariant::Optimized, "baseline"),
         (FdVariant::NoInline, "not_inline"),
         (FdVariant::Replicated, "replication"),
-    ]
-    .into_iter()
-    .map(|(variant, label)| {
+    ];
+    let steps = parkit::par_map(&variants, |&(variant, label)| {
         let (_, res) = flow
             .implement(&face_detection(variant))
             .expect("synthesis must succeed");
@@ -52,8 +52,7 @@ pub fn run(effort: Effort) -> Fig6 {
             horizontal_art: res.congestion.render(false),
             congested_tiles: res.congestion.tiles_over(100.0),
         }
-    })
-    .collect();
+    });
     Fig6 { steps }
 }
 

@@ -4,10 +4,9 @@ use congestion_core::pipeline::CongestionFlow;
 use fpga_fabric::ImplResult;
 use hls_ir::Module;
 use hls_synth::SynthesizedDesign;
-use serde::Serialize;
 
 /// Implementation summary of one design (the columns of Tables I/VI).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DesignMetrics {
     /// Design name.
     pub name: String,
@@ -43,7 +42,10 @@ impl DesignMetrics {
     ///
     /// # Panics
     /// Panics if synthesis fails (generator bug).
-    pub fn measure(flow: &CongestionFlow, module: &Module) -> (DesignMetrics, SynthesizedDesign, ImplResult) {
+    pub fn measure(
+        flow: &CongestionFlow,
+        module: &Module,
+    ) -> (DesignMetrics, SynthesizedDesign, ImplResult) {
         let (design, res) = flow.implement(module).expect("synthesis must succeed");
         let m = DesignMetrics::from_impl(&module.name, &design, &res);
         (m, design, res)

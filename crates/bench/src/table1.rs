@@ -7,11 +7,10 @@
 use crate::designs::{face_detection, Effort};
 use crate::metrics::DesignMetrics;
 use rosetta_gen::face_detection::FdVariant;
-use serde::Serialize;
 use std::fmt::Write;
 
 /// Table I result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// "With Directives" row.
     pub with_directives: DesignMetrics,
@@ -59,13 +58,14 @@ impl Table1 {
 /// Run the Table I experiment.
 pub fn run(effort: Effort) -> Table1 {
     let flow = effort.flow();
-    let (with_directives, _, _) =
-        DesignMetrics::measure(&flow, &face_detection(FdVariant::Optimized));
-    let (without_directives, _, _) =
-        DesignMetrics::measure(&flow, &face_detection(FdVariant::Plain));
+    let variants = [FdVariant::Optimized, FdVariant::Plain];
+    let mut metrics = parkit::par_map(&variants, |&v| {
+        DesignMetrics::measure(&flow, &face_detection(v)).0
+    })
+    .into_iter();
     Table1 {
-        with_directives,
-        without_directives,
+        with_directives: metrics.next().unwrap(),
+        without_directives: metrics.next().unwrap(),
     }
 }
 

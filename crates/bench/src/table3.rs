@@ -5,11 +5,10 @@
 use crate::designs::{training_suite, Effort};
 use crate::metrics::DesignMetrics;
 use congestion_core::CongestionDataset;
-use serde::Serialize;
 use std::fmt::Write;
 
 /// Max/min/avg triple.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Summary {
     /// Maximum.
     pub max: f64,
@@ -29,7 +28,7 @@ impl Summary {
 }
 
 /// Table III result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// Per-design metrics (three groups).
     pub designs: Vec<DesignMetrics>,
@@ -55,13 +54,15 @@ impl Table3 {
             out,
             "TABLE III. PROPERTY SUMMARY OF BENCHMARKS ({} samples)\n\
              {:<8} {:>9} {:>10} {:>16} {:>18} {:>14}",
-            self.samples, "Metrics", "WNS(ns)", "Freq.(MHz)", "Vertical Cong(%)", "Horizontal Cong(%)", "Avg.(V,H)(%)"
+            self.samples,
+            "Metrics",
+            "WNS(ns)",
+            "Freq.(MHz)",
+            "Vertical Cong(%)",
+            "Horizontal Cong(%)",
+            "Avg.(V,H)(%)"
         );
-        for (label, pick) in [
-            ("Max", 0usize),
-            ("Min", 1),
-            ("Avg.", 2),
-        ] {
+        for (label, pick) in [("Max", 0usize), ("Min", 1), ("Avg.", 2)] {
             let get = |s: &Summary| match pick {
                 0 => s.max,
                 1 => s.min,
@@ -86,11 +87,19 @@ impl Table3 {
 /// experiments (Table IV/V) can reuse it.
 pub fn run(effort: Effort) -> (Table3, CongestionDataset) {
     let flow = effort.flow();
+    // One suite group per worker; results merge in suite order, so the
+    // dataset is identical to the serial loop's.
+    let modules = training_suite();
+    let per_design = parkit::par_map(&modules, |module| {
+        let (metrics, design, res) = DesignMetrics::measure(&flow, module);
+        let mut part = CongestionDataset::new();
+        part.add_design(&design, &res, &flow.device);
+        (metrics, part)
+    });
     let mut designs = Vec::new();
     let mut ds = CongestionDataset::new();
-    for module in training_suite() {
-        let (metrics, design, res) = DesignMetrics::measure(&flow, &module);
-        ds.add_design(&design, &res, &flow.device);
+    for (metrics, part) in per_design {
+        ds.samples.extend(part.samples);
         designs.push(metrics);
     }
     let wns = Summary::of(&designs.iter().map(|d| d.wns_ns).collect::<Vec<_>>());

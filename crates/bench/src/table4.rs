@@ -12,11 +12,10 @@ use congestion_core::dataset::Target;
 use congestion_core::filter::{filter_marginal, FilterOptions};
 use congestion_core::predict::{Accuracy, CongestionPredictor, ModelKind};
 use congestion_core::CongestionDataset;
-use serde::Serialize;
 use std::fmt::Write;
 
 /// One cell pair of the table.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cell {
     /// Mean absolute error.
     pub mae: f64,
@@ -25,7 +24,7 @@ pub struct Cell {
 }
 
 /// Table IV result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// `rows[filtering][model][target]`, with filtering 0 = off, 1 = on.
     pub rows: Vec<Vec<Vec<Cell>>>,
@@ -188,7 +187,10 @@ mod tests {
         assert!(gbrt < lin, "gbrt {gbrt} vs linear {lin}");
         // Filtering must help GBRT.
         let unfiltered = t.cell(false, ModelKind::Gbrt, Target::Vertical).mae;
-        assert!(gbrt <= unfiltered, "filtering helps: {gbrt} vs {unfiltered}");
+        assert!(
+            gbrt <= unfiltered,
+            "filtering helps: {gbrt} vs {unfiltered}"
+        );
         let text = t.render();
         assert!(text.contains("Not Filtering"));
         assert!(text.contains("GBRT"));

@@ -11,11 +11,10 @@ use congestion_core::dataset::Target;
 use congestion_core::features::FeatureCategory;
 use congestion_core::predict::{CongestionPredictor, ModelKind};
 use congestion_core::CongestionDataset;
-use serde::Serialize;
 use std::fmt::Write;
 
 /// Ranked categories for one target metric.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CategoryRanking {
     /// Target name.
     pub target: String,
@@ -24,7 +23,7 @@ pub struct CategoryRanking {
 }
 
 /// Table V result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5 {
     /// One ranking per target (V, H, Avg).
     pub rankings: Vec<CategoryRanking>,
@@ -113,8 +112,7 @@ pub fn run_on(dataset: &CongestionDataset, effort: Effort) -> Table5 {
 /// Build the dataset and run Table V.
 pub fn run(effort: Effort) -> Table5 {
     let (_, ds) = crate::table3::run(effort);
-    let filtered =
-        congestion_core::filter::filter_marginal(&ds, &Default::default());
+    let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
     run_on(&filtered.kept, effort)
 }
 

@@ -7,11 +7,10 @@
 use crate::designs::{face_detection, Effort};
 use crate::metrics::DesignMetrics;
 use rosetta_gen::face_detection::FdVariant;
-use serde::Serialize;
 use std::fmt::Write;
 
 /// Table VI result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table6 {
     /// Baseline (optimized, inlined).
     pub baseline: DesignMetrics,
@@ -72,14 +71,23 @@ impl Table6 {
     }
 }
 
-/// Run the Table VI experiment.
+/// Run the Table VI experiment. The three case-study steps are independent
+/// implementations, so they run on parallel workers.
 pub fn run(effort: Effort) -> Table6 {
     let flow = effort.flow();
-    let measure = |v: FdVariant| DesignMetrics::measure(&flow, &face_detection(v)).0;
+    let variants = [
+        FdVariant::Optimized,
+        FdVariant::NoInline,
+        FdVariant::Replicated,
+    ];
+    let mut metrics = parkit::par_map(&variants, |&v| {
+        DesignMetrics::measure(&flow, &face_detection(v)).0
+    })
+    .into_iter();
     Table6 {
-        baseline: measure(FdVariant::Optimized),
-        not_inline: measure(FdVariant::NoInline),
-        replication: measure(FdVariant::Replicated),
+        baseline: metrics.next().unwrap(),
+        not_inline: metrics.next().unwrap(),
+        replication: metrics.next().unwrap(),
     }
 }
 

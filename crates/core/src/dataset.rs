@@ -10,7 +10,7 @@ use hls_synth::SynthesizedDesign;
 use mlkit::dataset::Dataset;
 
 /// One labelled sample.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Design name.
     pub design: String,
@@ -112,9 +112,11 @@ impl CongestionDataset {
                     continue;
                 }
                 // A node is labelled if any member op has hardware.
-                let Some((op, label)) = node.ops.iter().find_map(|&o| {
-                    labels.get(&(fid, o)).map(|l| (o, *l))
-                }) else {
+                let Some((op, label)) = node
+                    .ops
+                    .iter()
+                    .find_map(|&o| labels.get(&(fid, o)).map(|l| (o, *l)))
+                else {
                     continue;
                 };
                 let OpLabel {
@@ -147,13 +149,27 @@ impl CongestionDataset {
     }
 
     /// Deterministic train/test split at the sample level.
+    ///
+    /// `test_fraction` is clamped to `[0, 1]` (NaN counts as 0). Whenever
+    /// the dataset has at least two samples and the fraction is non-zero
+    /// after clamping, both halves are guaranteed non-empty — a tiny
+    /// dataset can no longer round its way into an empty test set (which
+    /// used to make `evaluate` panic downstream).
     pub fn split(&self, test_fraction: f64, seed: u64) -> (CongestionDataset, CongestionDataset) {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
+        let fraction = if test_fraction.is_nan() {
+            0.0
+        } else {
+            test_fraction.clamp(0.0, 1.0)
+        };
         let mut idx: Vec<usize> = (0..self.len()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         idx.shuffle(&mut rng);
-        let n_test = ((self.len() as f64) * test_fraction).round() as usize;
+        let mut n_test = ((self.len() as f64) * fraction).round() as usize;
+        if self.len() >= 2 && fraction > 0.0 {
+            n_test = n_test.clamp(1, self.len() - 1);
+        }
         let (test, train) = idx.split_at(n_test.min(self.len()));
         let pick = |ids: &[usize]| CongestionDataset {
             samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
@@ -221,5 +237,58 @@ mod tests {
         let (train, test) = ds.split(0.2, 42);
         assert_eq!(train.len() + test.len(), ds.len());
         assert!(!test.is_empty());
+    }
+
+    /// A dataset of `n` synthetic samples — `split` only looks at indices.
+    fn synthetic(n: usize) -> CongestionDataset {
+        CongestionDataset {
+            samples: (0..n)
+                .map(|i| Sample {
+                    design: format!("s{i}"),
+                    func: FuncId(0),
+                    op: OpId(i as u32),
+                    line: 0,
+                    replica: None,
+                    features: vec![0.0],
+                    vertical: 0.0,
+                    horizontal: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn split_never_returns_empty_test_for_two_plus_samples() {
+        // 2 samples at 10%: round(0.2) = 0 used to leave the test set
+        // empty; the guarantee is ≥1 test sample whenever len ≥ 2.
+        for n in 2..12 {
+            let (train, test) = synthetic(n).split(0.1, 3);
+            assert!(!test.is_empty(), "empty test set for n = {n}");
+            assert!(!train.is_empty(), "empty train set for n = {n}");
+            assert_eq!(train.len() + test.len(), n);
+        }
+    }
+
+    #[test]
+    fn split_clamps_fraction_to_unit_interval() {
+        let ds = synthetic(10);
+        // Above 1: everything the guarantee allows goes to test.
+        let (train, test) = ds.split(7.5, 1);
+        assert_eq!(test.len(), 9);
+        assert_eq!(train.len(), 1);
+        // Below 0 (and NaN): nothing goes to test.
+        let (train, test) = ds.split(-0.3, 1);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = ds.split(f64::NAN, 1);
+        assert_eq!((train.len(), test.len()), (10, 0));
+    }
+
+    #[test]
+    fn split_edge_sizes() {
+        // Empty and singleton datasets stay degenerate but never panic.
+        let (train, test) = synthetic(0).split(0.5, 1);
+        assert_eq!((train.len(), test.len()), (0, 0));
+        let (train, test) = synthetic(1).split(0.99, 1);
+        assert_eq!(train.len() + test.len(), 1);
     }
 }

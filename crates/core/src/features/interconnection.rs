@@ -33,14 +33,8 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
     ]);
 
     // 2-hop: fan metrics accumulate over the 1-hop neighbors' own edges.
-    let fan_in2 = fan_in
-        + g.preds(node)
-            .map(|p| g.fan_in(p) as f64)
-            .sum::<f64>();
-    let fan_out2 = fan_out
-        + g.succs(node)
-            .map(|s| g.fan_out(s) as f64)
-            .sum::<f64>();
+    let fan_in2 = fan_in + g.preds(node).map(|p| g.fan_in(p) as f64).sum::<f64>();
+    let fan_out2 = fan_out + g.succs(node).map(|s| g.fan_out(s) as f64).sum::<f64>();
     let n_pred2 = ctx.preds2[node].len() as f64;
     let n_succ2 = ctx.succs2[node].len() as f64;
     let max_wire2 = {

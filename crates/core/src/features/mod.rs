@@ -217,15 +217,25 @@ impl<'a> ExtractCtx<'a> {
         let mut v = Vec::with_capacity(FEATURE_COUNT);
         // Bitwidth (1).
         v.push(self.graph.nodes[node].bits as f64);
+        let mark = v.len();
         interconnection::extract(self, node, &mut v);
+        debug_assert_eq!(v.len() - mark, interconnection::COUNT);
+        let mark = v.len();
         resource::extract(self, node, &mut v);
+        debug_assert_eq!(v.len() - mark, resource::COUNT);
         // Timing (2).
         let (delay, lat) = self.node_timing[node];
         v.push(delay);
         v.push(lat);
+        let mark = v.len();
         resource_dtcs::extract(self, node, &mut v);
+        debug_assert_eq!(v.len() - mark, resource_dtcs::COUNT);
+        let mark = v.len();
         optype::extract(self, node, &mut v);
+        debug_assert_eq!(v.len() - mark, optype::COUNT);
+        let mark = v.len();
         global::extract(self, node, &mut v);
+        debug_assert_eq!(v.len() - mark, global::COUNT);
         debug_assert_eq!(v.len(), FEATURE_COUNT);
         v
     }

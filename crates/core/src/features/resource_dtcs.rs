@@ -13,6 +13,7 @@ pub const COUNT: usize = 72;
 pub const PER_TYPE: usize = 18;
 
 pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
+    debug_assert_eq!(COUNT, Resources::KINDS * PER_TYPE);
     let fop_res = &ctx.report.functions[&ctx.func_id].resources;
     for t in 0..Resources::KINDS {
         let dev = ctx.device_totals.get(t) as f64;

@@ -62,11 +62,7 @@ impl DepGraph {
                 _ => vec![op.id],
             };
             let node_idx = nodes.len();
-            let bits = group
-                .iter()
-                .map(|&o| f.op(o).ty.bits())
-                .max()
-                .unwrap_or(1);
+            let bits = group.iter().map(|&o| f.op(o).ty.bits()).max().unwrap_or(1);
             nodes.push(GraphNode {
                 ops: group.clone(),
                 kind: op.kind,
@@ -110,9 +106,7 @@ impl DepGraph {
                     nodes[port].bits = param.ty.bits();
                     // Connect to every Read op of this parameter index.
                     for op in &f.ops {
-                        if op.kind == OpKind::Read
-                            && op.name == param.name
-                        {
+                        if op.kind == OpKind::Read && op.name == param.name {
                             let dst = node_of_op[op.id.index()];
                             *out[port].entry(dst).or_insert(0) += param.ty.bits() as u32;
                         }
@@ -249,7 +243,9 @@ mod tests {
         let (m, g) = graph_of("int32 f(int32 a[8]) { return a[0] + a[1]; }", false);
         let f = m.top_function();
         let loads: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::Load).collect();
-        let port = (0..g.len()).find(|&i| g.nodes[i].is_port && g.nodes[i].bits == 32).unwrap();
+        let port = (0..g.len())
+            .find(|&i| g.nodes[i].is_port && g.nodes[i].bits == 32)
+            .unwrap();
         for l in loads {
             let ln = g.node_of(l.id);
             assert!(g.out[port].iter().any(|&(t, _)| t == ln));
@@ -264,10 +260,7 @@ mod tests {
         let f = m.top_function();
         let divs: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::SDiv).collect();
         assert_eq!(divs.len(), 2);
-        assert_ne!(
-            unmerged.node_of(divs[0].id),
-            unmerged.node_of(divs[1].id)
-        );
+        assert_ne!(unmerged.node_of(divs[0].id), unmerged.node_of(divs[1].id));
         assert_eq!(merged.node_of(divs[0].id), merged.node_of(divs[1].id));
         assert!(merged.len() < unmerged.len());
     }

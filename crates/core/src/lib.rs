@@ -41,4 +41,5 @@ pub mod stats;
 pub use dataset::{CongestionDataset, Sample, Target};
 pub use features::{FeatureCategory, FEATURE_COUNT};
 pub use graph::DepGraph;
+pub use pipeline::{CongestionFlow, DatasetBuildReport, DesignReport, StageTimings};
 pub use predict::{CongestionPredictor, ModelKind};

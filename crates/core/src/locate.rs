@@ -54,11 +54,7 @@ pub fn locate_congested(module: &Module, predictions: &[OpPrediction]) -> Vec<Co
 
 /// Render the top-`k` regions as a human-readable report, quoting the
 /// offending source lines when `source` is provided.
-pub fn render_report(
-    regions: &[CongestedRegion],
-    source: Option<&str>,
-    k: usize,
-) -> String {
+pub fn render_report(regions: &[CongestedRegion], source: Option<&str>, k: usize) -> String {
     use std::fmt::Write;
     let lines: Vec<&str> = source.map(|s| s.lines().collect()).unwrap_or_default();
     let mut out = String::from("rank  max%    mean%   ops  location\n");

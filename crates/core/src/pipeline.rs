@@ -1,10 +1,21 @@
 //! The end-to-end congestion-prediction pipeline (paper Fig 2).
+//!
+//! Dataset construction is the most expensive step of the training phase —
+//! every design goes through HLS and a full simulated place-and-route — so
+//! [`CongestionFlow::build_dataset_report`] fans designs out across worker
+//! threads (one design per worker, see [`parkit`]) and merges the per-design
+//! samples back **in input order**, making the parallel output bit-identical
+//! to the serial path. It is also fault-tolerant: a design that fails IR
+//! verification is recorded in the returned [`DatasetBuildReport`] and the
+//! build continues with the remaining designs.
 
 use crate::dataset::CongestionDataset;
-use fpga_fabric::par::{run_par, ParOptions};
+use fpga_fabric::par::{run_par, run_par_timed, ParOptions};
 use fpga_fabric::{Device, ImplResult};
 use hls_ir::Module;
 use hls_synth::{HlsFlow, HlsOptions, SynthError, SynthesizedDesign};
+use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Drives HLS + (for the training phase) simulated PAR over designs.
 #[derive(Debug, Clone)]
@@ -15,6 +26,9 @@ pub struct CongestionFlow {
     pub par: ParOptions,
     /// Target device.
     pub device: Device,
+    /// Worker threads for dataset construction. `None` (the default) uses
+    /// [`parkit::num_threads`], which honours `RAYON_NUM_THREADS`.
+    pub workers: Option<usize>,
 }
 
 impl CongestionFlow {
@@ -24,6 +38,7 @@ impl CongestionFlow {
             hls: HlsOptions::default(),
             par: ParOptions::default(),
             device: Device::xc7z020(),
+            workers: None,
         }
     }
 
@@ -33,6 +48,12 @@ impl CongestionFlow {
             par: ParOptions::fast(),
             ..Self::new()
         }
+    }
+
+    /// Set an explicit worker count for dataset construction.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
     }
 
     /// HLS only — the prediction phase's input.
@@ -48,7 +69,10 @@ impl CongestionFlow {
     ///
     /// # Errors
     /// Returns [`SynthError`] when the module fails IR verification.
-    pub fn implement(&self, module: &Module) -> Result<(SynthesizedDesign, ImplResult), SynthError> {
+    pub fn implement(
+        &self,
+        module: &Module,
+    ) -> Result<(SynthesizedDesign, ImplResult), SynthError> {
         let design = self.synthesize(module)?;
         let impl_result = run_par(&design, &self.device, &self.par);
         Ok((design, impl_result))
@@ -57,15 +81,88 @@ impl CongestionFlow {
     /// Build a labelled dataset from several designs (the paper combines
     /// three suite groups into 8111 samples).
     ///
+    /// Compatibility wrapper over [`Self::build_dataset_report`]: same
+    /// samples in the same order, but fail-fast in the result type.
+    ///
     /// # Errors
-    /// Returns the first synthesis error encountered.
+    /// Returns the first (in input order) design's synthesis error.
     pub fn build_dataset(&self, modules: &[Module]) -> Result<CongestionDataset, SynthError> {
-        let mut ds = CongestionDataset::new();
-        for m in modules {
-            let (design, impl_result) = self.implement(m)?;
-            ds.add_design(&design, &impl_result, &self.device);
+        self.build_dataset_report(modules).into_result()
+    }
+
+    /// Build a labelled dataset, implementing designs on parallel workers
+    /// and reporting per-design outcomes and per-stage timings.
+    ///
+    /// Properties:
+    ///
+    /// - **Deterministic**: samples are merged in design input order, and
+    ///   each design's HLS/PAR run is seeded, so the dataset is
+    ///   bit-identical regardless of worker count.
+    /// - **Fault-tolerant**: a failing design is recorded in
+    ///   [`DatasetBuildReport::designs`] and does not abort the build; all
+    ///   remaining designs still contribute samples.
+    pub fn build_dataset_report(&self, modules: &[Module]) -> DatasetBuildReport {
+        let start = Instant::now();
+        let requested = self.workers.unwrap_or_else(parkit::num_threads);
+        let results =
+            parkit::par_map_threads(requested, modules, |m| self.implement_for_dataset(m));
+
+        // Merge in input order — bit-identical to the serial loop.
+        let mut dataset = CongestionDataset::new();
+        let mut designs = Vec::with_capacity(results.len());
+        for (samples, report) in results {
+            dataset.samples.extend(samples);
+            designs.push(report);
         }
-        Ok(ds)
+        DatasetBuildReport {
+            dataset,
+            designs,
+            workers: requested.clamp(1, modules.len().max(1)),
+            wall: start.elapsed(),
+        }
+    }
+
+    /// The per-worker unit of [`Self::build_dataset_report`]: one design
+    /// through HLS → PAR → feature extraction, never panicking on a bad
+    /// module.
+    fn implement_for_dataset(
+        &self,
+        module: &Module,
+    ) -> (Vec<crate::dataset::Sample>, DesignReport) {
+        let mut timings = StageTimings::default();
+
+        let t = Instant::now();
+        let design = match self.synthesize(module) {
+            Ok(d) => d,
+            Err(e) => {
+                timings.hls = t.elapsed();
+                let report = DesignReport {
+                    name: module.name.clone(),
+                    outcome: Err(e),
+                    timings,
+                };
+                return (Vec::new(), report);
+            }
+        };
+        timings.hls = t.elapsed();
+
+        let (impl_result, par) = run_par_timed(&design, &self.device, &self.par);
+        timings.place = par.place;
+        timings.route = par.route;
+        timings.congestion = par.congestion;
+        timings.timing = par.timing;
+
+        let t = Instant::now();
+        let mut ds = CongestionDataset::new();
+        ds.add_design(&design, &impl_result, &self.device);
+        timings.features = t.elapsed();
+
+        let report = DesignReport {
+            name: module.name.clone(),
+            outcome: Ok(ds.len()),
+            timings,
+        };
+        (ds.samples, report)
     }
 }
 
@@ -75,6 +172,178 @@ impl Default for CongestionFlow {
     }
 }
 
+/// Wall-clock spent in each pipeline stage while implementing one design.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// High-level synthesis (schedule + bind).
+    pub hls: Duration,
+    /// Simulated-annealing placement.
+    pub place: Duration,
+    /// Capacity-aware global routing.
+    pub route: Duration,
+    /// Congestion-map extraction.
+    pub congestion: Duration,
+    /// Static timing analysis.
+    pub timing: Duration,
+    /// Back-tracing + 302-feature extraction.
+    pub features: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stage durations.
+    pub fn total(&self) -> Duration {
+        self.hls + self.place + self.route + self.congestion + self.timing + self.features
+    }
+
+    /// Accumulate another design's timings into this one.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.hls += other.hls;
+        self.place += other.place;
+        self.route += other.route;
+        self.congestion += other.congestion;
+        self.timing += other.timing;
+        self.features += other.features;
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hls {} | place {} | route {} | congestion {} | timing {} | features {}",
+            fmt_duration(self.hls),
+            fmt_duration(self.place),
+            fmt_duration(self.route),
+            fmt_duration(self.congestion),
+            fmt_duration(self.timing),
+            fmt_duration(self.features),
+        )
+    }
+}
+
+/// Outcome of implementing one design during a dataset build.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Module name.
+    pub name: String,
+    /// Number of samples contributed, or the error that stopped the design.
+    pub outcome: Result<usize, SynthError>,
+    /// Per-stage wall-clock for this design (stages not reached stay zero).
+    pub timings: StageTimings,
+}
+
+impl DesignReport {
+    /// True when the design contributed samples.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Result of [`CongestionFlow::build_dataset_report`]: the merged dataset
+/// plus per-design outcomes and timings.
+#[derive(Debug, Clone)]
+pub struct DatasetBuildReport {
+    /// Samples from every successful design, in design input order.
+    pub dataset: CongestionDataset,
+    /// Per-design outcome and stage timings, in design input order.
+    pub designs: Vec<DesignReport>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// End-to-end wall-clock of the build.
+    pub wall: Duration,
+}
+
+impl DatasetBuildReport {
+    /// Number of designs that contributed samples.
+    pub fn succeeded(&self) -> usize {
+        self.designs.iter().filter(|d| d.is_ok()).count()
+    }
+
+    /// Number of designs that failed.
+    pub fn failed(&self) -> usize {
+        self.designs.len() - self.succeeded()
+    }
+
+    /// Per-stage wall-clock summed over all designs (CPU time, so with
+    /// multiple workers this exceeds [`Self::wall`]).
+    pub fn stage_totals(&self) -> StageTimings {
+        let mut t = StageTimings::default();
+        for d in &self.designs {
+            t.accumulate(&d.timings);
+        }
+        t
+    }
+
+    /// Collapse to the fail-fast result the serial pipeline used to return:
+    /// the dataset, or the first (in input order) failed design's error.
+    ///
+    /// # Errors
+    /// Returns the first design error when any design failed.
+    pub fn into_result(self) -> Result<CongestionDataset, SynthError> {
+        for d in self.designs {
+            d.outcome?;
+        }
+        Ok(self.dataset)
+    }
+
+    /// Human-readable per-design and aggregate timing breakdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "dataset build: {} designs ({} ok, {} failed), {} worker{}, wall {}\n",
+            self.designs.len(),
+            self.succeeded(),
+            self.failed(),
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            fmt_duration(self.wall),
+        ));
+        out.push_str(&format!("  stage totals: {}\n", self.stage_totals()));
+        out.push_str(&format!(
+            "  {:<24} {:>8} {:>10}  stages\n",
+            "design", "samples", "total"
+        ));
+        for d in &self.designs {
+            match &d.outcome {
+                Ok(n) => out.push_str(&format!(
+                    "  {:<24} {:>8} {:>10}  {}\n",
+                    d.name,
+                    n,
+                    fmt_duration(d.timings.total()),
+                    d.timings,
+                )),
+                Err(e) => out.push_str(&format!("  {:<24}   FAILED: {e}\n", d.name)),
+            }
+        }
+        out
+    }
+}
+
+/// Compact duration rendering: sub-millisecond in µs, sub-second in ms,
+/// otherwise seconds.
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+// Every type that crosses worker threads during a dataset build. A future
+// `Rc`/`RefCell` in any flow type should fail to compile here, not at the
+// `par_map` call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CongestionFlow>();
+    assert_send_sync::<Module>();
+    assert_send_sync::<CongestionDataset>();
+    assert_send_sync::<DatasetBuildReport>();
+    assert_send_sync::<SynthError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,21 +351,43 @@ mod tests {
     use crate::filter::{filter_marginal, FilterOptions};
     use crate::predict::{CongestionPredictor, ModelKind, TrainOptions};
     use hls_ir::frontend::compile_named;
+    use hls_ir::Operand;
 
-    #[test]
-    fn end_to_end_small_training_run() {
-        let flow = CongestionFlow::fast();
+    fn suite() -> Vec<Module> {
         let sources = [
             "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
             "int32 f(int32 a[32]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 32; i++) { s = s + a[i]; } return s; }",
             "int32 f(int32 x, int32 y) { return (x * y) + (x - y) * 3; }",
         ];
-        let modules: Vec<Module> = sources
+        sources
             .iter()
             .enumerate()
             .map(|(i, s)| compile_named(s, &format!("d{i}")).unwrap())
-            .collect();
-        let ds = flow.build_dataset(&modules).unwrap();
+            .collect()
+    }
+
+    /// A module that compiles but fails IR verification: an operand claims
+    /// more wires than its producer drives (same corruption the `hls_ir`
+    /// verifier tests use).
+    fn broken_module(name: &str) -> Module {
+        let mut m = compile_named("int32 f(int32 x, int32 y) { return x + y; }", name).unwrap();
+        let top = m.top;
+        let f = m.function_mut(top);
+        let victim = f
+            .ops
+            .iter()
+            .find(|o| !o.operands.is_empty())
+            .map(|o| o.id)
+            .unwrap();
+        let src = f.op(victim).operands[0].src;
+        f.op_mut(victim).operands[0] = Operand::new(src, u16::MAX);
+        m
+    }
+
+    #[test]
+    fn end_to_end_small_training_run() {
+        let flow = CongestionFlow::fast();
+        let ds = flow.build_dataset(&suite()).unwrap();
         assert!(ds.len() > 20, "dataset too small: {}", ds.len());
 
         let filtered = filter_marginal(&ds, &FilterOptions::default());
@@ -133,5 +424,64 @@ mod tests {
         let preds = p.predict_design(&design, &flow.device);
         assert!(!preds.is_empty());
         assert!(preds.iter().all(|q| q.predicted.is_finite()));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bit_for_bit() {
+        let modules = suite();
+        let serial = CongestionFlow::fast()
+            .with_workers(1)
+            .build_dataset(&modules)
+            .unwrap();
+        let parallel = CongestionFlow::fast()
+            .with_workers(4)
+            .build_dataset(&modules)
+            .unwrap();
+        assert_eq!(serial.samples, parallel.samples);
+    }
+
+    #[test]
+    fn failed_design_is_reported_not_fatal() {
+        let mut modules = suite();
+        modules.insert(1, broken_module("cursed"));
+        let report = CongestionFlow::fast()
+            .with_workers(4)
+            .build_dataset_report(&modules);
+
+        assert_eq!(report.designs.len(), 4);
+        assert_eq!(report.succeeded(), 3);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.designs[1].name, "cursed");
+        assert!(report.designs[1].outcome.is_err());
+        // Designs after the broken one still contributed samples.
+        assert!(report.designs[2].is_ok() && report.designs[3].is_ok());
+        assert!(!report.dataset.is_empty());
+
+        // The samples are exactly what a build without the broken design
+        // yields — failure removes one design, nothing else.
+        let clean = CongestionFlow::fast().build_dataset(&suite()).unwrap();
+        assert_eq!(report.dataset.samples, clean.samples);
+
+        // And the fail-fast wrapper surfaces the error.
+        assert!(CongestionFlow::fast().build_dataset(&modules).is_err());
+    }
+
+    #[test]
+    fn report_records_stage_timings_and_renders() {
+        let modules = suite();
+        let report = CongestionFlow::fast().build_dataset_report(&modules);
+        assert_eq!(report.succeeded(), modules.len());
+        for d in &report.designs {
+            assert!(
+                d.timings.total() > Duration::ZERO,
+                "{}: no time recorded",
+                d.name
+            );
+        }
+        assert!(report.stage_totals().total() >= report.wall / 8);
+        let text = report.render();
+        assert!(text.contains("3 designs (3 ok, 0 failed)"));
+        assert!(text.contains("d0") && text.contains("d2"));
+        assert!(text.contains("place"));
     }
 }

@@ -240,11 +240,7 @@ impl CongestionPredictor {
 
     /// Predict per-operation congestion for a synthesized design *without*
     /// implementing it — the paper's prediction phase.
-    pub fn predict_design(
-        &self,
-        design: &SynthesizedDesign,
-        device: &Device,
-    ) -> Vec<OpPrediction> {
+    pub fn predict_design(&self, design: &SynthesizedDesign, device: &Device) -> Vec<OpPrediction> {
         let mut out = Vec::new();
         for fid in design.module.bottom_up_order() {
             let f = design.module.function(fid);
@@ -331,12 +327,8 @@ mod tests {
         let ds = synthetic_dataset(300);
         let (train, test) = ds.split(0.2, 1);
         for kind in ModelKind::ALL {
-            let p = CongestionPredictor::train(
-                kind,
-                Target::Vertical,
-                &train,
-                &TrainOptions::fast(),
-            );
+            let p =
+                CongestionPredictor::train(kind, Target::Vertical, &train, &TrainOptions::fast());
             let acc = p.evaluate(&test);
             assert!(acc.mae.is_finite());
             assert!(acc.medae <= acc.mae * 3.0 + 1.0);

@@ -12,10 +12,7 @@ use hls_synth::{HlsFlow, HlsOptions};
 /// `r = x * y` then `return r + x`: known bitwidths, known graph shape.
 const SRC: &str = "int32 f(int32 x, int32 y) { return x * y + x; }";
 
-fn setup() -> (
-    hls_synth::SynthesizedDesign,
-    Device,
-) {
+fn setup() -> (hls_synth::SynthesizedDesign, Device) {
     let m = compile(SRC).unwrap();
     let design = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
     let device = Device::xc7z020();
@@ -112,11 +109,7 @@ fn global_features_are_constant_within_a_function() {
         }
     }
     // And the clock-target feature matches the flow option.
-    let feats = ctx.extract(
-        (0..graph.len())
-            .find(|&i| !graph.nodes[i].is_port)
-            .unwrap(),
-    );
+    let feats = ctx.extract((0..graph.len()).find(|&i| !graph.nodes[i].is_port).unwrap());
     assert_eq!(feats[r.start + 12], design.options.clock_ns);
 }
 

@@ -156,7 +156,9 @@ impl Device {
 
     /// Columns of a given kind.
     pub fn columns_of(&self, kind: ColumnKind) -> Vec<u32> {
-        (0..self.width).filter(|&x| self.column(x) == kind).collect()
+        (0..self.width)
+            .filter(|&x| self.column(x) == kind)
+            .collect()
     }
 
     /// Linear tile index for `(x, y)`.

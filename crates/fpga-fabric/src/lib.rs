@@ -33,6 +33,6 @@ pub mod utilization;
 
 pub use congestion::CongestionMap;
 pub use device::{ColumnKind, Device};
-pub use par::{ImplResult, ParOptions};
+pub use par::{run_par, run_par_timed, ImplResult, ParOptions, ParStageTimings};
 pub use timing::TimingResult;
 pub use utilization::UtilizationReport;

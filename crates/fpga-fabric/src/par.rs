@@ -6,6 +6,7 @@ use crate::place::{place, Placement, PlacerOptions};
 use crate::route::{route, RouteResult, RouterOptions};
 use crate::timing::{analyze, TimingResult, WireModel};
 use hls_synth::{CellId, SynthesizedDesign};
+use std::time::{Duration, Instant};
 
 /// PAR options.
 #[derive(Debug, Clone, Default)]
@@ -77,11 +78,57 @@ impl ImplResult {
     }
 }
 
+/// Wall-clock spent in each implementation stage of one [`run_par_timed`]
+/// call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ParStageTimings {
+    /// Simulated-annealing placement.
+    pub place: Duration,
+    /// Capacity-aware global routing.
+    pub route: Duration,
+    /// Congestion-map extraction.
+    pub congestion: Duration,
+    /// Static timing analysis.
+    pub timing: Duration,
+}
+
+impl ParStageTimings {
+    /// Sum of all stage durations.
+    pub fn total(&self) -> Duration {
+        self.place + self.route + self.congestion + self.timing
+    }
+}
+
 /// Run the full implementation flow on a synthesized design.
 pub fn run_par(design: &SynthesizedDesign, device: &Device, opts: &ParOptions) -> ImplResult {
+    run_par_timed(design, device, opts).0
+}
+
+/// [`run_par`], also reporting per-stage wall-clock timings.
+///
+/// All inputs are plain data (`Send + Sync`), so callers may fan this
+/// function out across worker threads — one design per worker — which is
+/// exactly what `congestion_core::CongestionFlow` does for dataset builds.
+pub fn run_par_timed(
+    design: &SynthesizedDesign,
+    device: &Device,
+    opts: &ParOptions,
+) -> (ImplResult, ParStageTimings) {
+    let mut timings = ParStageTimings::default();
+
+    let start = Instant::now();
     let placement = place(&design.rtl, device, &opts.placer);
+    timings.place = start.elapsed();
+
+    let start = Instant::now();
     let route = route(&design.rtl, &placement, device, &opts.router);
+    timings.route = start.elapsed();
+
+    let start = Instant::now();
     let congestion = CongestionMap::from_route(&route, device);
+    timings.congestion = start.elapsed();
+
+    let start = Instant::now();
     let logic_delay = design
         .report
         .top_report()
@@ -93,13 +140,30 @@ pub fn run_par(design: &SynthesizedDesign, device: &Device, opts: &ParOptions) -
         design.options.clock_ns,
         &opts.wire_model,
     );
-    ImplResult {
-        placement,
-        route,
-        congestion,
-        timing,
-    }
+    timings.timing = start.elapsed();
+
+    (
+        ImplResult {
+            placement,
+            route,
+            congestion,
+            timing,
+        },
+        timings,
+    )
 }
+
+// The parallel dataset builder moves these across worker threads; keep the
+// guarantee explicit so a future `Rc`/`RefCell` sneaking into the flow types
+// fails to compile here rather than at a distant use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SynthesizedDesign>();
+    assert_send_sync::<Device>();
+    assert_send_sync::<ParOptions>();
+    assert_send_sync::<ImplResult>();
+    assert_send_sync::<ParStageTimings>();
+};
 
 #[cfg(test)]
 mod tests {

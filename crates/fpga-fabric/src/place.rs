@@ -76,6 +76,52 @@ struct PlacerNet {
 /// are ignored — standard placer practice).
 const MAX_NET_DEGREE: usize = 64;
 
+/// Breadth-first order over the cell/net adjacency, restricted to nets of
+/// degree ≤ [`MAX_NET_DEGREE`]. Unreached cells (isolated, or only on huge
+/// nets) follow in index order, so the result is always a permutation of
+/// `0..n`.
+fn connectivity_order(rtl: &RtlDesign, n: usize) -> Vec<usize> {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for net in &rtl.nets {
+        let mut members: Vec<u32> = Vec::with_capacity(net.sinks.len() + 1);
+        members.push(net.driver.0);
+        members.extend(net.sinks.iter().map(|s| s.0));
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 || members.len() > MAX_NET_DEGREE {
+            continue;
+        }
+        // Star adjacency around the driver keeps the graph sparse while
+        // still pulling each net's cells together in the BFS.
+        let hub = members[0];
+        for &m in &members[1..] {
+            adj[hub as usize].push(m);
+            adj[m as usize].push(hub);
+        }
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        queue.push_back(root);
+        while let Some(c) = queue.pop_front() {
+            order.push(c);
+            for &m in &adj[c] {
+                if !seen[m as usize] {
+                    seen[m as usize] = true;
+                    queue.push_back(m as usize);
+                }
+            }
+        }
+    }
+    order
+}
+
 /// Place an RTL design on a device.
 pub fn place(rtl: &RtlDesign, device: &Device, opts: &PlacerOptions) -> Placement {
     let n = rtl.cells.len();
@@ -115,11 +161,17 @@ pub fn place(rtl: &RtlDesign, device: &Device, opts: &PlacerOptions) -> Placemen
         }
     };
 
-    // Initial placement: snake through the matching columns per class.
+    // Initial placement: snake through the matching columns per class, in
+    // *connectivity* order (BFS over the small-net adjacency) rather than
+    // cell-creation order. Cells wired together are placed near each other
+    // from the start, so locally-connected structures — e.g. a replicated
+    // buffer and the classifier stages it feeds — form tight clusters even
+    // at low annealing effort.
+    let order = connectivity_order(rtl, n);
     let mut pos: Vec<(u32, u32)> = vec![(0, 0); n];
     let mut cursor: std::collections::HashMap<ColumnKind, (usize, u32)> =
         std::collections::HashMap::new();
-    for i in 0..n {
+    for i in order {
         let k = class[i];
         let cols = cols_for(k);
         if cols.is_empty() {
@@ -201,7 +253,12 @@ pub fn place(rtl: &RtlDesign, device: &Device, opts: &PlacerOptions) -> Placemen
         .collect();
     if movable.is_empty() {
         let cost = total_wl + opts.density_weight * total_density;
-        return Placement { pos, span, class, cost };
+        return Placement {
+            pos,
+            span,
+            class,
+            cost,
+        };
     }
 
     // Annealing with range-limited moves: as the temperature drops, moves
@@ -219,10 +276,7 @@ pub fn place(rtl: &RtlDesign, device: &Device, opts: &PlacerOptions) -> Placemen
         let k = class[i];
         let cols = cols_for(k);
         // Column window around the current column index.
-        let cur_col_idx = cols
-            .iter()
-            .position(|&c| c == pos[i].0)
-            .unwrap_or(0);
+        let cur_col_idx = cols.iter().position(|&c| c == pos[i].0).unwrap_or(0);
         let col_window = ((cols.len() as f64 * frac).ceil() as usize).max(1);
         let lo = cur_col_idx.saturating_sub(col_window);
         let hi = (cur_col_idx + col_window + 1).min(cols.len());
@@ -281,7 +335,12 @@ pub fn place(rtl: &RtlDesign, device: &Device, opts: &PlacerOptions) -> Placemen
     }
 
     let cost = total_wl + opts.density_weight * total_density;
-    Placement { pos, span, class, cost }
+    Placement {
+        pos,
+        span,
+        class,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -347,14 +406,20 @@ mod tests {
     #[test]
     fn annealing_improves_over_initial() {
         // More moves should not produce a worse placement than (almost) none.
-        let (_, cheap, _) = place_src(SRC, &PlacerOptions {
-            moves_per_cell: 1,
-            ..PlacerOptions::default()
-        });
-        let (_, tuned, _) = place_src(SRC, &PlacerOptions {
-            moves_per_cell: 100,
-            ..PlacerOptions::default()
-        });
+        let (_, cheap, _) = place_src(
+            SRC,
+            &PlacerOptions {
+                moves_per_cell: 1,
+                ..PlacerOptions::default()
+            },
+        );
+        let (_, tuned, _) = place_src(
+            SRC,
+            &PlacerOptions {
+                moves_per_cell: 100,
+                ..PlacerOptions::default()
+            },
+        );
         assert!(
             tuned.cost <= cheap.cost * 1.05,
             "SA should not regress: {} vs {}",

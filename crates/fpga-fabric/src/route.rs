@@ -246,7 +246,12 @@ impl Grid {
             };
             let after = (u + width) as f64 / cap as f64;
             // Base distance cost plus a steep overflow penalty.
-            cost += 1.0 + if after > 1.0 { (after - 1.0) * 20.0 } else { after };
+            cost += 1.0
+                + if after > 1.0 {
+                    (after - 1.0) * 20.0
+                } else {
+                    after
+                };
         });
         cost
     }
@@ -361,7 +366,11 @@ fn maze_route(c: &Conn, grid: &Grid, device: &Device) -> Option<Path> {
             (grid.v_usage[tile], grid.v_cap)
         };
         let after = (u + c.width) as f64 / cap as f64;
-        1.0 + if after > 1.0 { (after - 1.0) * 20.0 } else { after }
+        1.0 + if after > 1.0 {
+            (after - 1.0) * 20.0
+        } else {
+            after
+        }
     };
 
     let mut dist = vec![f64::INFINITY; n];
@@ -477,8 +486,24 @@ mod tests {
         let d = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
         let device = Device::xc7z020();
         let p = place(&d.rtl, &device, &PlacerOptions::fast());
-        let r0 = route(&d.rtl, &p, &device, &RouterOptions { refine_passes: 0, ..Default::default() });
-        let r2 = route(&d.rtl, &p, &device, &RouterOptions { refine_passes: 2, ..Default::default() });
+        let r0 = route(
+            &d.rtl,
+            &p,
+            &device,
+            &RouterOptions {
+                refine_passes: 0,
+                ..Default::default()
+            },
+        );
+        let r2 = route(
+            &d.rtl,
+            &p,
+            &device,
+            &RouterOptions {
+                refine_passes: 2,
+                ..Default::default()
+            },
+        );
         let over = |r: &RouteResult| -> f64 { r.conns.iter().map(|c| c.overflow).sum() };
         assert!(
             over(&r2) <= over(&r0) * 1.2 + 1.0,

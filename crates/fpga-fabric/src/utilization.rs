@@ -67,7 +67,11 @@ impl UtilizationReport {
 
 impl fmt::Display for UtilizationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<6} {:>10} {:>12} {:>8}", "Site", "Used", "Available", "Util%")?;
+        writeln!(
+            f,
+            "{:<6} {:>10} {:>12} {:>8}",
+            "Site", "Used", "Available", "Util%"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

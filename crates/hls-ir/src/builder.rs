@@ -253,8 +253,10 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if no loop is open.
     pub fn end_loop(&mut self) {
-        let (label, trip_count, pipeline_ii) =
-            self.loop_headers.pop().expect("end_loop without begin_loop");
+        let (label, trip_count, pipeline_ii) = self
+            .loop_headers
+            .pop()
+            .expect("end_loop without begin_loop");
         let regions = self.stack.pop().expect("region stack underflow");
         let body = Self::seal(regions);
         self.current_regions().push(Region::Loop {

@@ -101,15 +101,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                     i += 1;
                 }
                 let text = &source[start..i];
-                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X"))
-                {
-                    i64::from_str_radix(hex, 16)
-                } else {
-                    text.parse::<i64>()
-                }
-                .map_err(|_| {
-                    CompileError::new(Stage::Lex, line, format!("bad integer literal `{text}`"))
-                })?;
+                let value =
+                    if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                        i64::from_str_radix(hex, 16)
+                    } else {
+                        text.parse::<i64>()
+                    }
+                    .map_err(|_| {
+                        CompileError::new(Stage::Lex, line, format!("bad integer literal `{text}`"))
+                    })?;
                 tokens.push(Token {
                     kind: TokenKind::Int(value),
                     line,

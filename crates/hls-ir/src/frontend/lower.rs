@@ -258,7 +258,7 @@ impl<'a> FuncLowerer<'a> {
             } => {
                 self.b.set_loc(SourceLoc::new(*line, 1));
                 let c = self.expr(cond)?;
-                let c = self.to_pred(c);
+                let c = self.pred_of(c);
                 let then_pred = match pred {
                     Some(p) => self.b.binary(OpKind::And, p, c),
                     None => c,
@@ -329,13 +329,7 @@ impl<'a> FuncLowerer<'a> {
                     value = self.b.binary(OpKind::Add, value, c);
                 }
                 let value = self.b.cast(value, iv_ty);
-                let shadowed = self.env.insert(
-                    var.clone(),
-                    Binding {
-                        value,
-                        ty: iv_ty,
-                    },
-                );
+                let shadowed = self.env.insert(var.clone(), Binding { value, ty: iv_ty });
 
                 // Loop-carried scalars: any outer variable assigned in the
                 // body gets a Phi at loop entry.
@@ -369,9 +363,7 @@ impl<'a> FuncLowerer<'a> {
                 for (name, phi, ty) in &carried {
                     let latch = self.env[name].value;
                     let latch = self.b.cast(latch, *ty);
-                    self.b
-                        .function_mut()
-                        .add_operand(*phi, latch, ty.bits());
+                    self.b.function_mut().add_operand(*phi, latch, ty.bits());
                     // After the loop the register holding the phi carries the
                     // final value.
                     self.env.insert(
@@ -459,7 +451,7 @@ impl<'a> FuncLowerer<'a> {
     }
 
     /// Reduce a value to a 1-bit predicate (compare with 0 if needed).
-    fn to_pred(&mut self, v: OpId) -> OpId {
+    fn pred_of(&mut self, v: OpId) -> OpId {
         let ty = self.b.function_mut().op(v).ty;
         if ty.bits() == 1 {
             return v;
@@ -502,7 +494,7 @@ impl<'a> FuncLowerer<'a> {
                         self.emit_raw(op)
                     }
                     UnOp::LNot => {
-                        let p = self.to_pred(v);
+                        let p = self.pred_of(v);
                         let one = self.b.constant(1, IrType::bool());
                         self.b.binary(OpKind::Xor, p, one)
                     }
@@ -519,22 +511,19 @@ impl<'a> FuncLowerer<'a> {
                     BinOp::Add => self.b.binary(OpKind::Add, va, vb),
                     BinOp::Sub => self.b.binary(OpKind::Sub, va, vb),
                     BinOp::Mul => self.b.binary(OpKind::Mul, va, vb),
-                    BinOp::Div => self.b.binary(
-                        if signed { OpKind::SDiv } else { OpKind::UDiv },
-                        va,
-                        vb,
-                    ),
-                    BinOp::Rem => self.b.binary(
-                        if signed { OpKind::SRem } else { OpKind::URem },
-                        va,
-                        vb,
-                    ),
+                    BinOp::Div => {
+                        self.b
+                            .binary(if signed { OpKind::SDiv } else { OpKind::UDiv }, va, vb)
+                    }
+                    BinOp::Rem => {
+                        self.b
+                            .binary(if signed { OpKind::SRem } else { OpKind::URem }, va, vb)
+                    }
                     BinOp::Shl => self.b.binary(OpKind::Shl, va, vb),
-                    BinOp::Shr => self.b.binary(
-                        if signed { OpKind::AShr } else { OpKind::LShr },
-                        va,
-                        vb,
-                    ),
+                    BinOp::Shr => {
+                        self.b
+                            .binary(if signed { OpKind::AShr } else { OpKind::LShr }, va, vb)
+                    }
                     BinOp::And => self.b.binary(OpKind::And, va, vb),
                     BinOp::Or => self.b.binary(OpKind::Or, va, vb),
                     BinOp::Xor => self.b.binary(OpKind::Xor, va, vb),
@@ -545,20 +534,20 @@ impl<'a> FuncLowerer<'a> {
                     BinOp::Eq => self.b.icmp(CmpPred::Eq, va, vb),
                     BinOp::Ne => self.b.icmp(CmpPred::Ne, va, vb),
                     BinOp::LAnd => {
-                        let pa = self.to_pred(va);
-                        let pb = self.to_pred(vb);
+                        let pa = self.pred_of(va);
+                        let pb = self.pred_of(vb);
                         self.b.binary(OpKind::And, pa, pb)
                     }
                     BinOp::LOr => {
-                        let pa = self.to_pred(va);
-                        let pb = self.to_pred(vb);
+                        let pa = self.pred_of(va);
+                        let pb = self.pred_of(vb);
                         self.b.binary(OpKind::Or, pa, pb)
                     }
                 })
             }
             Expr::Ternary(c, a, b, _) => {
                 let vc = self.expr(c)?;
-                let p = self.to_pred(vc);
+                let p = self.pred_of(vc);
                 let va = self.expr(a)?;
                 let vb = self.expr(b)?;
                 Ok(self.b.select(p, va, vb))
@@ -576,7 +565,11 @@ impl<'a> FuncLowerer<'a> {
                 }
                 let a = self.expr(&args[0])?;
                 let b = self.expr(&args[1])?;
-                let pred = if name == "min" { CmpPred::Lt } else { CmpPred::Gt };
+                let pred = if name == "min" {
+                    CmpPred::Lt
+                } else {
+                    CmpPred::Gt
+                };
                 let c = self.b.icmp(pred, a, b);
                 return Ok(self.b.select(c, a, b));
             }
@@ -633,13 +626,18 @@ impl<'a> FuncLowerer<'a> {
             match param.array_len {
                 Some(_) => {
                     let Expr::Var(aname, aline) = arg else {
-                        return Err(
-                            self.err(line, format!("argument for array parameter `{}` must be an array name", param.name))
-                        );
+                        return Err(self.err(
+                            line,
+                            format!(
+                                "argument for array parameter `{}` must be an array name",
+                                param.name
+                            ),
+                        ));
                     };
-                    let arr = *self.arrays.get(aname).ok_or_else(|| {
-                        self.err(*aline, format!("unknown array `{aname}`"))
-                    })?;
+                    let arr = *self
+                        .arrays
+                        .get(aname)
+                        .ok_or_else(|| self.err(*aline, format!("unknown array `{aname}`")))?;
                     array_args.push(arr);
                 }
                 None => {
@@ -775,9 +773,7 @@ mod tests {
 
     #[test]
     fn predicated_store_read_modify_writes() {
-        let (m, _) = lower_src(
-            "void f(int8 a[4], int8 v) { if (v > 0) { a[0] = v; } }",
-        );
+        let (m, _) = lower_src("void f(int8 a[4], int8 v) { if (v > 0) { a[0] = v; } }");
         let f = m.top_function();
         let h = f.kind_histogram();
         assert_eq!(h[OpKind::Load.index()], 1);
@@ -864,11 +860,11 @@ int32 f(int32 x) {
     #[test]
     fn errors_reported() {
         let bad = [
-            "int32 f() { return y; }",                       // unknown var
-            "int32 f() { y = 1; return 0; }",                // assign unknown
+            "int32 f() { return y; }",                             // unknown var
+            "int32 f() { y = 1; return 0; }",                      // assign unknown
             "int32 f(int32 x) { if (x) { return 1; } return 0; }", // return in if
-            "int32 f() { }",                                 // missing return
-            "void f() { g(1); }",                            // unknown function
+            "int32 f() { }",                                       // missing return
+            "void f() { g(1); }",                                  // unknown function
         ];
         for src in bad {
             let toks = lex(src).unwrap();

@@ -82,8 +82,7 @@ impl<'a> Parser<'a> {
     /// Parse a type name such as `int32` or `uint7`. `void` returns None.
     fn type_name(&mut self) -> Result<Option<TypeName>, CompileError> {
         let name = self.ident()?;
-        parse_type_text(&name)
-            .ok_or_else(|| self.err(format!("unknown type `{name}`")))
+        parse_type_text(&name).ok_or_else(|| self.err(format!("unknown type `{name}`")))
     }
 
     fn program(&mut self) -> Result<Program, CompileError> {
@@ -201,9 +200,9 @@ impl<'a> Parser<'a> {
                 }
                 other => {
                     if !pending.is_empty() {
-                        return Err(self.err(
-                            "unroll/pipeline pragma must immediately precede a for loop",
-                        ));
+                        return Err(
+                            self.err("unroll/pipeline pragma must immediately precede a for loop")
+                        );
                     }
                     other
                 }
@@ -402,7 +401,12 @@ impl<'a> Parser<'a> {
             let a = self.expr()?;
             self.expect(&TokenKind::Colon)?;
             let b = self.expr()?;
-            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b), line))
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(a),
+                Box::new(b),
+                line,
+            ))
         } else {
             Ok(cond)
         }
@@ -410,10 +414,7 @@ impl<'a> Parser<'a> {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, prec)) = binop_of(self.peek()) else {
-                break;
-            };
+        while let Some((op, prec)) = binop_of(self.peek()) {
             if prec < min_prec {
                 break;
             }

@@ -58,9 +58,10 @@ pub fn parse_pragma(raw: &str, line: u32) -> Result<Option<Pragma>, CompileError
         "inline" => Ok(Some(Pragma::Inline { off: flag("off") })),
         "unroll" => {
             let factor = match lookup("factor") {
-                Some(v) => Some(v.parse::<u32>().map_err(|_| {
-                    err(format!("bad unroll factor `{v}`"))
-                })?),
+                Some(v) => Some(
+                    v.parse::<u32>()
+                        .map_err(|_| err(format!("bad unroll factor `{v}`")))?,
+                ),
                 None => None,
             };
             if let Some(0) = factor {

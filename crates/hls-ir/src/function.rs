@@ -276,13 +276,21 @@ impl Function {
 
     /// Convenience: add an operand edge `src -> dst` consuming `width` wires.
     pub fn add_operand(&mut self, dst: OpId, src: OpId, width: u16) {
-        self.ops[dst.index()].operands.push(Operand::new(src, width));
+        self.ops[dst.index()]
+            .operands
+            .push(Operand::new(src, width));
     }
 }
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fn {}({} params, {} ops)", self.name, self.params.len(), self.ops.len())
+        write!(
+            f,
+            "fn {}({} params, {} ops)",
+            self.name,
+            self.params.len(),
+            self.ops.len()
+        )
     }
 }
 

@@ -108,11 +108,7 @@ impl<'a> Interpreter<'a> {
     /// # Errors
     /// Returns an [`InterpError`] on division by zero, out-of-bounds access,
     /// argument mismatches, or step-budget exhaustion.
-    pub fn run_top(
-        &mut self,
-        args: &[i64],
-        arrays: &[Vec<i64>],
-    ) -> Result<RunResult, InterpError> {
+    pub fn run_top(&mut self, args: &[i64], arrays: &[Vec<i64>]) -> Result<RunResult, InterpError> {
         self.run_function(self.module.top, args, arrays)
     }
 
@@ -163,7 +159,15 @@ impl<'a> Interpreter<'a> {
 
         let mut values: Vec<i64> = vec![0; f.ops.len()];
         let mut ret = None;
-        self.exec_region(f, &f.body, args, &mut store, &mut values, &mut ret, &HashMap::new())?;
+        self.exec_region(
+            f,
+            &f.body,
+            args,
+            &mut store,
+            &mut values,
+            &mut ret,
+            &HashMap::new(),
+        )?;
 
         // Return final interface-array contents in parameter order.
         let out_arrays = f
@@ -184,8 +188,8 @@ impl<'a> Interpreter<'a> {
         f: &Function,
         region: &Region,
         args: &[i64],
-        store: &mut Vec<Vec<i64>>,
-        values: &mut Vec<i64>,
+        store: &mut [Vec<i64>],
+        values: &mut [i64],
         ret: &mut Option<i64>,
         phi_env: &HashMap<OpId, i64>,
     ) -> Result<(), InterpError> {
@@ -235,8 +239,7 @@ impl<'a> Interpreter<'a> {
                 for &p in &phis {
                     let op = f.op(p);
                     if op.operands.len() >= 2 {
-                        values[p.index()] =
-                            wrap(values[op.operands[1].src.index()], op.ty);
+                        values[p.index()] = wrap(values[op.operands[1].src.index()], op.ty);
                     }
                 }
                 Ok(())
@@ -250,8 +253,8 @@ impl<'a> Interpreter<'a> {
         f: &Function,
         id: OpId,
         args: &[i64],
-        store: &mut Vec<Vec<i64>>,
-        values: &mut Vec<i64>,
+        store: &mut [Vec<i64>],
+        values: &mut [i64],
         ret: &mut Option<i64>,
         phi_env: &HashMap<OpId, i64>,
     ) -> Result<(), InterpError> {
@@ -263,10 +266,7 @@ impl<'a> Interpreter<'a> {
         let v = |n: usize| values[op.operands[n].src.index()];
         let value = match op.kind {
             OpKind::Const => op.imm.unwrap_or(0),
-            OpKind::Read => args
-                .get(op.imm.unwrap_or(0) as usize)
-                .copied()
-                .unwrap_or(0),
+            OpKind::Read => args.get(op.imm.unwrap_or(0) as usize).copied().unwrap_or(0),
             OpKind::Phi => *phi_env.get(&id).unwrap_or(&0),
             OpKind::Add => v(0).wrapping_add(v(1)),
             OpKind::Sub => v(0).wrapping_sub(v(1)),
@@ -336,7 +336,8 @@ impl<'a> Interpreter<'a> {
             OpKind::Call => {
                 let callee = op.callee.expect("call without callee");
                 let callee_f = self.module.function(callee);
-                let call_args: Vec<i64> = op.operands.iter().map(|o| values[o.src.index()]).collect();
+                let call_args: Vec<i64> =
+                    op.operands.iter().map(|o| values[o.src.index()]).collect();
                 // Array args alias caller arrays: copy in, run, copy back.
                 let in_arrays: Vec<Vec<i64>> = op
                     .array_args
@@ -371,7 +372,11 @@ impl<'a> Interpreter<'a> {
     fn bounds(&self, f: &Function, arr: ArrayId, idx: i64, op: OpId) -> Result<(), InterpError> {
         let len = f.array(arr).len;
         if idx < 0 || idx as u32 >= len {
-            return Err(InterpError::OutOfBounds { op, index: idx, len });
+            return Err(InterpError::OutOfBounds {
+                op,
+                index: idx,
+                len,
+            });
         }
         Ok(())
     }
@@ -506,7 +511,10 @@ mod tests {
         let inlined = compile_with_directives(src, "t", &d).unwrap();
         let got = Interpreter::new(&inlined).run_top(&[], &arrays).unwrap();
         assert_eq!(got.ret, expected.ret);
-        assert_eq!(expected.ret, Some(2 * (1 + 2 + 3 + 4) - 3 * (5 + 6 + 7 + 8)));
+        assert_eq!(
+            expected.ret,
+            Some(2 * (1 + 2 + 3 + 4) - 3 * (5 + 6 + 7 + 8))
+        );
     }
 
     #[test]

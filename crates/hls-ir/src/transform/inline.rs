@@ -20,9 +20,7 @@ pub fn inline_module(m: &mut Module, directives: &Directives) {
     let order = m.bottom_up_order();
     for &callee_id in &order {
         let callee = m.function(callee_id);
-        let effective = directives
-            .inline_opt(&callee.name)
-            .unwrap_or(callee.inline);
+        let effective = directives.inline_opt(&callee.name).unwrap_or(callee.inline);
         if !effective || callee_id == m.top {
             continue;
         }
@@ -205,9 +203,8 @@ mod tests {
 
     #[test]
     fn simple_inline_removes_call() {
-        let (mut m, mut d) = build(
-            "int32 g(int32 x) { return x * 3; }\nint32 f(int32 x) { return g(x) + 1; }",
-        );
+        let (mut m, mut d) =
+            build("int32 g(int32 x) { return x * 3; }\nint32 f(int32 x) { return g(x) + 1; }");
         d.set_inline("g", true);
         inline_module(&mut m, &d);
         let f = m.function_by_name("f").unwrap();
@@ -249,7 +246,10 @@ mod tests {
         verify_module(&m).unwrap();
         let f = m.function_by_name("f").unwrap();
         // Two call sites -> two cloned local arrays.
-        assert_eq!(f.arrays.iter().filter(|a| a.name.contains("g.t")).count(), 2);
+        assert_eq!(
+            f.arrays.iter().filter(|a| a.name.contains("g.t")).count(),
+            2
+        );
     }
 
     #[test]

@@ -43,11 +43,9 @@ pub fn compact(f: &mut Function) {
 /// from the map are dropped).
 pub(crate) fn remap_region(r: &Region, remap: &HashMap<OpId, OpId>) -> Region {
     match r {
-        Region::Block(ops) => Region::Block(
-            ops.iter()
-                .filter_map(|id| remap.get(id).copied())
-                .collect(),
-        ),
+        Region::Block(ops) => {
+            Region::Block(ops.iter().filter_map(|id| remap.get(id).copied()).collect())
+        }
         Region::Seq(rs) => Region::Seq(rs.iter().map(|r| remap_region(r, remap)).collect()),
         Region::Loop {
             label,
@@ -90,7 +88,11 @@ mod tests {
         b.ret(Some(x));
         let mut f = b.finish();
         // Orphan op in the arena, not in the body.
-        f.push_op(crate::op::Operation::new(OpId(0), OpKind::Add, IrType::int(8)));
+        f.push_op(crate::op::Operation::new(
+            OpId(0),
+            OpKind::Add,
+            IrType::int(8),
+        ));
         assert_eq!(f.ops.len(), 3);
         // Must remove it from arena since it's not in the region...
         // compact keeps only body ops.

@@ -32,11 +32,7 @@ pub fn unroll_module(m: &mut Module, directives: &Directives) {
 fn unroll_region(f: &mut Function, r: Region, d: &Directives) -> Region {
     match r {
         Region::Block(_) => r,
-        Region::Seq(rs) => Region::Seq(
-            rs.into_iter()
-                .map(|r| unroll_region(f, r, d))
-                .collect(),
-        ),
+        Region::Seq(rs) => Region::Seq(rs.into_iter().map(|r| unroll_region(f, r, d)).collect()),
         Region::Loop {
             label,
             body,
@@ -390,11 +386,7 @@ mod tests {
         unroll_module(&mut m, &d);
         super::super::dce::dce_module(&mut m);
         let f = m.top_function();
-        let loads: Vec<_> = f
-            .ops
-            .iter()
-            .filter(|o| o.kind == OpKind::Load)
-            .collect();
+        let loads: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::Load).collect();
         assert_eq!(loads.len(), 8);
         let group = loads[0].replica.unwrap().group;
         let mut indices: Vec<u32> = loads
@@ -485,7 +477,9 @@ mod tests {
         unroll_module(&mut m, &d);
         fn find_ii(r: &Region) -> Option<u32> {
             match r {
-                Region::Loop { pipeline_ii, body, .. } => pipeline_ii.or_else(|| find_ii(body)),
+                Region::Loop {
+                    pipeline_ii, body, ..
+                } => pipeline_ii.or_else(|| find_ii(body)),
                 Region::Seq(rs) => rs.iter().find_map(find_ii),
                 Region::Block(_) => None,
             }

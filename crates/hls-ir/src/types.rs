@@ -29,7 +29,10 @@ impl IrType {
     /// # Panics
     /// Panics if `bits` is 0 or greater than [`MAX_BITS`].
     pub fn int(bits: u16) -> Self {
-        assert!((1..=MAX_BITS).contains(&bits), "bitwidth {bits} out of range");
+        assert!(
+            (1..=MAX_BITS).contains(&bits),
+            "bitwidth {bits} out of range"
+        );
         IrType { signed: true, bits }
     }
 
@@ -38,8 +41,14 @@ impl IrType {
     /// # Panics
     /// Panics if `bits` is 0 or greater than [`MAX_BITS`].
     pub fn uint(bits: u16) -> Self {
-        assert!((1..=MAX_BITS).contains(&bits), "bitwidth {bits} out of range");
-        IrType { signed: false, bits }
+        assert!(
+            (1..=MAX_BITS).contains(&bits),
+            "bitwidth {bits} out of range"
+        );
+        IrType {
+            signed: false,
+            bits,
+        }
     }
 
     /// The 1-bit unsigned type used for comparison results and predicates.

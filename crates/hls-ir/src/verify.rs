@@ -71,7 +71,10 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
     }
     for op in &f.ops {
         if !seen.contains(&op.id) {
-            return Err(err(format!("op {} ({}) not placed in body", op.id, op.kind)));
+            return Err(err(format!(
+                "op {} ({}) not placed in body",
+                op.id, op.kind
+            )));
         }
     }
 
@@ -120,10 +123,9 @@ pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
                     return Err(err(format!("call {} references unknown function", op.id)));
                 }
             }
-            OpKind::Const
-                if op.imm.is_none() => {
-                    return Err(err(format!("const {} lacks a value", op.id)));
-                }
+            OpKind::Const if op.imm.is_none() => {
+                return Err(err(format!("const {} lacks a value", op.id)));
+            }
             _ => {}
         }
     }
@@ -172,7 +174,11 @@ mod tests {
         b.ret(Some(x));
         let mut f = b.finish();
         // Push an op into the arena without placing it in the body.
-        f.push_op(crate::op::Operation::new(OpId(0), OpKind::Add, IrType::int(8)));
+        f.push_op(crate::op::Operation::new(
+            OpId(0),
+            OpKind::Add,
+            IrType::int(8),
+        ));
         let m = module_with(f);
         let e = verify_module(&m).unwrap_err();
         assert!(e.message.contains("not placed"), "{}", e);

@@ -139,14 +139,17 @@ mod tests {
         let add = f
             .ops
             .iter()
-            .filter(|o| o.kind == hls_ir::OpKind::Add)
-            .next()
+            .find(|o| o.kind == hls_ir::OpKind::Add)
             .unwrap();
         assert!(
             b.mobility(add.id) > 0,
             "the add can float within the divider's span"
         );
-        let div = f.ops.iter().find(|o| o.kind == hls_ir::OpKind::SDiv).unwrap();
+        let div = f
+            .ops
+            .iter()
+            .find(|o| o.kind == hls_ir::OpKind::SDiv)
+            .unwrap();
         assert_eq!(b.mobility(div.id), 0, "the divider is critical");
     }
 
@@ -154,8 +157,17 @@ mod tests {
     fn length_covers_the_critical_path() {
         let (m, b) = bounds("int32 f(int32 x, int32 y) { return x / y; }");
         let f = m.top_function();
-        let div = f.ops.iter().find(|o| o.kind == hls_ir::OpKind::SDiv).unwrap();
+        let div = f
+            .ops
+            .iter()
+            .find(|o| o.kind == hls_ir::OpKind::SDiv)
+            .unwrap();
         let div_steps = CharLib::zynq7().cost_of_op(f, div).latency;
-        assert!(b.length >= div_steps, "length {} >= divider {}", b.length, div_steps);
+        assert!(
+            b.length >= div_steps,
+            "length {} >= divider {}",
+            b.length,
+            div_steps
+        );
     }
 }

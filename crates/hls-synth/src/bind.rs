@@ -112,13 +112,10 @@ pub fn bind_function(f: &Function, sched: &Schedule) -> Binding {
             let slot = if pipelined {
                 None
             } else {
-                unit_last_end
-                    .iter_mut()
-                    .find(|(u, last)| {
-                        *last < start && !sched.in_pipelined_loop[
-                            binding.units[*u as usize].ops[0].index()
-                        ]
-                    })
+                unit_last_end.iter_mut().find(|(u, last)| {
+                    *last < start
+                        && !sched.in_pipelined_loop[binding.units[*u as usize].ops[0].index()]
+                })
             };
             match slot {
                 Some((u, last)) => {
@@ -190,10 +187,7 @@ mod tests {
         let muls: Vec<_> = f.ops.iter().filter(|o| o.kind == OpKind::Mul).collect();
         assert_eq!(muls.len(), 2);
         if s.start[muls[0].id.index()] == s.start[muls[1].id.index()] {
-            assert_ne!(
-                b.unit_of[muls[0].id.index()],
-                b.unit_of[muls[1].id.index()]
-            );
+            assert_ne!(b.unit_of[muls[0].id.index()], b.unit_of[muls[1].id.index()]);
         }
     }
 

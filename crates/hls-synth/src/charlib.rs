@@ -161,7 +161,8 @@ impl CharLib {
                         resources: Resources::new(w * w / 8 + w, 0, 0, 0),
                     }
                 } else {
-                    let dsps = (w.div_ceil(2)).div_ceil(17).max(1) * (w.div_ceil(2)).div_ceil(24).max(1);
+                    let dsps =
+                        (w.div_ceil(2)).div_ceil(17).max(1) * (w.div_ceil(2)).div_ceil(24).max(1);
                     OperatorCost {
                         delay_ns: self.dsp_delay_ns,
                         latency: if bits > 35 { 3 } else { 2 },

@@ -348,8 +348,8 @@ impl<'a> NetlistGen<'a> {
                         ret_sig = operand_signal!(self, signals, registered, sched, o.src, id);
                     }
                 }
-                OpKind::Alloca | OpKind::Branch | OpKind::Switch | OpKind::Write
-                | OpKind::Port => {}
+                OpKind::Alloca | OpKind::Branch | OpKind::Switch | OpKind::Write | OpKind::Port => {
+                }
                 OpKind::Load | OpKind::Store => {
                     self.emit_memory_access(
                         f,
@@ -366,9 +366,8 @@ impl<'a> NetlistGen<'a> {
                     let callee = op.callee.expect("call without callee");
                     let mut callee_args: Vec<Signal> = Vec::new();
                     for o in &op.operands {
-                        callee_args.push(operand_signal!(
-                            self, signals, registered, sched, o.src, id
-                        ));
+                        callee_args
+                            .push(operand_signal!(self, signals, registered, sched, o.src, id));
                     }
                     // Map callee interface arrays to caller bank cells.
                     let callee_f = self.module.function(callee);
@@ -376,9 +375,7 @@ impl<'a> NetlistGen<'a> {
                     let mut arg_arrays = op.array_args.iter();
                     for a in &callee_f.arrays {
                         if a.is_param {
-                            let caller_arr = arg_arrays
-                                .next()
-                                .expect("missing array argument");
+                            let caller_arr = arg_arrays.next().expect("missing array argument");
                             callee_arrays.insert(
                                 a.id,
                                 memories
@@ -424,9 +421,8 @@ impl<'a> NetlistGen<'a> {
                                 .entry(u)
                                 .or_insert_with(|| vec![Vec::new(); op.operands.len()]);
                             for (pos, o) in op.operands.iter().enumerate() {
-                                let s = operand_signal!(
-                                    self, signals, registered, sched, o.src, id
-                                );
+                                let s =
+                                    operand_signal!(self, signals, registered, sched, o.src, id);
                                 if pos < slots.len() {
                                     slots[pos].push((s, o.width));
                                 } else {
@@ -444,9 +440,9 @@ impl<'a> NetlistGen<'a> {
                             );
                             signals[id.index()] = Some(cell);
                             for o in &op.operands {
-                                if let Some(s) = operand_signal!(
-                                    self, signals, registered, sched, o.src, id
-                                ) {
+                                if let Some(s) =
+                                    operand_signal!(self, signals, registered, sched, o.src, id)
+                                {
                                     self.connect(s, cell, o.width);
                                 }
                             }
@@ -537,7 +533,7 @@ impl<'a> NetlistGen<'a> {
         func: FuncId,
         op: &hls_ir::Operation,
         memories: &HashMap<ArrayId, MemoryCells>,
-        signals: &mut Vec<Signal>,
+        signals: &mut [Signal],
         registered: &mut HashMap<OpId, CellId>,
         sched: &Schedule,
         path: &str,
@@ -665,7 +661,13 @@ mod tests {
             let s = schedule_function(f, &lib, &opts, &lat);
             lat.insert(fid, s.latency_cycles);
             let b = bind_function(f, &s);
-            synth.insert(fid, FunctionSynth { schedule: s, binding: b });
+            synth.insert(
+                fid,
+                FunctionSynth {
+                    schedule: s,
+                    binding: b,
+                },
+            );
         }
         let d = generate_netlist(&m, &synth, &lib);
         (m, d)
@@ -674,10 +676,16 @@ mod tests {
     #[test]
     fn simple_design_has_cells_and_nets() {
         let (_, d) = netlist("int32 f(int32 x, int32 y) { return x * y + 1; }");
-        assert!(d.cells.len() >= 4, "ports, mul, add, fsm: {}", d.cells.len());
+        assert!(
+            d.cells.len() >= 4,
+            "ports, mul, add, fsm: {}",
+            d.cells.len()
+        );
         assert!(!d.nets.is_empty());
         let ops = d.cells_of_kind(|k| matches!(k, CellKind::Operator(_)));
-        assert!(ops.iter().any(|c| matches!(c.kind, CellKind::Operator(OpKind::Mul))));
+        assert!(ops
+            .iter()
+            .any(|c| matches!(c.kind, CellKind::Operator(OpKind::Mul))));
     }
 
     #[test]

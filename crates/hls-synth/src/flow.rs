@@ -104,8 +104,7 @@ impl HlsFlow {
     /// # Errors
     /// Returns [`SynthError::InvalidIr`] if the module fails verification.
     pub fn run(&self, module: &Module) -> Result<SynthesizedDesign, SynthError> {
-        hls_ir::verify::verify_module(module)
-            .map_err(|e| SynthError::InvalidIr(e.to_string()))?;
+        hls_ir::verify::verify_module(module).map_err(|e| SynthError::InvalidIr(e.to_string()))?;
 
         let sched_opts = SchedulerOptions {
             clock_ns: self.options.clock_ns,

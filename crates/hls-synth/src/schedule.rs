@@ -204,11 +204,7 @@ impl<'a> Ctx<'a> {
         let (is_mem, banks, complete) = match (op.kind.is_memory(), op.array) {
             (true, Some(a)) => {
                 let arr = self.f.array(a);
-                (
-                    true,
-                    arr.banks(),
-                    arr.partition == Partition::Complete,
-                )
+                (true, arr.banks(), arr.partition == Partition::Complete)
             }
             _ => (false, 1, false),
         };
@@ -218,7 +214,9 @@ impl<'a> Ctx<'a> {
         if is_mem && complete {
             // Register-file access: combinational mux instead of BRAM port.
             latency = 0;
-            delay = self.lib.mux_delay(self.f.array(op.array.unwrap()).len.min(64));
+            delay = self
+                .lib
+                .mux_delay(self.f.array(op.array.unwrap()).len.min(64));
         }
         if op.kind == OpKind::Call {
             latency = op
@@ -238,7 +236,7 @@ impl<'a> Ctx<'a> {
             }
         } else {
             // Registered operator: starts in the dependency state.
-            (if chain_delay > 0.0 { state } else { state }, 0.0)
+            (state, 0.0)
         };
 
         // Find a state with a free memory port.
@@ -251,8 +249,7 @@ impl<'a> Ctx<'a> {
                     Some(b) => *self.port_usage.get(&(a, b, start)).unwrap_or(&0) < 2,
                     None => {
                         // Unknown index: needs a port on every bank.
-                        (0..banks)
-                            .all(|b| *self.port_usage.get(&(a, b, start)).unwrap_or(&0) < 2)
+                        (0..banks).all(|b| *self.port_usage.get(&(a, b, start)).unwrap_or(&0) < 2)
                     }
                 };
                 if ok {
@@ -327,7 +324,11 @@ mod tests {
             "int32 f(int32 a[64]) { int32 acc = 0; for (i = 0; i < 64; i++) { acc = acc + a[i]; } return acc; }",
         );
         // 64 iterations of a body with >= 2 states (load is 1 cycle).
-        assert!(s.latency_cycles >= 64, "latency {} too small", s.latency_cycles);
+        assert!(
+            s.latency_cycles >= 64,
+            "latency {} too small",
+            s.latency_cycles
+        );
         // but the FSM only holds one copy of the body states
         assert!(s.total_states < 20);
     }
@@ -344,7 +345,10 @@ mod tests {
         )
         .1
         .latency_cycles;
-        assert!(piped < rolled, "pipelining reduces latency: {piped} vs {rolled}");
+        assert!(
+            piped < rolled,
+            "pipelining reduces latency: {piped} vs {rolled}"
+        );
     }
 
     #[test]

@@ -188,19 +188,19 @@ impl Regressor for MlpRegressor {
                     for li in (0..self.layers.len()).rev() {
                         let layer = &self.layers[li];
                         let input = &acts[li];
-                        for o in 0..layer.n_out {
-                            gb[li][o] += delta[o];
+                        for (o, &d) in delta.iter().enumerate() {
+                            gb[li][o] += d;
                             let row = &mut gw[li][o * layer.n_in..(o + 1) * layer.n_in];
                             for (g, inp) in row.iter_mut().zip(input) {
-                                *g += delta[o] * inp;
+                                *g += d * inp;
                             }
                         }
                         if li > 0 {
                             let mut next = vec![0.0; layer.n_in];
-                            for o in 0..layer.n_out {
+                            for (o, &d) in delta.iter().enumerate() {
                                 let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
                                 for (j, &w) in row.iter().enumerate() {
-                                    next[j] += delta[o] * w;
+                                    next[j] += d * w;
                                 }
                             }
                             // ReLU derivative on the hidden activation.
@@ -220,16 +220,16 @@ impl Regressor for MlpRegressor {
                 let bc1 = 1.0 - b1.powi(t_step as i32);
                 let bc2 = 1.0 - b2.powi(t_step as i32);
                 for (li, layer) in self.layers.iter_mut().enumerate() {
-                    for k in 0..layer.w.len() {
-                        let g = gw[li][k] / bs + self.options.weight_decay * layer.w[k];
+                    for (k, &gsum) in gw[li].iter().enumerate() {
+                        let g = gsum / bs + self.options.weight_decay * layer.w[k];
                         layer.mw[k] = b1 * layer.mw[k] + (1.0 - b1) * g;
                         layer.vw[k] = b2 * layer.vw[k] + (1.0 - b2) * g * g;
                         let mhat = layer.mw[k] / bc1;
                         let vhat = layer.vw[k] / bc2;
                         layer.w[k] -= lr * mhat / (vhat.sqrt() + eps);
                     }
-                    for k in 0..layer.b.len() {
-                        let g = gb[li][k] / bs;
+                    for (k, &gsum) in gb[li].iter().enumerate() {
+                        let g = gsum / bs;
                         layer.mb[k] = b1 * layer.mb[k] + (1.0 - b1) * g;
                         layer.vb[k] = b2 * layer.vb[k] + (1.0 - b2) * g * g;
                         let mhat = layer.mb[k] / bc1;

@@ -32,27 +32,61 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     folds
 }
 
+/// One fold's MAE: train on `train_idx`, score on `val_idx`.
+fn fold_mae<M, F>(data: &Dataset, train_idx: &[usize], val_idx: &[usize], make: &F) -> f64
+where
+    M: Regressor,
+    F: Fn() -> M,
+{
+    let train = data.select(train_idx);
+    let val = data.select(val_idx);
+    let mut model = make();
+    model.fit(&train.x, &train.y);
+    let pred = model.predict(&val.x);
+    mae(&val.y, &pred)
+}
+
 /// Mean CV MAE of a model factory over `k` folds.
+///
+/// Folds are evaluated on parallel worker threads (worker count from
+/// [`parkit::num_threads`], i.e. `RAYON_NUM_THREADS`), which is why `make`
+/// must be `Sync`. The result is deterministic regardless of worker count:
+/// fold scores come back in fold order and are summed in that order, so the
+/// floating-point reduction is identical to the serial loop.
 pub fn cross_val_mae<M, F>(data: &Dataset, k: usize, seed: u64, make: F) -> f64
+where
+    M: Regressor,
+    F: Fn() -> M + Sync,
+{
+    let folds = kfold(data.len(), k, seed);
+    let scores = parkit::par_map(&folds, |(train_idx, val_idx)| {
+        fold_mae(data, train_idx, val_idx, &make)
+    });
+    scores.iter().sum::<f64>() / folds.len() as f64
+}
+
+/// [`cross_val_mae`] on the calling thread — used by [`grid_search`], which
+/// already parallelizes across grid points and must not nest thread pools.
+fn cross_val_mae_serial<M, F>(data: &Dataset, k: usize, seed: u64, make: F) -> f64
 where
     M: Regressor,
     F: Fn() -> M,
 {
     let folds = kfold(data.len(), k, seed);
-    let mut total = 0.0;
-    for (train_idx, val_idx) in &folds {
-        let train = data.select(train_idx);
-        let val = data.select(val_idx);
-        let mut model = make();
-        model.fit(&train.x, &train.y);
-        let pred = model.predict(&val.x);
-        total += mae(&val.y, &pred);
-    }
+    let total: f64 = folds
+        .iter()
+        .map(|(train_idx, val_idx)| fold_mae(data, train_idx, val_idx, &make))
+        .sum();
     total / folds.len() as f64
 }
 
 /// Pick the parameter set with the lowest CV MAE. Returns
 /// `(best_param_index, best_score)`.
+///
+/// Grid points are evaluated on parallel worker threads (each point runs
+/// its folds serially, so the pools do not nest). Scores are compared in
+/// grid order with a strict `<`, so ties resolve to the lowest index — the
+/// same winner the serial loop picks, for any worker count.
 ///
 /// # Panics
 /// Panics if `params` is empty.
@@ -65,12 +99,13 @@ pub fn grid_search<M, P, F>(
 ) -> (usize, f64)
 where
     M: Regressor,
-    F: Fn(&P) -> M,
+    P: Sync,
+    F: Fn(&P) -> M + Sync,
 {
     assert!(!params.is_empty(), "empty parameter grid");
+    let scores = parkit::par_map(params, |p| cross_val_mae_serial(data, k, seed, || make(p)));
     let mut best = (0usize, f64::INFINITY);
-    for (i, p) in params.iter().enumerate() {
-        let score = cross_val_mae(data, k, seed, || make(p));
+    for (i, &score) in scores.iter().enumerate() {
         if score < best.1 {
             best = (i, score);
         }
@@ -131,6 +166,41 @@ mod tests {
             })
         });
         assert!(score < 0.5, "cv mae = {score}");
+    }
+
+    #[test]
+    fn parallel_cv_is_bitwise_deterministic() {
+        let d = toy(64);
+        let make = || {
+            Lasso::new(LassoOptions {
+                alpha: 1e-3,
+                ..Default::default()
+            })
+        };
+        let first = cross_val_mae(&d, 8, 7, make);
+        // Fold scores are reduced in fold order, so repeated parallel runs
+        // (and the serial path) agree to the last bit.
+        for _ in 0..3 {
+            assert_eq!(first.to_bits(), cross_val_mae(&d, 8, 7, make).to_bits());
+        }
+        assert_eq!(
+            first.to_bits(),
+            cross_val_mae_serial(&d, 8, 7, make).to_bits()
+        );
+    }
+
+    #[test]
+    fn grid_search_ties_resolve_to_lowest_index() {
+        let d = toy(30);
+        // Identical parameters → identical scores; strict `<` keeps index 0.
+        let alphas = [1e-3, 1e-3, 1e-3];
+        let (best, _) = grid_search(&d, 3, 1, &alphas, |&a| {
+            Lasso::new(LassoOptions {
+                alpha: a,
+                ..Default::default()
+            })
+        });
+        assert_eq!(best, 0);
     }
 
     #[test]

@@ -150,8 +150,8 @@ impl Regressor for GbrtRegressor {
                 continue;
             }
             consecutive_empty = 0;
-            for i in 0..n {
-                pred[i] += self.options.learning_rate * tree.predict_one(x.row(i));
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += self.options.learning_rate * tree.predict_one(x.row(i));
             }
             self.trees.push(tree);
         }
@@ -160,11 +160,7 @@ impl Regressor for GbrtRegressor {
     fn predict_one(&self, row: &[f64]) -> f64 {
         self.base
             + self.options.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_one(row))
-                    .sum::<f64>()
+                * self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>()
     }
 }
 
@@ -197,8 +193,8 @@ mod tests {
         });
         m.fit(&x, &y);
         let err = mae(&y, &m.predict(&x));
-        let spread = y.iter().cloned().fold(f64::MIN, f64::max)
-            - y.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            y.iter().cloned().fold(f64::MIN, f64::max) - y.iter().cloned().fold(f64::MAX, f64::min);
         assert!(err < spread * 0.08, "mae {err} vs spread {spread}");
     }
 

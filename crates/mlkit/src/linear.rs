@@ -119,11 +119,7 @@ impl Regressor for Lasso {
     fn predict_one(&self, row: &[f64]) -> f64 {
         let mut r = row.to_vec();
         self.scaler.transform_row(&mut r);
-        self.intercept
-            + r.iter()
-                .zip(&self.coef)
-                .map(|(a, b)| a * b)
-                .sum::<f64>()
+        self.intercept + r.iter().zip(&self.coef).map(|(a, b)| a * b).sum::<f64>()
     }
 }
 

@@ -31,7 +31,9 @@ pub fn medae(y_true: &[f64], y_pred: &[f64]) -> f64 {
         .zip(y_pred)
         .map(|(a, b)| (a - b).abs())
         .collect();
-    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp, not partial_cmp().unwrap(): a NaN error (e.g. a model that
+    // diverged during grid search) must yield NaN, not panic mid-search.
+    errs.sort_by(f64::total_cmp);
     let n = errs.len();
     if n % 2 == 1 {
         errs[n / 2]
@@ -122,5 +124,24 @@ mod tests {
     #[should_panic]
     fn empty_rejected() {
         mae(&[], &[]);
+    }
+
+    #[test]
+    fn nan_predictions_do_not_panic() {
+        // Regression test: medae used to panic inside sort on NaN, killing a
+        // whole grid search because one hyperparameter diverged. NaN inputs
+        // must instead propagate as NaN scores (total_cmp sorts NaN last, so
+        // a NaN reaches the median slot once enough predictions diverge).
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p = [f64::NAN, f64::NAN, f64::NAN, f64::NAN];
+        assert!(medae(&y, &p).is_nan());
+        assert!(mae(&y, &p).is_nan());
+        assert!(rmse(&y, &p).is_nan());
+
+        // A single NaN among finite errors: still no panic, and the finite
+        // half of the distribution is unaffected below the median.
+        let p2 = [1.5, 2.5, 3.5, f64::NAN];
+        let m = medae(&y, &p2);
+        assert!(m.is_finite() && (m - 0.5).abs() < 1e-12, "medae = {m}");
     }
 }

@@ -59,7 +59,9 @@ impl BinnedMatrix {
             cuts.dedup_by(|a, b| a == b);
             for i in 0..rows {
                 let v = x.row(i)[j];
-                let bin = cuts.partition_point(|&c| c < v).min(cuts.len().saturating_sub(1));
+                let bin = cuts
+                    .partition_point(|&c| c < v)
+                    .min(cuts.len().saturating_sub(1));
                 bins[i * cols + j] = bin as u8;
             }
             thresholds.push(cuts);

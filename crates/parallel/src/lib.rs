@@ -1,0 +1,164 @@
+//! # parkit
+//!
+//! Deterministic data parallelism over OS threads for the congestion
+//! pipeline's hot paths (dataset construction, cross-validation folds,
+//! grid-search points, experiment fan-out).
+//!
+//! The container this workspace builds in has no network access, so a
+//! `rayon` dependency is off the table; this crate provides the small slice
+//! of rayon the pipeline needs — an **ordered parallel map** — on top of
+//! `std::thread::scope`. Two properties are guaranteed:
+//!
+//! 1. **Output order equals input order**, regardless of which worker
+//!    finishes first, so parallel results are bit-identical to the serial
+//!    path whenever the per-item function is itself deterministic.
+//! 2. **Worker count is explicit and controllable**: [`num_threads`]
+//!    honours the `RAYON_NUM_THREADS` environment variable (kept for
+//!    ecosystem familiarity) and falls back to the machine's available
+//!    parallelism.
+//!
+//! Work is distributed dynamically (an atomic cursor over the item list),
+//! so a single slow item — one large design, one expensive fold — does not
+//! leave the other workers idle, which is exactly the workload shape of
+//! HLS + place-and-route over a benchmark suite.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count used by [`par_map`]: `RAYON_NUM_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` with up to [`num_threads`] workers, preserving
+/// input order in the output.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count. `threads == 1` runs inline on
+/// the calling thread (the serial reference path).
+///
+/// # Panics
+/// Propagates the first panic raised by `f`.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let value = f(item);
+                *slots[i].lock().unwrap() = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// Map `f` over `0..n` in parallel, preserving index order.
+pub fn par_map_range<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_threads(threads, &indices, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map_threads(8, &items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_path() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map_threads(1, &items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(13));
+        let parallel = par_map_threads(7, &items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(13));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..103).collect();
+        let out = par_map_threads(4, &items, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 103);
+        assert_eq!(out.len(), 103);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_threads(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_threads(4, &[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        par_map_threads(4, &items, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            ids.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn par_map_range_is_indexed() {
+        assert_eq!(par_map_range(3, 5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

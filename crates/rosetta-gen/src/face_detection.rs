@@ -97,7 +97,11 @@ pub fn source(replicate: bool) -> String {
             "        score = score + fd_classifier({buf}, w{k}, {thr});"
         );
     }
-    let _ = writeln!(s, "        votes = votes + (score > {} ? 1 : 0);", STAGES / 2);
+    let _ = writeln!(
+        s,
+        "        votes = votes + (score > {} ? 1 : 0);",
+        STAGES / 2
+    );
     let _ = writeln!(s, "    }}");
     let _ = writeln!(s, "    return votes;");
     let _ = writeln!(s, "}}");
@@ -171,7 +175,9 @@ mod tests {
             FdVariant::NoInline,
             FdVariant::Replicated,
         ] {
-            let m = benchmark(v).build().unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            let m = benchmark(v)
+                .build()
+                .unwrap_or_else(|e| panic!("{v:?}: {e}"));
             assert!(m.total_ops() > 20, "{v:?} too small");
         }
     }

@@ -13,10 +13,7 @@ pub fn source() -> String {
     let mut s = String::new();
     let n = SIZE * SIZE;
     let inner = SIZE - 1;
-    let _ = writeln!(
-        s,
-        "int32 optical_flow(int16 f0[{n}], int16 f1[{n}]) {{"
-    );
+    let _ = writeln!(s, "int32 optical_flow(int16 f0[{n}], int16 f1[{n}]) {{");
     let _ = writeln!(s, "    int32 sum_u = 0;");
     let _ = writeln!(s, "    int32 sum_v = 0;");
     let _ = writeln!(s, "    for (y = 1; y < {inner}; y++) {{");
@@ -75,6 +72,9 @@ mod tests {
     fn optimized_unrolls_inner_row() {
         let plain = benchmark(Preset::Plain).build().unwrap().total_ops();
         let opt = benchmark(Preset::Optimized).build().unwrap().total_ops();
-        assert!(opt > plain * 5, "row unroll multiplies ops: {opt} vs {plain}");
+        assert!(
+            opt > plain * 5,
+            "row unroll multiplies ops: {opt} vs {plain}"
+        );
     }
 }

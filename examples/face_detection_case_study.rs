@@ -78,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Apply the paper's two steps and verify with the full flow.
     println!("\nverifying with full place-and-route:");
-    for variant in [FdVariant::Optimized, FdVariant::NoInline, FdVariant::Replicated] {
+    for variant in [
+        FdVariant::Optimized,
+        FdVariant::NoInline,
+        FdVariant::Replicated,
+    ] {
         let m = face_detection::benchmark(variant).build()?;
         let (d, r) = flow.implement(&m)?;
         println!(

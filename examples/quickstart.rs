@@ -35,12 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Train the paper's three models on the vertical metric and compare.
     let (train, test) = filtered.kept.split(0.2, 42);
     for kind in [ModelKind::Linear, ModelKind::Ann, ModelKind::Gbrt] {
-        let model = CongestionPredictor::train(
-            kind,
-            Target::Vertical,
-            &train,
-            &TrainOptions::default(),
-        );
+        let model =
+            CongestionPredictor::train(kind, Target::Vertical, &train, &TrainOptions::default());
         let acc = model.evaluate(&test);
         println!(
             "{:<7} vertical congestion: MAE {:.2}%, MedAE {:.2}%",

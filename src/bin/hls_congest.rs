@@ -4,7 +4,9 @@
 //! hls-congest compile   <file.mhls>                 print the IR after directives
 //! hls-congest synth     <file.mhls>                 HLS report (latency, resources, clock)
 //! hls-congest implement <file.mhls>                 full flow: congestion map + timing
-//! hls-congest dataset   <file.mhls>... -o data.csv  build + save a labelled dataset
+//! hls-congest dataset   <file.mhls>... -o data.csv [--workers N]
+//!                                                   build + save a labelled dataset
+//!                                                   (parallel, fault-tolerant, timed)
 //! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
 //! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
 //! ```
@@ -136,26 +138,46 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "\nutilization:\n{}",
         fpga_fabric::UtilizationReport::new(&design.rtl, &flow.device)
     );
-    println!("vertical congestion map:\n{}", result.congestion.render(true));
+    println!(
+        "vertical congestion map:\n{}",
+        result.congestion.render(true)
+    );
     Ok(())
 }
 
 fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let out = flag(args, "-o").or(flag(args, "--out")).unwrap_or("dataset.csv");
+    let out = flag(args, "-o")
+        .or(flag(args, "--out"))
+        .unwrap_or("dataset.csv");
     let files = positional(args);
     if files.is_empty() {
         return Err(usage());
     }
-    let flow = CongestionFlow::new();
+    let mut flow = CongestionFlow::new();
+    if let Some(w) = flag(args, "--workers") {
+        flow = flow.with_workers(w.parse()?);
+    }
     let mut modules = Vec::new();
     for f in &files {
         modules.push(load_module(f)?.0);
     }
-    let ds = flow.build_dataset(&modules)?;
-    congestion_core::persist::save(&ds, out)?;
+    // Fault-tolerant build: designs run on parallel workers, a failing
+    // design is reported below without sinking the rest of the batch.
+    let report = flow.build_dataset_report(&modules);
+    print!("{}", report.render());
+    for d in &report.designs {
+        if let Err(e) = &d.outcome {
+            eprintln!("warning: design `{}` failed: {e}", d.name);
+        }
+    }
+    if report.succeeded() == 0 {
+        return Err("no design produced samples".into());
+    }
+    let ds = &report.dataset;
+    congestion_core::persist::save(ds, out)?;
     println!(
         "{}",
-        congestion_core::stats::dataset_stats(&ds, Target::Average)
+        congestion_core::stats::dataset_stats(ds, Target::Average)
     );
     println!("wrote {} samples to {out}", ds.len());
     Ok(())

@@ -32,9 +32,8 @@ fn dataset_is_reproducible() {
 fn trained_models_are_reproducible() {
     let flow = CongestionFlow::fast();
     let ds = flow.build_dataset(std::slice::from_ref(&module())).unwrap();
-    let train = |kind| {
-        CongestionPredictor::train(kind, Target::Vertical, &ds, &TrainOptions::fast())
-    };
+    let train =
+        |kind| CongestionPredictor::train(kind, Target::Vertical, &ds, &TrainOptions::fast());
     for kind in [ModelKind::Linear, ModelKind::Ann, ModelKind::Gbrt] {
         let a = train(kind);
         let b = train(kind);
@@ -44,6 +43,55 @@ fn trained_models_are_reproducible() {
             b.predict_features(row),
             "{kind:?} must be deterministic"
         );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_dataset_or_models() {
+    // The parallel dataset builder must be a pure speedup: one worker and
+    // many workers produce the same samples in the same order, and models
+    // trained on either dataset agree bit-for-bit.
+    let modules: Vec<Module> = [
+        "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+        "int32 g(int32 a[32]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 32; i++) { s = s + a[i]; } return s; }",
+        "int32 h(int32 x, int32 y) { return (x * y) + (x - y) * 3; }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| compile_named(s, &format!("wd{i}")).unwrap())
+    .collect();
+
+    let serial = CongestionFlow::fast()
+        .with_workers(1)
+        .build_dataset(&modules)
+        .unwrap();
+    let parallel = CongestionFlow::fast()
+        .with_workers(8)
+        .build_dataset(&modules)
+        .unwrap();
+
+    // Identical sample order, features, and labels.
+    assert_eq!(serial.samples.len(), parallel.samples.len());
+    for (a, b) in serial.samples.iter().zip(&parallel.samples) {
+        assert_eq!((&a.design, a.func, a.op), (&b.design, b.func, b.op));
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.vertical.to_bits(), b.vertical.to_bits());
+        assert_eq!(a.horizontal.to_bits(), b.horizontal.to_bits());
+    }
+
+    // Models trained on each agree on every row (CV folds and grid points
+    // also run in parallel inside train, so this exercises that path too).
+    for kind in [ModelKind::Linear, ModelKind::Gbrt] {
+        let a = CongestionPredictor::train(kind, Target::Vertical, &serial, &TrainOptions::fast());
+        let b =
+            CongestionPredictor::train(kind, Target::Vertical, &parallel, &TrainOptions::fast());
+        for s in &serial.samples {
+            assert_eq!(
+                a.predict_features(&s.features).to_bits(),
+                b.predict_features(&s.features).to_bits(),
+                "{kind:?} prediction differs between worker counts"
+            );
+        }
     }
 }
 

@@ -38,8 +38,12 @@ fn training_and_prediction_pipeline() {
 
     let filtered = filter_marginal(&dataset, &FilterOptions::default());
     let (train, test) = filtered.kept.split(0.25, 3);
-    let model =
-        CongestionPredictor::train(ModelKind::Gbrt, Target::Average, &train, &TrainOptions::fast());
+    let model = CongestionPredictor::train(
+        ModelKind::Gbrt,
+        Target::Average,
+        &train,
+        &TrainOptions::fast(),
+    );
     let acc = model.evaluate(&test);
     assert!(acc.mae.is_finite() && acc.mae >= 0.0);
     assert!(acc.medae <= acc.mae * 5.0 + 1.0);
@@ -87,7 +91,8 @@ fn labels_respond_to_design_size() {
 #[test]
 fn suggestions_surface_for_congested_designs() {
     let flow = fast_flow();
-    let bench = rosetta_gen::face_detection::benchmark(rosetta_gen::face_detection::FdVariant::Optimized);
+    let bench =
+        rosetta_gen::face_detection::benchmark(rosetta_gen::face_detection::FdVariant::Optimized);
     let module = bench.build().unwrap();
     let design = flow.synthesize(&module).unwrap();
     // Pretend everything is hot: the advisor must surface the case-study
@@ -97,19 +102,21 @@ fn suggestions_surface_for_congested_designs() {
         .functions
         .iter()
         .flat_map(|f| {
-            f.ops.iter().map(move |o| congestion_core::predict::OpPrediction {
-                func: f.id,
-                op: o.id,
-                line: o.loc.map(|l| l.line).unwrap_or(0),
-                predicted: 150.0,
-            })
+            f.ops
+                .iter()
+                .map(move |o| congestion_core::predict::OpPrediction {
+                    func: f.id,
+                    op: o.id,
+                    line: o.loc.map(|l| l.line).unwrap_or(0),
+                    predicted: 150.0,
+                })
         })
         .collect();
     let suggestions = suggest_fixes(&design.module, &predictions, &ResolveOptions::default());
     assert!(
-        suggestions
-            .iter()
-            .any(|s| matches!(s, Suggestion::RemoveInline { function } if function == "fd_classifier")),
+        suggestions.iter().any(
+            |s| matches!(s, Suggestion::RemoveInline { function } if function == "fd_classifier")
+        ),
         "advisor must find the inlined cascade: {suggestions:?}"
     );
     assert!(

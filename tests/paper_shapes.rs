@@ -86,8 +86,8 @@ fn gbrt_beats_linear_on_real_congestion_data() {
         effort: 0.5,
         ..TrainOptions::fast()
     };
-    let gbrt = CongestionPredictor::train(ModelKind::Gbrt, Target::Average, &train, &opts)
-        .evaluate(&test);
+    let gbrt =
+        CongestionPredictor::train(ModelKind::Gbrt, Target::Average, &train, &opts).evaluate(&test);
     let linear = CongestionPredictor::train(ModelKind::Linear, Target::Average, &train, &opts)
         .evaluate(&test);
     assert!(
