@@ -39,6 +39,16 @@ fn bench_router_passes(c: &mut Criterion) {
             )
         })
     });
+    g.bench_function("maze_refine_2_reference_dijkstra", |b| {
+        b.iter(|| {
+            route(
+                &design.rtl,
+                &placement,
+                &device,
+                &RouterOptions::with_reference_maze(2),
+            )
+        })
+    });
     for passes in [0u32, 1, 2, 4] {
         g.bench_function(format!("refine_passes_{passes}"), |b| {
             b.iter(|| {

@@ -1,0 +1,68 @@
+//! Routing-kernel benchmarks: windowed A* (arena + bucket queue) against the
+//! reference full-grid Dijkstra, on a fixed placement, maze mode with two
+//! negotiated-congestion passes. Run with `cargo bench --bench router`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_fabric::place::{place, PlacerOptions};
+use fpga_fabric::route::{route, RouterOptions};
+use fpga_fabric::Device;
+use hls_ir::frontend::compile_named;
+use hls_synth::{HlsFlow, HlsOptions};
+
+fn congested_module() -> hls_ir::Module {
+    compile_named(
+        "int32 f(int32 a[64], int32 k) {\n#pragma HLS array_partition variable=a complete\nint32 s = 0;\n#pragma HLS unroll\nfor (i = 0; i < 64; i++) { s = s + a[i] * k; } return s; }",
+        "unroll64",
+    )
+    .unwrap()
+}
+
+fn bench_maze_kernels(c: &mut Criterion) {
+    let design = HlsFlow::new(HlsOptions::default())
+        .run(&congested_module())
+        .unwrap();
+    let device = Device::xc7z020();
+    let placement = place(&design.rtl, &device, &PlacerOptions::fast());
+    let mut g = c.benchmark_group("router_kernels");
+    g.sample_size(10);
+    g.bench_function("astar_windowed", |b| {
+        b.iter(|| {
+            route(
+                &design.rtl,
+                &placement,
+                &device,
+                &RouterOptions::with_maze(2),
+            )
+        })
+    });
+    g.bench_function("reference_dijkstra", |b| {
+        b.iter(|| {
+            route(
+                &design.rtl,
+                &placement,
+                &device,
+                &RouterOptions::with_reference_maze(2),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_default_router(c: &mut Criterion) {
+    // The non-maze path (L/Z refinement only) — must stay cheap since every
+    // dataset label goes through it.
+    let design = HlsFlow::new(HlsOptions::default())
+        .run(&congested_module())
+        .unwrap();
+    let device = Device::xc7z020();
+    let placement = place(&design.rtl, &device, &PlacerOptions::fast());
+    let mut g = c.benchmark_group("router_default");
+    g.sample_size(10);
+    g.bench_function("lz_refinement", |b| {
+        b.iter(|| route(&design.rtl, &placement, &device, &RouterOptions::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_maze_kernels, bench_default_router);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|all>
+//! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|router-bench|all>
 //! ```
 //!
 //! Reports are printed to stdout and written under `reports/`.
@@ -124,6 +124,20 @@ fn main() {
             .mae;
             text.push_str(&format!("  1-hop-only features: MAE {mae_no2:.2}\n"));
             emit("ablation", &text);
+        }
+        "router-bench" => {
+            // Routing-kernel head-to-head; `--fast` restricts the corpus to
+            // the small designs (used by the CI smoke run). Full effort also
+            // writes the BENCH_route.json baseline at the repo root.
+            let rows = router_bench::run(effort);
+            emit("router_bench", &router_bench::render(&rows));
+            let json = router_bench::to_json(&rows);
+            write_file("router_bench.json", &json);
+            if effort == Effort::Full {
+                if let Err(e) = fs::write("BENCH_route.json", &json) {
+                    eprintln!("warning: could not write BENCH_route.json: {e}");
+                }
+            }
         }
         other => {
             eprintln!("unknown experiment `{other}`");

@@ -1,0 +1,241 @@
+//! Head-to-head routing-kernel benchmark: the windowed A* maze kernel
+//! against the reference full-grid Dijkstra it replaced, on the in-tree
+//! designs. Produces the rows recorded in `BENCH_route.json`.
+
+use crate::designs::Effort;
+use fpga_fabric::place::{place, PlacerOptions};
+use fpga_fabric::route::{route, RouteResult};
+use fpga_fabric::{Device, RouterOptions, RoutingUtilization};
+use hls_ir::frontend::compile_named;
+use hls_ir::Module;
+use hls_synth::{HlsFlow, HlsOptions};
+use std::time::Instant;
+
+/// One kernel's result on one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRun {
+    /// Route-stage wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Nodes popped from the priority queue.
+    pub expanded_nodes: u64,
+    /// Nodes pushed onto the priority queue.
+    pub heap_pushes: u64,
+    /// Connections ripped up and rerouted across all passes.
+    pub rerouted_conns: u64,
+    /// Tiles left over 100 % utilization in either direction.
+    pub overflowed_tiles: usize,
+}
+
+/// A* vs reference Dijkstra on one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterBenchRow {
+    /// Design name.
+    pub design: String,
+    /// Routed connections.
+    pub conns: usize,
+    /// The windowed A* kernel (the default).
+    pub astar: KernelRun,
+    /// The reference full-grid Dijkstra kernel.
+    pub reference: KernelRun,
+}
+
+impl RouterBenchRow {
+    /// Route-stage speedup of A* over the reference kernel.
+    pub fn speedup(&self) -> f64 {
+        if self.astar.wall_ms > 0.0 {
+            self.reference.wall_ms / self.astar.wall_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The benchmark corpus: name and MiniHLS source (or generated module).
+fn corpus(effort: Effort) -> Vec<(String, Module)> {
+    let src = |s: &str, n: &str| compile_named(s, n).expect("bench source must compile");
+    let mut out = vec![
+        (
+            "mac16".to_string(),
+            src(
+                "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+                "mac16",
+            ),
+        ),
+        (
+            "unroll64".to_string(),
+            src(
+                "int32 f(int32 a[64], int32 k) {\n#pragma HLS array_partition variable=a complete\nint32 s = 0;\n#pragma HLS unroll\nfor (i = 0; i < 64; i++) { s = s + a[i] * k; } return s; }",
+                "unroll64",
+            ),
+        ),
+    ];
+    if effort == Effort::Full {
+        out.push((
+            "wide256".to_string(),
+            src(
+                "int32 f(int32 a[256], int32 k) {\n#pragma HLS array_partition variable=a cyclic factor=16\nint32 s = 0;\n#pragma HLS unroll factor=16\nfor (i = 0; i < 256; i++) { s = s + a[i] * k; } return s; }",
+                "wide256",
+            ),
+        ));
+        out.push((
+            "fd_opt".to_string(),
+            rosetta_gen::face_detection::benchmark(
+                rosetta_gen::face_detection::FdVariant::Optimized,
+            )
+            .build()
+            .expect("face detection generator must compile"),
+        ));
+    }
+    out
+}
+
+fn kernel_run(result: &RouteResult, wall_ms: f64, device: &Device) -> KernelRun {
+    KernelRun {
+        wall_ms,
+        expanded_nodes: result.stats.expanded_nodes,
+        heap_pushes: result.stats.heap_pushes,
+        rerouted_conns: result.stats.rerouted_conns,
+        overflowed_tiles: RoutingUtilization::new(result, device).overflowed_tiles,
+    }
+}
+
+/// Route every corpus design with both maze kernels and time the route stage.
+///
+/// Placement runs once per design so both kernels see identical input; the
+/// timed region is the `route` call alone.
+pub fn run(effort: Effort) -> Vec<RouterBenchRow> {
+    let device = Device::xc7z020();
+    let mut rows = Vec::new();
+    for (name, module) in corpus(effort) {
+        let design = HlsFlow::new(HlsOptions::default())
+            .run(&module)
+            .expect("bench design must synthesize");
+        let placement = place(&design.rtl, &device, &PlacerOptions::fast());
+        let time = |opts: &RouterOptions| {
+            let t = Instant::now();
+            let r = route(&design.rtl, &placement, &device, opts);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            (r, ms)
+        };
+        let (a, a_ms) = time(&RouterOptions::with_maze(2));
+        let (d, d_ms) = time(&RouterOptions::with_reference_maze(2));
+        debug_assert_eq!(a.conns.len(), d.conns.len());
+        rows.push(RouterBenchRow {
+            design: name,
+            conns: a.conns.len(),
+            astar: kernel_run(&a, a_ms, &device),
+            reference: kernel_run(&d, d_ms, &device),
+        });
+    }
+    rows
+}
+
+/// Serialize the rows as pretty-printed JSON (hand-rolled; no serde in-tree).
+pub fn to_json(rows: &[RouterBenchRow]) -> String {
+    let kernel = |k: &KernelRun| {
+        format!(
+            "{{\"wall_ms\": {:.3}, \"expanded_nodes\": {}, \"heap_pushes\": {}, \"rerouted_conns\": {}, \"overflowed_tiles\": {}}}",
+            k.wall_ms, k.expanded_nodes, k.heap_pushes, k.rerouted_conns, k.overflowed_tiles
+        )
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"design\": \"{}\", \"conns\": {}, \"speedup\": {:.2}, \"astar\": {}, \"reference_dijkstra\": {}}}{}\n",
+            r.design,
+            r.conns,
+            r.speedup(),
+            kernel(&r.astar),
+            kernel(&r.reference),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Human-readable table for stdout.
+pub fn render(rows: &[RouterBenchRow]) -> String {
+    let mut out =
+        String::from("ROUTER KERNELS: WINDOWED A* VS REFERENCE DIJKSTRA (maze, 2 passes)\n");
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>12} {:>12} {:>14} {:>14} {:>8} {:>10} {:>10}\n",
+        "design",
+        "conns",
+        "astar ms",
+        "ref ms",
+        "astar expand",
+        "ref expand",
+        "speedup",
+        "astar over",
+        "ref over"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>12.1} {:>12.1} {:>14} {:>14} {:>7.2}x {:>10} {:>10}\n",
+            r.design,
+            r.conns,
+            r.astar.wall_ms,
+            r.reference.wall_ms,
+            r.astar.expanded_nodes,
+            r.reference.expanded_nodes,
+            r.speedup(),
+            r.astar.overflowed_tiles,
+            r.reference.overflowed_tiles,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_bench_runs_and_astar_searches_less() {
+        let rows = run(Effort::Fast);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.conns > 0);
+            assert!(
+                r.astar.expanded_nodes <= r.reference.expanded_nodes,
+                "{}: A* must not search more than the full-grid kernel ({} vs {})",
+                r.design,
+                r.astar.expanded_nodes,
+                r.reference.expanded_nodes
+            );
+            assert!(
+                r.astar.overflowed_tiles <= r.reference.overflowed_tiles,
+                "{}: A* must not leave more overflow",
+                r.design
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![RouterBenchRow {
+            design: "d".into(),
+            conns: 3,
+            astar: KernelRun {
+                wall_ms: 1.5,
+                expanded_nodes: 10,
+                heap_pushes: 20,
+                rerouted_conns: 2,
+                overflowed_tiles: 0,
+            },
+            reference: KernelRun {
+                wall_ms: 3.0,
+                expanded_nodes: 40,
+                heap_pushes: 80,
+                rerouted_conns: 2,
+                overflowed_tiles: 1,
+            },
+        }];
+        let j = to_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"speedup\": 2.00"), "{j}");
+        assert!(j.contains("\"expanded_nodes\": 10"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::dataset::CongestionDataset;
 use fpga_fabric::par::{run_par, run_par_timed, ParOptions};
+use fpga_fabric::route::RouteStats;
 use fpga_fabric::{Device, ImplResult};
 use hls_ir::Module;
 use hls_synth::{HlsFlow, HlsOptions, SynthError, SynthesizedDesign};
@@ -140,6 +141,7 @@ impl CongestionFlow {
                     name: module.name.clone(),
                     outcome: Err(e),
                     timings,
+                    route_stats: RouteStats::default(),
                 };
                 return (Vec::new(), report);
             }
@@ -151,6 +153,7 @@ impl CongestionFlow {
         timings.route = par.route;
         timings.congestion = par.congestion;
         timings.timing = par.timing;
+        let route_stats = impl_result.route.stats;
 
         let t = Instant::now();
         let mut ds = CongestionDataset::new();
@@ -161,6 +164,7 @@ impl CongestionFlow {
             name: module.name.clone(),
             outcome: Ok(ds.len()),
             timings,
+            route_stats,
         };
         (ds.samples, report)
     }
@@ -230,6 +234,9 @@ pub struct DesignReport {
     pub outcome: Result<usize, SynthError>,
     /// Per-stage wall-clock for this design (stages not reached stay zero).
     pub timings: StageTimings,
+    /// Router search-effort counters for this design (zero when the design
+    /// failed before routing).
+    pub route_stats: RouteStats,
 }
 
 impl DesignReport {
@@ -274,6 +281,15 @@ impl DatasetBuildReport {
         t
     }
 
+    /// Router search-effort counters summed over all designs.
+    pub fn route_stats_totals(&self) -> RouteStats {
+        let mut s = RouteStats::default();
+        for d in &self.designs {
+            s.accumulate(&d.route_stats);
+        }
+        s
+    }
+
     /// Collapse to the fail-fast result the serial pipeline used to return:
     /// the dataset, or the first (in input order) failed design's error.
     ///
@@ -299,6 +315,7 @@ impl DatasetBuildReport {
             fmt_duration(self.wall),
         ));
         out.push_str(&format!("  stage totals: {}\n", self.stage_totals()));
+        out.push_str(&format!("  router: {}\n", self.route_stats_totals()));
         out.push_str(&format!(
             "  {:<24} {:>8} {:>10}  stages\n",
             "design", "samples", "total"

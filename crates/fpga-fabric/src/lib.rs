@@ -34,5 +34,6 @@ pub mod utilization;
 pub use congestion::CongestionMap;
 pub use device::{ColumnKind, Device};
 pub use par::{run_par, run_par_timed, ImplResult, ParOptions, ParStageTimings};
+pub use route::{MazeKernel, RouteStats, RouterArena, RouterOptions};
 pub use timing::TimingResult;
-pub use utilization::UtilizationReport;
+pub use utilization::{RoutingUtilization, UtilizationReport};

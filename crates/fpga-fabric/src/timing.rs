@@ -81,6 +81,7 @@ mod tests {
             conns,
             width: 1,
             height: 1,
+            stats: Default::default(),
         }
     }
 

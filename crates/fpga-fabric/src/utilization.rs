@@ -1,6 +1,7 @@
 //! Vivado-style post-implementation utilization report.
 
 use crate::device::Device;
+use crate::route::RouteResult;
 use hls_synth::{Resources, RtlDesign};
 use std::fmt;
 
@@ -86,6 +87,63 @@ impl fmt::Display for UtilizationReport {
     }
 }
 
+/// Post-route summary of routing-track consumption, one row per
+/// direction — the wiring counterpart of [`UtilizationReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingUtilization {
+    /// Peak horizontal track utilization (%).
+    pub h_peak: f64,
+    /// Mean horizontal track utilization over used tiles (%).
+    pub h_mean: f64,
+    /// Peak vertical track utilization (%).
+    pub v_peak: f64,
+    /// Mean vertical track utilization over used tiles (%).
+    pub v_mean: f64,
+    /// Tiles over 100 % in either direction.
+    pub overflowed_tiles: usize,
+}
+
+impl RoutingUtilization {
+    /// Summarize a route against the device's track capacities.
+    pub fn new(route: &RouteResult, device: &Device) -> RoutingUtilization {
+        let dir = |usage: &[u32], cap: u32| -> (f64, f64) {
+            let peak = usage.iter().copied().max().unwrap_or(0) as f64 / cap as f64 * 100.0;
+            let used: Vec<f64> = usage
+                .iter()
+                .filter(|&&u| u > 0)
+                .map(|&u| u as f64 / cap as f64 * 100.0)
+                .collect();
+            let mean = if used.is_empty() {
+                0.0
+            } else {
+                used.iter().sum::<f64>() / used.len() as f64
+            };
+            (peak, mean)
+        };
+        let (h_peak, h_mean) = dir(&route.h_usage, device.h_tracks);
+        let (v_peak, v_mean) = dir(&route.v_usage, device.v_tracks);
+        let overflowed_tiles = (0..route.h_usage.len())
+            .filter(|&i| route.h_usage[i] > device.h_tracks || route.v_usage[i] > device.v_tracks)
+            .count();
+        RoutingUtilization {
+            h_peak,
+            h_mean,
+            v_peak,
+            v_mean,
+            overflowed_tiles,
+        }
+    }
+}
+
+impl fmt::Display for RoutingUtilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<6} {:>9} {:>9}", "Tracks", "Peak%", "Mean%")?;
+        writeln!(f, "{:<6} {:>8.2}% {:>8.2}%", "H", self.h_peak, self.h_mean)?;
+        writeln!(f, "{:<6} {:>8.2}% {:>8.2}%", "V", self.v_peak, self.v_mean)?;
+        writeln!(f, "tiles over 100%: {}", self.overflowed_tiles)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +179,31 @@ mod tests {
         for name in ["LUT", "FF", "DSP", "BRAM"] {
             assert!(text.contains(name), "{text}");
         }
+    }
+
+    #[test]
+    fn routing_utilization_summarizes_usage() {
+        use crate::route::RouteResult;
+        let device = Device::tiny(4, 4);
+        let mut h_usage = vec![0u32; 16];
+        let mut v_usage = vec![0u32; 16];
+        h_usage[0] = 30; // 50% of 60 tracks
+        h_usage[1] = 90; // 150% — overflowed
+        v_usage[5] = 60; // 100%, at capacity but not over
+        let r = RouteResult {
+            h_usage,
+            v_usage,
+            conns: vec![],
+            width: 4,
+            height: 4,
+            stats: Default::default(),
+        };
+        let u = RoutingUtilization::new(&r, &device);
+        assert!((u.h_peak - 150.0).abs() < 1e-9);
+        assert!((u.h_mean - 100.0).abs() < 1e-9);
+        assert!((u.v_peak - 100.0).abs() < 1e-9);
+        assert_eq!(u.overflowed_tiles, 1);
+        let text = u.to_string();
+        assert!(text.contains("tiles over 100%: 1"), "{text}");
     }
 }

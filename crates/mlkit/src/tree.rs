@@ -47,7 +47,7 @@ impl BinnedMatrix {
         let mut thresholds = Vec::with_capacity(cols);
         for j in 0..cols {
             let mut vals = x.column(j);
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(f64::total_cmp);
             vals.dedup();
             // Candidate thresholds: quantiles of the distinct values.
             let nb = BINS.min(vals.len());
@@ -273,6 +273,20 @@ mod tests {
             y.push(if v > 0.5 { 10.0 } else { 0.0 });
         }
         (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn binning_tolerates_nan_features() {
+        // A NaN feature value (e.g. a 0/0 ratio upstream) must not panic the
+        // sort; total_cmp orders NaN after all numbers.
+        let x = Matrix::from_rows(&[
+            vec![1.0, f64::NAN],
+            vec![2.0, 0.5],
+            vec![3.0, f64::NAN],
+            vec![4.0, 0.25],
+        ]);
+        let b = BinnedMatrix::from_matrix(&x);
+        assert_eq!(b.thresholds.len(), 2);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ```text
 //! hls-congest compile   <file.mhls>                 print the IR after directives
 //! hls-congest synth     <file.mhls>                 HLS report (latency, resources, clock)
-//! hls-congest implement <file.mhls>                 full flow: congestion map + timing
-//! hls-congest dataset   <file.mhls>... -o data.csv [--workers N]
+//! hls-congest implement <file.mhls> [--router-stats] full flow: congestion map + timing
+//! hls-congest dataset   <file.mhls>... -o data.csv [--workers N] [--router-stats]
 //!                                                   build + save a labelled dataset
 //!                                                   (parallel, fault-tolerant, timed)
 //! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
@@ -63,17 +63,25 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|w| w[1].as_str())
 }
 
+/// Flags that take no value; `positional()` must not swallow the token
+/// that follows them.
+const BOOL_FLAGS: &[&str] = &["--router-stats"];
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args.iter() {
         if skip {
             skip = false;
             continue;
         }
         if a.starts_with("--") || (a.starts_with('-') && a.len() == 2) {
-            skip = true;
-            let _ = i;
+            // Value-taking flags consume the next token; boolean flags don't.
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a);
@@ -138,6 +146,13 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "\nutilization:\n{}",
         fpga_fabric::UtilizationReport::new(&design.rtl, &flow.device)
     );
+    if bool_flag(args, "--router-stats") {
+        println!("router: {}", result.route.stats);
+        println!(
+            "routing utilization:\n{}",
+            fpga_fabric::RoutingUtilization::new(&result.route, &flow.device)
+        );
+    }
     println!(
         "vertical congestion map:\n{}",
         result.congestion.render(true)
@@ -165,6 +180,12 @@ fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // design is reported below without sinking the rest of the batch.
     let report = flow.build_dataset_report(&modules);
     print!("{}", report.render());
+    if bool_flag(args, "--router-stats") {
+        for d in &report.designs {
+            println!("  {:<24} router: {}", d.name, d.route_stats);
+        }
+        println!("  total router: {}", report.route_stats_totals());
+    }
     for d in &report.designs {
         if let Err(e) = &d.outcome {
             eprintln!("warning: design `{}` failed: {e}", d.name);
