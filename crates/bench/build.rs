@@ -1,0 +1,19 @@
+//! Embeds the short git hash at build time so `experiments --version` can
+//! report exact build provenance (same scheme as the root crate's build.rs).
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    if !hash.is_empty() {
+        println!("cargo:rustc-env=GIT_HASH={hash}");
+    }
+}

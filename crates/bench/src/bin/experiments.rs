@@ -2,146 +2,197 @@
 //!
 //! ```text
 //! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|router-bench|all>
+//! experiments --version
 //! ```
 //!
-//! Reports are printed to stdout and written under `reports/`.
+//! Reports are printed to stdout and written under `reports/`. The shared
+//! observability flags `--trace-out <file>`, `--metrics-out <file>` and
+//! `--profile` export an obskit Chrome trace / metrics snapshot / profile
+//! table covering every experiment run by the invocation.
 
 use congestion_bench::designs::Effort;
 use congestion_bench::*;
 use std::fs;
 use std::path::Path;
 
+/// Flags that consume the next token; the experiment selector must not
+/// mistake their values for an experiment name.
+const VALUE_FLAGS: &[&str] = &["--trace-out", "--metrics-out"];
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+/// First token that is neither a flag nor a value-taking flag's value.
+fn selector(args: &[String]) -> Option<String> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = VALUE_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        return Some(a.clone());
+    }
+    None
+}
+
+fn version_string() -> String {
+    format!(
+        "experiments {} (git {})",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("GIT_HASH").unwrap_or("unknown")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version") {
+        println!("{}", version_string());
+        return;
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let grid = args.iter().any(|a| a == "--grid-search");
     let effort = if fast { Effort::Fast } else { Effort::Full };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let what = selector(&args).unwrap_or_else(|| "all".to_string());
 
     fs::create_dir_all("reports").ok();
 
-    let run_one = |name: &str| match name {
-        "table1" => {
-            let t = table1::run(effort);
-            emit("table1", &t.render());
-            println!("shape holds: {}", t.shape_holds());
-        }
-        "fig1" => {
-            let f = fig1::run(effort);
-            for fig in [&f.with_directives, &f.without_directives] {
-                emit(&format!("fig1_{}_vertical", fig.label), &fig.vertical_art);
-                emit(
-                    &format!("fig1_{}_horizontal", fig.label),
-                    &fig.horizontal_art,
-                );
-                write_file(&format!("fig1_{}.csv", fig.label), &fig.csv);
-                println!("{}: max congestion {:.2}%", fig.label, fig.max_congestion);
+    // Session-wide collector: every experiment gets a span, and experiments
+    // that produce their own records (dataset, router-bench) merge them in.
+    let obs = obskit::Collector::new();
+
+    let run_one = |name: &str| {
+        let _span = obs.span_cat(name, "experiment");
+        match name {
+            "table1" => {
+                let t = table1::run(effort);
+                emit("table1", &t.render());
+                println!("shape holds: {}", t.shape_holds());
             }
-        }
-        "table3" => {
-            let (t, _) = table3::run(effort);
-            emit("table3", &t.render());
-        }
-        "table4" => {
-            let (t3, ds) = table3::run(effort);
-            emit("table3", &t3.render());
-            let t = table4::run_on(&ds, effort, grid);
-            emit("table4", &t.render());
-            println!(
-                "GBRT wins: {}, filtering helps: {}",
-                t.gbrt_wins(),
-                t.filtering_helps()
-            );
-        }
-        "table5" => {
-            let (_, ds) = table3::run(effort);
-            let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
-            let t = table5::run_on(&filtered.kept, effort);
-            emit("table5", &t.render());
-        }
-        "table6" => {
-            let t = table6::run(effort);
-            emit("table6", &t.render());
-            println!("shape holds: {}", t.shape_holds());
-        }
-        "fig5" => {
-            let f = fig5::run(effort);
-            emit("fig5", &f.render());
-            println!("center exceeds margin: {}", f.center_exceeds_margin());
-        }
-        "fig6" => {
-            let f = fig6::run(effort);
-            let mut summary = String::from("FIG 6. RESOLVING ROUTING CONGESTION\n");
-            for s in &f.steps {
-                emit(&format!("fig6_{}_vertical", s.label), &s.vertical_art);
-                emit(&format!("fig6_{}_horizontal", s.label), &s.horizontal_art);
-                summary.push_str(&format!(
-                    "{}: {} tiles over 100%\n",
-                    s.label, s.congested_tiles
-                ));
-            }
-            emit("fig6_summary", &summary);
-            println!("congested area shrinks: {}", f.area_shrinks());
-        }
-        "dataset" => {
-            // Parallel fault-tolerant dataset build over the training suite,
-            // with the per-design / per-stage timing breakdown. Worker count
-            // honours RAYON_NUM_THREADS.
-            let flow = effort.flow();
-            let modules = designs::training_suite();
-            let report = flow.build_dataset_report(&modules);
-            emit("dataset_timing", &report.render());
-        }
-        "ablation" => {
-            let (_, ds) = table3::run(effort);
-            let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
-            let results = ablation::category_knockout(&filtered.kept, effort);
-            let mut text = String::from("ABLATION: CATEGORY KNOCK-OUT (GBRT, vertical)\n");
-            for r in &results {
-                text.push_str(&format!(
-                    "  -{:<20} MAE {:>6.2} (baseline {:>6.2}, delta {:+.2})\n",
-                    r.category,
-                    r.mae,
-                    r.baseline_mae,
-                    r.delta()
-                ));
-            }
-            // Two-hop ablation.
-            let no2 = ablation::without_two_hop(&filtered.kept);
-            let opts = effort.train(false);
-            let (tr, te) = no2.split(0.2, 23);
-            let mae_no2 = congestion_core::predict::CongestionPredictor::train(
-                congestion_core::ModelKind::Gbrt,
-                congestion_core::Target::Vertical,
-                &tr,
-                &opts,
-            )
-            .evaluate(&te)
-            .mae;
-            text.push_str(&format!("  1-hop-only features: MAE {mae_no2:.2}\n"));
-            emit("ablation", &text);
-        }
-        "router-bench" => {
-            // Routing-kernel head-to-head; `--fast` restricts the corpus to
-            // the small designs (used by the CI smoke run). Full effort also
-            // writes the BENCH_route.json baseline at the repo root.
-            let rows = router_bench::run(effort);
-            emit("router_bench", &router_bench::render(&rows));
-            let json = router_bench::to_json(&rows);
-            write_file("router_bench.json", &json);
-            if effort == Effort::Full {
-                if let Err(e) = fs::write("BENCH_route.json", &json) {
-                    eprintln!("warning: could not write BENCH_route.json: {e}");
+            "fig1" => {
+                let f = fig1::run(effort);
+                for fig in [&f.with_directives, &f.without_directives] {
+                    emit(&format!("fig1_{}_vertical", fig.label), &fig.vertical_art);
+                    emit(
+                        &format!("fig1_{}_horizontal", fig.label),
+                        &fig.horizontal_art,
+                    );
+                    write_file(&format!("fig1_{}.csv", fig.label), &fig.csv);
+                    println!("{}: max congestion {:.2}%", fig.label, fig.max_congestion);
                 }
             }
-        }
-        other => {
-            eprintln!("unknown experiment `{other}`");
-            std::process::exit(2);
+            "table3" => {
+                let (t, _) = table3::run(effort);
+                emit("table3", &t.render());
+            }
+            "table4" => {
+                let (t3, ds) = table3::run(effort);
+                emit("table3", &t3.render());
+                let t = table4::run_on(&ds, effort, grid);
+                emit("table4", &t.render());
+                println!(
+                    "GBRT wins: {}, filtering helps: {}",
+                    t.gbrt_wins(),
+                    t.filtering_helps()
+                );
+            }
+            "table5" => {
+                let (_, ds) = table3::run(effort);
+                let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
+                let t = table5::run_on(&filtered.kept, effort);
+                emit("table5", &t.render());
+            }
+            "table6" => {
+                let t = table6::run(effort);
+                emit("table6", &t.render());
+                println!("shape holds: {}", t.shape_holds());
+            }
+            "fig5" => {
+                let f = fig5::run(effort);
+                emit("fig5", &f.render());
+                println!("center exceeds margin: {}", f.center_exceeds_margin());
+            }
+            "fig6" => {
+                let f = fig6::run(effort);
+                let mut summary = String::from("FIG 6. RESOLVING ROUTING CONGESTION\n");
+                for s in &f.steps {
+                    emit(&format!("fig6_{}_vertical", s.label), &s.vertical_art);
+                    emit(&format!("fig6_{}_horizontal", s.label), &s.horizontal_art);
+                    summary.push_str(&format!(
+                        "{}: {} tiles over 100%\n",
+                        s.label, s.congested_tiles
+                    ));
+                }
+                emit("fig6_summary", &summary);
+                println!("congested area shrinks: {}", f.area_shrinks());
+            }
+            "dataset" => {
+                // Parallel fault-tolerant dataset build over the training suite,
+                // with the per-design / per-stage timing breakdown. Worker count
+                // honours RAYON_NUM_THREADS.
+                let flow = effort.flow();
+                let modules = designs::training_suite();
+                let report = flow.build_dataset_report(&modules);
+                emit("dataset_timing", &report.render());
+                obs.absorb(report.obs.clone());
+            }
+            "ablation" => {
+                let (_, ds) = table3::run(effort);
+                let filtered = congestion_core::filter::filter_marginal(&ds, &Default::default());
+                let results = ablation::category_knockout(&filtered.kept, effort);
+                let mut text = String::from("ABLATION: CATEGORY KNOCK-OUT (GBRT, vertical)\n");
+                for r in &results {
+                    text.push_str(&format!(
+                        "  -{:<20} MAE {:>6.2} (baseline {:>6.2}, delta {:+.2})\n",
+                        r.category,
+                        r.mae,
+                        r.baseline_mae,
+                        r.delta()
+                    ));
+                }
+                // Two-hop ablation.
+                let no2 = ablation::without_two_hop(&filtered.kept);
+                let opts = effort.train(false);
+                let (tr, te) = no2.split(0.2, 23);
+                let mae_no2 = congestion_core::predict::CongestionPredictor::train(
+                    congestion_core::ModelKind::Gbrt,
+                    congestion_core::Target::Vertical,
+                    &tr,
+                    &opts,
+                )
+                .evaluate(&te)
+                .mae;
+                text.push_str(&format!("  1-hop-only features: MAE {mae_no2:.2}\n"));
+                emit("ablation", &text);
+            }
+            "router-bench" => {
+                // Routing-kernel head-to-head; `--fast` restricts the corpus to
+                // the small designs (used by the CI smoke run). Full effort also
+                // writes the BENCH_route.json baseline at the repo root.
+                let rows = router_bench::run(effort);
+                emit("router_bench", &router_bench::render(&rows));
+                let json = router_bench::to_json(&rows);
+                write_file("router_bench.json", &json);
+                if effort == Effort::Full {
+                    if let Err(e) = fs::write("BENCH_route.json", &json) {
+                        eprintln!("warning: could not write BENCH_route.json: {e}");
+                    }
+                }
+                obs.absorb(obskit::ObsRecord {
+                    events: Vec::new(),
+                    metrics: router_bench::to_metrics(&rows),
+                });
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
         }
     };
 
@@ -154,6 +205,30 @@ fn main() {
         }
     } else {
         run_one(&what);
+    }
+
+    let rec = obs.finish();
+    if let Some(path) = flag(&args, "--trace-out") {
+        if let Err(e) = fs::write(path, obskit::sink::chrome_trace_json(&rec.events)) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("wrote Chrome trace to {path} (load in chrome://tracing or ui.perfetto.dev)");
+        }
+    }
+    if let Some(path) = flag(&args, "--metrics-out") {
+        let meta = [
+            ("tool", "experiments"),
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
+        ];
+        if let Err(e) = fs::write(path, obskit::sink::metrics_json(&rec.metrics, &meta)) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    }
+    if args.iter().any(|a| a == "--profile") {
+        println!("{}", obskit::sink::profile_table(&rec));
     }
 }
 

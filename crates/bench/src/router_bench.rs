@@ -130,28 +130,43 @@ pub fn run(effort: Effort) -> Vec<RouterBenchRow> {
     rows
 }
 
-/// Serialize the rows as pretty-printed JSON (hand-rolled; no serde in-tree).
-pub fn to_json(rows: &[RouterBenchRow]) -> String {
-    let kernel = |k: &KernelRun| {
-        format!(
-            "{{\"wall_ms\": {:.3}, \"expanded_nodes\": {}, \"heap_pushes\": {}, \"rerouted_conns\": {}, \"overflowed_tiles\": {}}}",
-            k.wall_ms, k.expanded_nodes, k.heap_pushes, k.rerouted_conns, k.overflowed_tiles
-        )
-    };
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"design\": \"{}\", \"conns\": {}, \"speedup\": {:.2}, \"astar\": {}, \"reference_dijkstra\": {}}}{}\n",
-            r.design,
-            r.conns,
-            r.speedup(),
-            kernel(&r.astar),
-            kernel(&r.reference),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+/// Fold the rows into an [`obskit::MetricsSnapshot`] under the shared
+/// `router_bench.<design>.<kernel>.<metric>` naming scheme. Deterministic
+/// search counters become counters; wall-clock and derived speedup become
+/// gauges (gauges are excluded from `deterministic_digest`, matching the
+/// timing-metric convention).
+pub fn to_metrics(rows: &[RouterBenchRow]) -> obskit::MetricsSnapshot {
+    let mut reg = obskit::Registry::new();
+    for r in rows {
+        let base = format!("router_bench.{}", r.design);
+        reg.inc(&format!("{base}.conns"), r.conns as u64);
+        reg.set_gauge(&format!("{base}.speedup"), r.speedup());
+        for (kernel, k) in [("astar", &r.astar), ("reference_dijkstra", &r.reference)] {
+            reg.set_gauge(&format!("{base}.{kernel}.wall_ms"), k.wall_ms);
+            reg.inc(&format!("{base}.{kernel}.expanded_nodes"), k.expanded_nodes);
+            reg.inc(&format!("{base}.{kernel}.heap_pushes"), k.heap_pushes);
+            reg.inc(&format!("{base}.{kernel}.rerouted_conns"), k.rerouted_conns);
+            reg.inc(
+                &format!("{base}.{kernel}.overflowed_tiles"),
+                k.overflowed_tiles as u64,
+            );
+        }
     }
-    out.push(']');
-    out
+    reg.into_snapshot()
+}
+
+/// Serialize the rows through the workspace-wide `obskit.metrics.v1` JSON
+/// schema (the same format `hls-congest --metrics-out` writes), so
+/// `BENCH_route.json` and pipeline metrics snapshots share tooling.
+pub fn to_json(rows: &[RouterBenchRow]) -> String {
+    obskit::sink::metrics_json(
+        &to_metrics(rows),
+        &[
+            ("tool", "experiments router-bench"),
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
+        ],
+    )
 }
 
 /// Human-readable table for stdout.
@@ -212,9 +227,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn json_is_well_formed_enough() {
-        let rows = vec![RouterBenchRow {
+    fn sample_rows() -> Vec<RouterBenchRow> {
+        vec![RouterBenchRow {
             design: "d".into(),
             conns: 3,
             astar: KernelRun {
@@ -231,11 +245,28 @@ mod tests {
                 rerouted_conns: 2,
                 overflowed_tiles: 1,
             },
-        }];
-        let j = to_json(&rows);
-        assert!(j.starts_with('[') && j.ends_with(']'));
-        assert!(j.contains("\"speedup\": 2.00"), "{j}");
-        assert!(j.contains("\"expanded_nodes\": 10"), "{j}");
+        }]
+    }
+
+    #[test]
+    fn metrics_follow_shared_naming_scheme() {
+        let snap = to_metrics(&sample_rows());
+        assert_eq!(snap.counters["router_bench.d.conns"], 3);
+        assert_eq!(snap.counters["router_bench.d.astar.expanded_nodes"], 10);
+        assert_eq!(
+            snap.counters["router_bench.d.reference_dijkstra.expanded_nodes"],
+            40
+        );
+        assert_eq!(snap.gauges["router_bench.d.speedup"], 2.0);
+        assert_eq!(snap.gauges["router_bench.d.astar.wall_ms"], 1.5);
+    }
+
+    #[test]
+    fn json_uses_obskit_metrics_schema() {
+        let j = to_json(&sample_rows());
+        assert!(j.contains("\"schema\": \"obskit.metrics.v1\""), "{j}");
+        assert!(j.contains("\"tool\": \"experiments router-bench\""), "{j}");
+        assert!(j.contains("router_bench.d.astar.expanded_nodes"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

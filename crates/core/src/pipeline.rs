@@ -10,11 +10,12 @@
 //! build continues with the remaining designs.
 
 use crate::dataset::CongestionDataset;
-use fpga_fabric::par::{run_par, run_par_timed, ParOptions};
+use fpga_fabric::par::{run_par, run_par_obs, ParOptions};
 use fpga_fabric::route::RouteStats;
 use fpga_fabric::{Device, ImplResult};
 use hls_ir::Module;
 use hls_synth::{HlsFlow, HlsOptions, SynthError, SynthesizedDesign};
+use obskit::{Collector, ObsRecord};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,36 @@ impl CongestionFlow {
         Ok((design, impl_result))
     }
 
+    /// [`Self::implement`] recording into an [`obskit::Collector`]: a
+    /// `design` root span with `hls`/`place`/`route`/`congestion`/`timing`
+    /// child spans plus the router's registry metrics. Used by the CLI's
+    /// `implement --trace-out`.
+    ///
+    /// # Errors
+    /// Returns [`SynthError`] when the module fails IR verification; the
+    /// partial `hls` span (annotated with the error) is still recorded.
+    pub fn implement_observed(
+        &self,
+        module: &Module,
+        obs: &Collector,
+    ) -> Result<(SynthesizedDesign, ImplResult), SynthError> {
+        let mut design_span = obs.span("design");
+        design_span.arg("design", module.name.clone());
+        let mut hls_span = obs.span("hls");
+        let design = match self.synthesize(module) {
+            Ok(d) => d,
+            Err(e) => {
+                hls_span.arg("error", e.to_string());
+                drop(hls_span);
+                design_span.arg("outcome", "failed");
+                return Err(e);
+            }
+        };
+        hls_span.end();
+        let (impl_result, _timings) = run_par_obs(&design, &self.device, &self.par, obs);
+        Ok((design, impl_result))
+    }
+
     /// Build a labelled dataset from several designs (the paper combines
     /// three suite groups into 8111 samples).
     ///
@@ -108,65 +139,97 @@ impl CongestionFlow {
         let results =
             parkit::par_map_threads(requested, modules, |m| self.implement_for_dataset(m));
 
-        // Merge in input order — bit-identical to the serial loop.
+        // Merge in input order — bit-identical to the serial loop. The
+        // per-design obskit records merge under the same rule, so every
+        // deterministic metric (counters, histogram buckets) is identical
+        // for any worker count; only wall-clocks vary.
+        let root = Collector::new();
         let mut dataset = CongestionDataset::new();
         let mut designs = Vec::with_capacity(results.len());
-        for (samples, report) in results {
-            dataset.samples.extend(samples);
-            designs.push(report);
+        {
+            let mut build_span = root.span("dataset_build");
+            build_span.arg("designs", modules.len().to_string());
+            for (samples, report, rec) in results {
+                dataset.samples.extend(samples);
+                designs.push(report);
+                root.absorb(rec);
+            }
         }
+        let wall = start.elapsed();
+        root.set_gauge("dataset.wall_ms", wall.as_secs_f64() * 1e3);
         DatasetBuildReport {
             dataset,
             designs,
             workers: requested.clamp(1, modules.len().max(1)),
-            wall: start.elapsed(),
+            wall,
+            obs: root.finish(),
         }
     }
 
     /// The per-worker unit of [`Self::build_dataset_report`]: one design
     /// through HLS → PAR → feature extraction, never panicking on a bad
     /// module.
+    ///
+    /// Every stage runs inside an obskit span on the design's own
+    /// collector, and [`StageTimings`] is derived from those spans — one
+    /// measurement substrate instead of two. A design that fails mid-flow
+    /// keeps the spans of every stage it reached, so partial timings
+    /// survive into the report (the `hls` span of a design that dies in
+    /// synthesis still carries the time spent before the error).
     fn implement_for_dataset(
         &self,
         module: &Module,
-    ) -> (Vec<crate::dataset::Sample>, DesignReport) {
-        let mut timings = StageTimings::default();
+    ) -> (Vec<crate::dataset::Sample>, DesignReport, ObsRecord) {
+        let obs = Collector::new();
+        obs.inc("dataset.designs", 1);
+        let mut design_span = obs.span("design");
+        design_span.arg("design", module.name.clone());
 
-        let t = Instant::now();
+        let mut hls_span = obs.span("hls");
         let design = match self.synthesize(module) {
             Ok(d) => d,
             Err(e) => {
-                timings.hls = t.elapsed();
+                // Record the partial HLS timing and the error on the span,
+                // then finish the collector — the failed stage's time is
+                // attributed, not dropped.
+                hls_span.arg("error", e.to_string());
+                drop(hls_span);
+                design_span.arg("outcome", "failed");
+                drop(design_span);
+                obs.inc("dataset.designs_failed", 1);
+                let rec = obs.finish();
                 let report = DesignReport {
                     name: module.name.clone(),
                     outcome: Err(e),
-                    timings,
+                    timings: StageTimings::from_record(&rec),
                     route_stats: RouteStats::default(),
                 };
-                return (Vec::new(), report);
+                return (Vec::new(), report, rec);
             }
         };
-        timings.hls = t.elapsed();
+        hls_span.end();
 
-        let (impl_result, par) = run_par_timed(&design, &self.device, &self.par);
-        timings.place = par.place;
-        timings.route = par.route;
-        timings.congestion = par.congestion;
-        timings.timing = par.timing;
+        let (impl_result, _par) = run_par_obs(&design, &self.device, &self.par, &obs);
         let route_stats = impl_result.route.stats;
 
-        let t = Instant::now();
         let mut ds = CongestionDataset::new();
-        ds.add_design(&design, &impl_result, &self.device);
-        timings.features = t.elapsed();
+        {
+            let _span = obs.span("features");
+            ds.add_design(&design, &impl_result, &self.device);
+        }
+        obs.inc("dataset.designs_ok", 1);
+        obs.inc("dataset.samples", ds.len() as u64);
+        design_span.arg("samples", ds.len().to_string());
+        drop(design_span);
 
+        let rec = obs.finish();
         let report = DesignReport {
             name: module.name.clone(),
             outcome: Ok(ds.len()),
-            timings,
+            timings: StageTimings::from_record(&rec),
             route_stats,
         };
-        (ds.samples, report)
+        (ds.samples, report, rec)
     }
 }
 
@@ -194,6 +257,22 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
+    /// Derive stage timings from a design's obskit spans (summed per stage
+    /// name). This is the only producer of `StageTimings` in the pipeline —
+    /// the spans are the single source of timing truth, and this type is
+    /// the stable report-facing view of them.
+    pub fn from_record(rec: &ObsRecord) -> StageTimings {
+        let stage = |name: &str| Duration::from_micros(rec.span_total_us(name));
+        StageTimings {
+            hls: stage("hls"),
+            place: stage("place"),
+            route: stage("route"),
+            congestion: stage("congestion"),
+            timing: stage("timing"),
+            features: stage("features"),
+        }
+    }
+
     /// Sum of all stage durations.
     pub fn total(&self) -> Duration {
         self.hls + self.place + self.route + self.congestion + self.timing + self.features
@@ -258,6 +337,11 @@ pub struct DatasetBuildReport {
     pub workers: usize,
     /// End-to-end wall-clock of the build.
     pub wall: Duration,
+    /// Merged observability record: per-design/per-stage spans (exportable
+    /// as a Chrome trace via [`obskit::sink::chrome_trace_json`]) and the
+    /// metrics registry (counters/histograms deterministic for any worker
+    /// count; see [`obskit::MetricsSnapshot::deterministic_digest`]).
+    pub obs: ObsRecord,
 }
 
 impl DatasetBuildReport {
@@ -329,7 +413,16 @@ impl DatasetBuildReport {
                     fmt_duration(d.timings.total()),
                     d.timings,
                 )),
-                Err(e) => out.push_str(&format!("  {:<24}   FAILED: {e}\n", d.name)),
+                // A failed design still shows the time it spent in the
+                // stages it reached before dying — partial timings are
+                // recorded on the error path, not dropped.
+                Err(e) => out.push_str(&format!(
+                    "  {:<24} {:>8} {:>10}  {}  FAILED: {e}\n",
+                    d.name,
+                    "-",
+                    fmt_duration(d.timings.total()),
+                    d.timings,
+                )),
             }
         }
         out
@@ -359,6 +452,9 @@ const _: () = {
     assert_send_sync::<CongestionDataset>();
     assert_send_sync::<DatasetBuildReport>();
     assert_send_sync::<SynthError>();
+    // Finished records are plain data; only the live `Collector` is
+    // single-threaded.
+    assert_send_sync::<ObsRecord>();
 };
 
 #[cfg(test)]
@@ -481,6 +577,78 @@ mod tests {
 
         // And the fail-fast wrapper surfaces the error.
         assert!(CongestionFlow::fast().build_dataset(&modules).is_err());
+    }
+
+    #[test]
+    fn report_carries_obs_spans_and_deterministic_counters() {
+        let modules = suite();
+        let report = CongestionFlow::fast().build_dataset_report(&modules);
+        let rec = &report.obs;
+
+        // One design span per module, each annotated with its name.
+        let design_spans: Vec<_> = rec.events.iter().filter(|e| e.name == "design").collect();
+        assert_eq!(design_spans.len(), modules.len());
+        for (m, e) in modules.iter().zip(&design_spans) {
+            assert!(e.args.contains(&("design".to_string(), m.name.clone())));
+        }
+        // Every stage appears as child spans, and the registry agrees with
+        // the report.
+        for stage in ["hls", "place", "route", "congestion", "timing", "features"] {
+            assert_eq!(
+                rec.events.iter().filter(|e| e.name == stage).count(),
+                modules.len(),
+                "missing {stage} spans"
+            );
+        }
+        let m = &rec.metrics;
+        assert_eq!(m.counters["dataset.designs"], modules.len() as u64);
+        assert_eq!(m.counters["dataset.designs_ok"], report.succeeded() as u64);
+        assert_eq!(m.counters["dataset.samples"], report.dataset.len() as u64);
+        assert_eq!(
+            m.counters["route.expanded_nodes"],
+            report.route_stats_totals().expanded_nodes
+        );
+        // The router's convergence histogram has one sample per recorded
+        // pass state (initial + executed refinement passes).
+        let h = &m.histograms["route.pass_overflow"];
+        assert!(h.count() >= modules.len() as u64);
+        // Stage timings are derived from the same spans.
+        for d in &report.designs {
+            assert!(d.timings.total() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn failed_design_keeps_partial_timings_and_error_span() {
+        let modules = vec![broken_module("cursed")];
+        let report = CongestionFlow::fast().build_dataset_report(&modules);
+        assert_eq!(report.failed(), 1);
+
+        // The failed design's hls span survives, annotated with the error.
+        let hls: Vec<_> = report
+            .obs
+            .events
+            .iter()
+            .filter(|e| e.name == "hls")
+            .collect();
+        assert_eq!(hls.len(), 1);
+        assert!(hls[0].args.iter().any(|(k, _)| k == "error"));
+        // And its partial timing is attributed in the report, consistent
+        // with the span.
+        assert_eq!(
+            report.designs[0].timings.hls,
+            Duration::from_micros(hls[0].dur_us)
+        );
+        assert_eq!(report.obs.metrics.counters["dataset.designs_failed"], 1);
+        // The rendered table shows the failed design WITH its stage
+        // breakdown (the old renderer dropped it).
+        let text = report.render();
+        assert!(text.contains("FAILED"));
+        let failed_line = text.lines().find(|l| l.contains("FAILED")).unwrap();
+        assert!(
+            failed_line.contains("hls"),
+            "no partial timings: {failed_line}"
+        );
     }
 
     #[test]

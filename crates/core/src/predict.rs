@@ -10,10 +10,11 @@ use crate::graph::DepGraph;
 use fpga_fabric::Device;
 use hls_ir::{FuncId, OpId};
 use hls_synth::SynthesizedDesign;
-use mlkit::cv::cross_val_mae;
+use mlkit::cv::cross_val_mae_observed;
 use mlkit::metrics::{mae, medae};
 use mlkit::tree::TreeOptions;
 use mlkit::{GbrtOptions, GbrtRegressor, Lasso, LassoOptions, MlpOptions, MlpRegressor, Regressor};
+use obskit::Collector;
 
 /// Which model family to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,6 +118,27 @@ impl CongestionPredictor {
         data: &CongestionDataset,
         opts: &TrainOptions,
     ) -> CongestionPredictor {
+        // Telemetry never perturbs training, so a throwaway collector
+        // keeps `train` and `train_observed` on one code path.
+        Self::train_observed(kind, target, data, opts, &Collector::new())
+    }
+
+    /// [`Self::train`] recording training telemetry into `obs`: a `train`
+    /// span (annotated with model and target), per-fold CV telemetry when
+    /// grid-searching, and the model's convergence curve
+    /// (`train.gbrt.stage_loss` / `train.ann.epoch_loss` histograms —
+    /// deterministic, since training is seeded).
+    pub fn train_observed(
+        kind: ModelKind,
+        target: Target,
+        data: &CongestionDataset,
+        opts: &TrainOptions,
+        obs: &Collector,
+    ) -> CongestionPredictor {
+        let mut train_span = obs.span("train");
+        train_span.arg("model", kind.name());
+        train_span.arg("target", target.name());
+        train_span.arg("samples", data.len().to_string());
         let ml = data.to_ml(target);
         let effort = opts.effort.clamp(0.01, 1.0);
         let model = match kind {
@@ -125,14 +147,20 @@ impl CongestionPredictor {
                 let alpha = if opts.grid_search {
                     let mut ds = mlkit::Dataset::with_cols(FEATURE_COUNT);
                     ds.extend(&ml_to_dataset(&ml));
-                    let (best, _) =
-                        mlkit::cv::grid_search(&ds, opts.cv_folds, opts.seed, &alphas, |&a| {
+                    let (best, _) = mlkit::cv::grid_search_observed(
+                        &ds,
+                        opts.cv_folds,
+                        opts.seed,
+                        &alphas,
+                        |&a| {
                             Lasso::new(LassoOptions {
                                 alpha: a,
                                 max_iter: (200.0 * effort).max(20.0) as usize,
                                 ..Default::default()
                             })
-                        });
+                        },
+                        obs,
+                    );
                     alphas[best]
                 } else {
                     0.01
@@ -142,7 +170,10 @@ impl CongestionPredictor {
                     max_iter: (500.0 * effort).max(30.0) as usize,
                     ..Default::default()
                 });
-                m.fit(&ml.x, &ml.y);
+                {
+                    let _fit = obs.span("train.fit");
+                    m.fit(&ml.x, &ml.y);
+                }
                 Model::Linear(m)
             }
             ModelKind::Ann => {
@@ -151,13 +182,20 @@ impl CongestionPredictor {
                     let ds = ml_to_dataset(&ml);
                     let mut best = (0usize, f64::INFINITY);
                     for (i, h) in grids.iter().enumerate() {
-                        let score = cross_val_mae(&ds, opts.cv_folds, opts.seed, || {
-                            MlpRegressor::new(MlpOptions {
-                                hidden: h.clone(),
-                                epochs: (40.0 * effort).max(3.0) as usize,
-                                ..Default::default()
-                            })
-                        });
+                        let score = cross_val_mae_observed(
+                            &ds,
+                            opts.cv_folds,
+                            opts.seed,
+                            || {
+                                MlpRegressor::new(MlpOptions {
+                                    hidden: h.clone(),
+                                    epochs: (40.0 * effort).max(3.0) as usize,
+                                    ..Default::default()
+                                })
+                            },
+                            obs,
+                        );
+                        obs.inc("cv.grid.points", 1);
                         if score < best.1 {
                             best = (i, score);
                         }
@@ -171,7 +209,10 @@ impl CongestionPredictor {
                     epochs: (120.0 * effort).max(5.0) as usize,
                     ..Default::default()
                 });
-                m.fit(&ml.x, &ml.y);
+                {
+                    let _fit = obs.span("train.fit");
+                    m.fit_observed(&ml.x, &ml.y, obs);
+                }
                 Model::Ann(m)
             }
             ModelKind::Gbrt => {
@@ -180,18 +221,25 @@ impl CongestionPredictor {
                     let ds = ml_to_dataset(&ml);
                     let mut best = (0usize, f64::INFINITY);
                     for (i, &d) in depths.iter().enumerate() {
-                        let score = cross_val_mae(&ds, opts.cv_folds, opts.seed, || {
-                            GbrtRegressor::new(GbrtOptions {
-                                n_estimators: (60.0 * effort).max(5.0) as usize,
-                                learning_rate: (0.08 / effort.sqrt()).min(0.3),
-                                feature_fraction: (0.4 / effort.sqrt()).min(1.0),
-                                tree: TreeOptions {
-                                    max_depth: d,
+                        let score = cross_val_mae_observed(
+                            &ds,
+                            opts.cv_folds,
+                            opts.seed,
+                            || {
+                                GbrtRegressor::new(GbrtOptions {
+                                    n_estimators: (60.0 * effort).max(5.0) as usize,
+                                    learning_rate: (0.08 / effort.sqrt()).min(0.3),
+                                    feature_fraction: (0.4 / effort.sqrt()).min(1.0),
+                                    tree: TreeOptions {
+                                        max_depth: d,
+                                        ..Default::default()
+                                    },
                                     ..Default::default()
-                                },
-                                ..Default::default()
-                            })
-                        });
+                                })
+                            },
+                            obs,
+                        );
+                        obs.inc("cv.grid.points", 1);
                         if score < best.1 {
                             best = (i, score);
                         }
@@ -212,7 +260,10 @@ impl CongestionPredictor {
                     },
                     ..Default::default()
                 });
-                m.fit(&ml.x, &ml.y);
+                {
+                    let _fit = obs.span("train.fit");
+                    m.fit_observed(&ml.x, &ml.y, obs);
+                }
                 Model::Gbrt(m)
             }
         };

@@ -114,18 +114,76 @@ pub fn run_par_timed(
     device: &Device,
     opts: &ParOptions,
 ) -> (ImplResult, ParStageTimings) {
+    run_par_inner(design, device, opts, None)
+}
+
+/// [`run_par_timed`] recording into an [`obskit::Collector`]: one span per
+/// stage (`place`/`route`/`congestion`/`timing`) plus the router's registry
+/// metrics (see [`record_route_metrics`]).
+pub fn run_par_obs(
+    design: &SynthesizedDesign,
+    device: &Device,
+    opts: &ParOptions,
+    obs: &obskit::Collector,
+) -> (ImplResult, ParStageTimings) {
+    run_par_inner(design, device, opts, Some(obs))
+}
+
+/// Record a finished route's deterministic registry metrics: the
+/// [`RouteStats`](crate::route::RouteStats) counters under `route.*` and
+/// the per-pass overflowed-tile convergence curve as the
+/// `route.pass_overflow` histogram.
+pub fn record_route_metrics(obs: &obskit::Collector, route: &crate::route::RouteResult) {
+    let s = &route.stats;
+    obs.inc("route.expanded_nodes", s.expanded_nodes);
+    obs.inc("route.heap_pushes", s.heap_pushes);
+    obs.inc("route.rerouted_conns", s.rerouted_conns);
+    obs.inc("route.window_expansions", s.window_expansions);
+    obs.inc("route.passes_run", s.passes_run as u64);
+    obs.inc("route.conns", route.conns.len() as u64);
+    for &tiles in &route.pass_overflow {
+        obs.observe("route.pass_overflow", tiles as f64);
+    }
+}
+
+fn run_par_inner(
+    design: &SynthesizedDesign,
+    device: &Device,
+    opts: &ParOptions,
+    obs: Option<&obskit::Collector>,
+) -> (ImplResult, ParStageTimings) {
     let mut timings = ParStageTimings::default();
+    // `Collector::span` needs `&Collector`; for the un-observed path a
+    // throwaway collector keeps one code path without measurable cost.
+    let scratch;
+    let obs = match obs {
+        Some(o) => o,
+        None => {
+            scratch = obskit::Collector::new();
+            &scratch
+        }
+    };
 
     let start = Instant::now();
-    let placement = place(&design.rtl, device, &opts.placer);
+    let placement = {
+        let _span = obs.span("place");
+        place(&design.rtl, device, &opts.placer)
+    };
     timings.place = start.elapsed();
 
     let start = Instant::now();
-    let route = route(&design.rtl, &placement, device, &opts.router);
+    let route = {
+        let _span = obs.span("route");
+        route(&design.rtl, &placement, device, &opts.router)
+    };
     timings.route = start.elapsed();
+    record_route_metrics(obs, &route);
 
     let start = Instant::now();
-    let congestion = CongestionMap::from_route(&route, device);
+    let congestion = {
+        let _span = obs.span("congestion");
+        CongestionMap::from_route(&route, device)
+    };
     timings.congestion = start.elapsed();
 
     let start = Instant::now();
@@ -134,12 +192,15 @@ pub fn run_par_timed(
         .top_report()
         .estimated_clock_ns
         .max(design.options.clock_ns * 0.35);
-    let timing = analyze(
-        &route,
-        logic_delay,
-        design.options.clock_ns,
-        &opts.wire_model,
-    );
+    let timing = {
+        let _span = obs.span("timing");
+        analyze(
+            &route,
+            logic_delay,
+            design.options.clock_ns,
+            &opts.wire_model,
+        )
+    };
     timings.timing = start.elapsed();
 
     (

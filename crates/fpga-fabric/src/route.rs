@@ -113,6 +113,11 @@ pub struct RouteResult {
     pub height: u32,
     /// Search-effort counters for this route.
     pub stats: RouteStats,
+    /// Overflowed-tile count after the initial pass (index 0) and after
+    /// each executed refinement pass — the router's convergence curve.
+    /// Deterministic for a given design/options, so it feeds the obskit
+    /// `route.pass_overflow` histogram.
+    pub pass_overflow: Vec<u32>,
 }
 
 impl RouteResult {
@@ -261,6 +266,8 @@ pub fn route_with_arena(
         })
         .collect();
 
+    let mut pass_overflow = vec![grid.overflowed_tiles()];
+
     // Refinement: incremental rip-up of connections crossing overflowed
     // tiles. Stops early once the grid is overflow-free — uncongested
     // designs pay nothing for extra configured passes.
@@ -309,6 +316,7 @@ pub fn route_with_arena(
             // pass get costlier for the next one.
             grid.bump_history();
         }
+        pass_overflow.push(grid.overflowed_tiles());
     }
 
     // Final stats.
@@ -329,6 +337,7 @@ pub fn route_with_arena(
         width: device.width,
         height: device.height,
         stats,
+        pass_overflow,
     }
 }
 
@@ -489,6 +498,16 @@ impl Grid {
     /// True when any tile is over capacity in either direction.
     fn any_overflow(&self) -> bool {
         self.h_usage.iter().any(|&u| u > self.h_cap) || self.v_usage.iter().any(|&u| u > self.v_cap)
+    }
+
+    /// Tiles currently over capacity in either direction (each tile
+    /// counted once — same definition as `RoutingUtilization`).
+    fn overflowed_tiles(&self) -> u32 {
+        self.h_usage
+            .iter()
+            .zip(&self.v_usage)
+            .filter(|&(&h, &v)| h > self.h_cap || v > self.v_cap)
+            .count() as u32
     }
 
     /// Bump the history counter of every tile currently over capacity.

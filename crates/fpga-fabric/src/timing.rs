@@ -82,6 +82,7 @@ mod tests {
             width: 1,
             height: 1,
             stats: Default::default(),
+            pass_overflow: vec![],
         }
     }
 

@@ -197,6 +197,7 @@ mod tests {
             width: 4,
             height: 4,
             stats: Default::default(),
+            pass_overflow: vec![],
         };
         let u = RoutingUtilization::new(&r, &device);
         assert!((u.h_peak - 150.0).abs() < 1e-9);

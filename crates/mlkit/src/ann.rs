@@ -138,8 +138,15 @@ impl Default for MlpRegressor {
     }
 }
 
-impl Regressor for MlpRegressor {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+impl MlpRegressor {
+    /// [`Regressor::fit`] recording training telemetry into `obs`: the
+    /// per-epoch loss curve (`train.ann.epoch_loss` histogram —
+    /// deterministic for a given seed) and the `train.ann.epochs` counter.
+    pub fn fit_observed(&mut self, x: &Matrix, y: &[f64], obs: &obskit::Collector) {
+        self.fit_inner(x, y, Some(obs));
+    }
+
+    fn fit_inner(&mut self, x: &Matrix, y: &[f64], obs: Option<&obskit::Collector>) {
         assert_eq!(x.rows(), y.len());
         assert!(!y.is_empty());
         let mut rng = StdRng::seed_from_u64(self.options.seed);
@@ -239,6 +246,10 @@ impl Regressor for MlpRegressor {
                 }
             }
             epoch_loss /= n as f64;
+            if let Some(obs) = obs {
+                obs.observe("train.ann.epoch_loss", epoch_loss);
+                obs.inc("train.ann.epochs", 1);
+            }
             if prev_loss - epoch_loss < self.options.early_stop_tol * prev_loss.abs().max(1e-9) {
                 stall += 1;
                 if stall >= 5 {
@@ -250,6 +261,12 @@ impl Regressor for MlpRegressor {
             prev_loss = epoch_loss;
         }
         self.trained = true;
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.fit_inner(x, y, None);
     }
 
     fn predict_one(&self, row: &[f64]) -> f64 {

@@ -65,6 +65,42 @@ where
     scores.iter().sum::<f64>() / folds.len() as f64
 }
 
+/// [`cross_val_mae`] recording per-fold telemetry into `obs`: one `cv.fold`
+/// span and a `cv.fold.wall_ms` histogram sample per fold, plus the
+/// `cv.folds` counter. Each parallel fold records into its own collector;
+/// the records are absorbed **in fold order**, so every deterministic
+/// metric is bit-identical for any worker count.
+pub fn cross_val_mae_observed<M, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    make: F,
+    obs: &obskit::Collector,
+) -> f64
+where
+    M: Regressor,
+    F: Fn() -> M + Sync,
+{
+    let folds = kfold(data.len(), k, seed);
+    let results = parkit::par_map(&folds, |(train_idx, val_idx)| {
+        let fold_obs = obskit::Collector::new();
+        let start = std::time::Instant::now();
+        let score = {
+            let _span = fold_obs.span("cv.fold");
+            fold_mae(data, train_idx, val_idx, &make)
+        };
+        fold_obs.observe("cv.fold.wall_ms", start.elapsed().as_secs_f64() * 1e3);
+        fold_obs.inc("cv.folds", 1);
+        (score, fold_obs.finish())
+    });
+    let mut total = 0.0;
+    for (score, rec) in &results {
+        total += score;
+        obs.absorb(rec.clone());
+    }
+    total / folds.len() as f64
+}
+
 /// [`cross_val_mae`] on the calling thread — used by [`grid_search`], which
 /// already parallelizes across grid points and must not nest thread pools.
 fn cross_val_mae_serial<M, F>(data: &Dataset, k: usize, seed: u64, make: F) -> f64
@@ -104,6 +140,55 @@ where
 {
     assert!(!params.is_empty(), "empty parameter grid");
     let scores = parkit::par_map(params, |p| cross_val_mae_serial(data, k, seed, || make(p)));
+    pick_best(&scores)
+}
+
+/// [`grid_search`] recording progress telemetry into `obs`: one
+/// `cv.grid.point` span and a `cv.grid.points` counter increment per grid
+/// point (absorbed in grid order), plus `cv.grid.best_index` /
+/// `cv.grid.best_mae` gauges for the winner.
+///
+/// # Panics
+/// Panics if `params` is empty.
+pub fn grid_search_observed<M, P, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    params: &[P],
+    make: F,
+    obs: &obskit::Collector,
+) -> (usize, f64)
+where
+    M: Regressor,
+    P: Sync,
+    F: Fn(&P) -> M + Sync,
+{
+    assert!(!params.is_empty(), "empty parameter grid");
+    let results = parkit::par_map(params, |p| {
+        let point_obs = obskit::Collector::new();
+        let start = std::time::Instant::now();
+        let score = {
+            let _span = point_obs.span("cv.grid.point");
+            cross_val_mae_serial(data, k, seed, || make(p))
+        };
+        point_obs.observe("cv.grid.point.wall_ms", start.elapsed().as_secs_f64() * 1e3);
+        point_obs.inc("cv.grid.points", 1);
+        (score, point_obs.finish())
+    });
+    let mut scores = Vec::with_capacity(results.len());
+    for (score, rec) in results {
+        scores.push(score);
+        obs.absorb(rec);
+    }
+    let best = pick_best(&scores);
+    obs.set_gauge("cv.grid.best_index", best.0 as f64);
+    obs.set_gauge("cv.grid.best_mae", best.1);
+    best
+}
+
+/// Lowest score wins; ties resolve to the lowest index (strict `<`), the
+/// same winner the serial loop picks for any worker count.
+fn pick_best(scores: &[f64]) -> (usize, f64) {
     let mut best = (0usize, f64::INFINITY);
     for (i, &score) in scores.iter().enumerate() {
         if score < best.1 {
@@ -187,6 +272,56 @@ mod tests {
             first.to_bits(),
             cross_val_mae_serial(&d, 8, 7, make).to_bits()
         );
+    }
+
+    #[test]
+    fn observed_cv_matches_plain_cv_and_counts_folds() {
+        let d = toy(64);
+        let make = || {
+            Lasso::new(LassoOptions {
+                alpha: 1e-3,
+                ..Default::default()
+            })
+        };
+        let plain = cross_val_mae(&d, 8, 7, make);
+        let obs = obskit::Collector::new();
+        let observed = cross_val_mae_observed(&d, 8, 7, make, &obs);
+        assert_eq!(plain.to_bits(), observed.to_bits());
+        let rec = obs.finish();
+        assert_eq!(rec.metrics.counters["cv.folds"], 8);
+        assert_eq!(rec.metrics.histograms["cv.fold.wall_ms"].count(), 8);
+        assert_eq!(rec.events.len(), 8, "one cv.fold span per fold");
+        assert!(rec.events.iter().all(|e| e.name == "cv.fold"));
+    }
+
+    #[test]
+    fn observed_grid_search_records_progress_and_winner() {
+        let d = toy(60);
+        let alphas = [1e3, 1e-4];
+        let obs = obskit::Collector::new();
+        let (plain_best, plain_score) = grid_search(&d, 5, 1, &alphas, |&a| {
+            Lasso::new(LassoOptions {
+                alpha: a,
+                ..Default::default()
+            })
+        });
+        let (best, score) = grid_search_observed(
+            &d,
+            5,
+            1,
+            &alphas,
+            |&a| {
+                Lasso::new(LassoOptions {
+                    alpha: a,
+                    ..Default::default()
+                })
+            },
+            &obs,
+        );
+        assert_eq!((plain_best, plain_score.to_bits()), (best, score.to_bits()));
+        let rec = obs.finish();
+        assert_eq!(rec.metrics.counters["cv.grid.points"], 2);
+        assert_eq!(rec.metrics.gauges["cv.grid.best_index"], best as f64);
     }
 
     #[test]

@@ -100,16 +100,15 @@ impl GbrtRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
-}
 
-impl Default for GbrtRegressor {
-    fn default() -> Self {
-        GbrtRegressor::new(GbrtOptions::default())
+    /// [`Regressor::fit`] recording training telemetry into `obs`: the
+    /// per-stage squared-loss curve (`train.gbrt.stage_loss` histogram —
+    /// deterministic for a given seed) and the `train.gbrt.stages` counter.
+    pub fn fit_observed(&mut self, x: &Matrix, y: &[f64], obs: &obskit::Collector) {
+        self.fit_inner(x, y, Some(obs));
     }
-}
 
-impl Regressor for GbrtRegressor {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+    fn fit_inner(&mut self, x: &Matrix, y: &[f64], obs: Option<&obskit::Collector>) {
         assert_eq!(x.rows(), y.len());
         assert!(!y.is_empty());
         let n = x.rows();
@@ -154,7 +153,29 @@ impl Regressor for GbrtRegressor {
                 *p += self.options.learning_rate * tree.predict_one(x.row(i));
             }
             self.trees.push(tree);
+            if let Some(obs) = obs {
+                let loss = pred
+                    .iter()
+                    .zip(y)
+                    .map(|(p, t)| (t - p) * (t - p))
+                    .sum::<f64>()
+                    / n as f64;
+                obs.observe("train.gbrt.stage_loss", loss);
+                obs.inc("train.gbrt.stages", 1);
+            }
         }
+    }
+}
+
+impl Default for GbrtRegressor {
+    fn default() -> Self {
+        GbrtRegressor::new(GbrtOptions::default())
+    }
+}
+
+impl Regressor for GbrtRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.fit_inner(x, y, None);
     }
 
     fn predict_one(&self, row: &[f64]) -> f64 {
@@ -236,6 +257,29 @@ mod tests {
         });
         big.fit(&x, &y);
         assert!(mae(&y, &big.predict(&x)) < mae(&y, &small.predict(&x)));
+    }
+
+    #[test]
+    fn observed_fit_matches_plain_fit_and_records_loss_curve() {
+        let (x, y) = friedman_like(200);
+        let mut plain = GbrtRegressor::default();
+        plain.fit(&x, &y);
+        let obs = obskit::Collector::new();
+        let mut observed = GbrtRegressor::default();
+        observed.fit_observed(&x, &y, &obs);
+        assert_eq!(
+            plain.predict_one(x.row(3)),
+            observed.predict_one(x.row(3)),
+            "telemetry must not perturb training"
+        );
+        let rec = obs.finish();
+        assert_eq!(
+            rec.metrics.counters["train.gbrt.stages"],
+            observed.n_trees() as u64
+        );
+        let h = &rec.metrics.histograms["train.gbrt.stage_loss"];
+        assert_eq!(h.count(), observed.n_trees() as u64);
+        assert!(h.sum.is_finite() && h.sum >= 0.0);
     }
 
     #[test]

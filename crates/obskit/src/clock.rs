@@ -1,0 +1,59 @@
+//! Monotonic trace clock and stable per-thread ids.
+//!
+//! All spans in a process share one epoch (the first call to [`now_us`]),
+//! so timestamps from collectors living on different worker threads line up
+//! on one timeline in the exported trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide trace epoch. First caller pins it.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the trace epoch (monotonic).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, stable id for the calling thread (1, 2, 3, … in first-use
+/// order). Used as the `tid` of trace events; `std::thread::ThreadId` has
+/// no stable integer form.
+pub fn thread_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tid_is_stable_within_a_thread() {
+        assert_eq!(thread_tid(), thread_tid());
+        assert!(thread_tid() >= 1);
+    }
+
+    #[test]
+    fn tids_differ_across_threads() {
+        let here = thread_tid();
+        let there = std::thread::spawn(thread_tid).join().unwrap();
+        assert_ne!(here, there);
+    }
+}

@@ -1,0 +1,54 @@
+//! Minimal JSON writing helpers (no serde in-tree).
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A JSON number literal. Non-finite floats have no JSON form and become
+/// `null`; everything else round-trips via Rust's shortest representation.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps a decimal point / exponent, so the value re-parses
+        // as the same f64.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_valid_json() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,310 @@
+//! The metrics registry: monotonic counters, gauges, fixed-bucket
+//! histograms, and deterministic merging.
+//!
+//! Metric names follow the `stage.metric` convention (`route.expanded_nodes`,
+//! `train.gbrt.stage_loss`, `cv.fold.wall_ms`). Names ending in `_ms`, `_us`
+//! or `_ns` are **timing metrics**: their values are wall-clock and therefore
+//! nondeterministic, so [`MetricsSnapshot::deterministic_digest`] includes
+//! only their sample *counts*, not their bucket distribution.
+
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds: 1–2.5–5 steps over nine decades,
+/// wide enough for loss values, overflow tile counts, and millisecond
+/// timings alike. Values above the last bound land in the overflow bucket.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+];
+
+/// True when `name` denotes a wall-clock metric whose *values* are
+/// nondeterministic (the sample count still is deterministic).
+pub fn is_timing_metric(name: &str) -> bool {
+    name.ends_with("_ms") || name.ends_with("_us") || name.ends_with("_ns")
+}
+
+/// A fixed-bucket histogram snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1`, the
+    /// last entry being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram over the given bounds.
+    pub fn new(bounds: &[f64]) -> HistogramSnapshot {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, value: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += value;
+    }
+
+    /// Total sample count.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in [0, 1]) by linear interpolation inside
+    /// the bucket containing the target rank. Returns 0 when empty; the
+    /// overflow bucket reports the last finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * n as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if rank <= next as f64 {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds.get(i).copied().unwrap_or(lo);
+                let frac = (rank - seen as f64) / c as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Add another histogram's samples into this one.
+    ///
+    /// # Panics
+    /// Panics when the bucket bounds differ — one metric name must always
+    /// use one bucket layout, or merged snapshots would silently lie.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram bucket layouts differ; use one layout per metric name"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// A point-in-time view of every metric: the unit of merging and export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written values (wall-clocks, final losses, …).
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merge `other` into `self`: counters and histogram buckets add,
+    /// gauges take `other`'s value (last write wins). Callers must merge
+    /// in input order — same rule as `parkit` — for deterministic results.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .and_modify(|mine| mine.merge(h))
+                .or_insert_with(|| h.clone());
+        }
+    }
+
+    /// The deterministic view of this snapshot, as a canonical string:
+    /// every counter with its value, and every histogram with its total
+    /// sample count — plus full bucket counts for non-timing histograms.
+    /// Two runs of a deterministic workload produce equal digests for any
+    /// worker count; wall-clock content (gauges, timing-histogram values)
+    /// is excluded.
+    pub fn deterministic_digest(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k}={v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("hist {k} n={}", h.count()));
+            if !is_timing_metric(k) {
+                let buckets: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+                out.push_str(&format!(" buckets={}", buckets.join(",")));
+                out.push_str(&format!(" sum={}", json::number(h.sum)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The mutable registry a [`crate::Collector`] writes into.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    snap: MetricsSnapshot,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `delta` to the counter `name` (created at 0).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.snap.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.snap.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record `value` into histogram `name` with [`DEFAULT_BUCKETS`].
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.observe_with(name, value, DEFAULT_BUCKETS);
+    }
+
+    /// Record `value` into histogram `name`, creating it with the given
+    /// bucket bounds on first use. Later observations reuse the layout the
+    /// histogram was created with.
+    pub fn observe_with(&mut self, name: &str, value: f64, bounds: &[f64]) {
+        self.snap
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramSnapshot::new(bounds))
+            .observe(value);
+    }
+
+    /// Merge a finished unit's snapshot into this registry (input order!).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.snap.merge(other);
+    }
+
+    /// Clone out the current snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snap.clone()
+    }
+
+    /// Consume the registry, yielding its snapshot without a clone.
+    pub fn into_snapshot(self) -> MetricsSnapshot {
+        self.snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.inc("a.b", 2);
+        r.inc("a.b", 3);
+        assert_eq!(r.snapshot().counters["a.b"], 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = HistogramSnapshot::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert!((h.sum - 106.6).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        assert!((1.0..=2.0).contains(&p50), "p50 = {p50}");
+        // Quantiles never exceed the last finite bound.
+        assert!(h.quantile(0.99) <= 4.0);
+        assert_eq!(HistogramSnapshot::new(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_is_additive_for_counters_and_buckets() {
+        let mut a = Registry::new();
+        a.inc("n", 1);
+        a.observe_with("h", 0.5, &[1.0, 2.0]);
+        a.set_gauge("g", 1.0);
+        let mut b = Registry::new();
+        b.inc("n", 2);
+        b.observe_with("h", 1.5, &[1.0, 2.0]);
+        b.set_gauge("g", 7.0);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["n"], 3);
+        assert_eq!(merged.histograms["h"].counts, vec![1, 1, 0]);
+        assert_eq!(merged.gauges["g"], 7.0, "gauges are last-write-wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket layouts differ")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = HistogramSnapshot::new(&[1.0]);
+        let b = HistogramSnapshot::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn digest_ignores_wall_clock_content() {
+        let make = |ms: f64| {
+            let mut r = Registry::new();
+            r.inc("route.expanded_nodes", 41);
+            r.observe("route.pass_overflow", 3.0);
+            r.observe("cv.fold.wall_ms", ms); // timing metric: value varies
+            r.set_gauge("dataset.wall_ms", ms);
+            r.snapshot().deterministic_digest()
+        };
+        assert_eq!(make(1.0), make(999.0));
+        assert!(make(1.0).contains("counter route.expanded_nodes=41"));
+        assert!(make(1.0).contains("hist cv.fold.wall_ms n=1\n"));
+        assert!(make(1.0).contains("hist route.pass_overflow n=1 buckets="));
+    }
+
+    #[test]
+    fn merge_order_independent_for_counts_not_gauges() {
+        let mut a = Registry::new();
+        a.inc("c", 1);
+        let mut b = Registry::new();
+        b.inc("c", 2);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab.deterministic_digest(), ba.deterministic_digest());
+    }
+}

@@ -9,8 +9,19 @@
 //!                                                   (parallel, fault-tolerant, timed)
 //! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
 //! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
+//! hls-congest --version                             crate version + git hash
+//! ```
+//!
+//! The `implement`, `dataset`, `train` and `predict` commands also accept the
+//! shared observability flags:
+//!
+//! ```text
+//! --trace-out <trace.json>     Chrome trace-event JSON (chrome://tracing, Perfetto)
+//! --metrics-out <metrics.json> flat metrics snapshot (obskit.metrics.v1)
+//! --profile                    per-span wall-clock table on stdout
 //! ```
 
+use fpga_hls_congestion::obskit;
 use fpga_hls_congestion::prelude::*;
 use std::process::ExitCode;
 
@@ -26,6 +37,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.iter().any(|a| a == "--version") {
+        println!("{}", version_string());
+        return Ok(());
+    }
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
@@ -44,6 +59,42 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn usage() -> Box<dyn std::error::Error> {
     "usage: hls-congest <compile|synth|implement|dataset|train|predict> ... (see --help in README)"
         .into()
+}
+
+/// Crate version plus the git hash baked in by `build.rs` (absent when the
+/// build happened outside a git checkout).
+fn version_string() -> String {
+    format!(
+        "hls-congest {} (git {})",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("GIT_HASH").unwrap_or("unknown")
+    )
+}
+
+/// Honour the shared observability flags on a finished record:
+/// `--trace-out` (Chrome trace-event JSON), `--metrics-out` (flat metrics
+/// snapshot) and `--profile` (per-span table on stdout).
+fn emit_observability(
+    args: &[String],
+    rec: &obskit::ObsRecord,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = flag(args, "--trace-out") {
+        std::fs::write(path, obskit::sink::chrome_trace_json(&rec.events))?;
+        eprintln!("wrote Chrome trace to {path} (load in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = flag(args, "--metrics-out") {
+        let meta = [
+            ("tool", "hls-congest"),
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
+        ];
+        std::fs::write(path, obskit::sink::metrics_json(&rec.metrics, &meta))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if bool_flag(args, "--profile") {
+        println!("{}", obskit::sink::profile_table(rec));
+    }
+    Ok(())
 }
 
 fn load_module(path: &str) -> Result<(Module, String), Box<dyn std::error::Error>> {
@@ -65,7 +116,7 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that take no value; `positional()` must not swallow the token
 /// that follows them.
-const BOOL_FLAGS: &[&str] = &["--router-stats"];
+const BOOL_FLAGS: &[&str] = &["--router-stats", "--profile", "--version"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -129,7 +180,8 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = files.first().ok_or_else(usage)?;
     let (module, _) = load_module(path)?;
     let flow = CongestionFlow::new();
-    let (design, result) = flow.implement(&module)?;
+    let obs = Collector::new();
+    let (design, result) = flow.implement_observed(&module, &obs)?;
     println!(
         "latency {} cycles | WNS {:.2} ns | Fmax {:.1} MHz",
         design.report.latency_cycles(),
@@ -157,7 +209,7 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "vertical congestion map:\n{}",
         result.congestion.render(true)
     );
-    Ok(())
+    emit_observability(args, &obs.finish())
 }
 
 fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -201,7 +253,7 @@ fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         congestion_core::stats::dataset_stats(ds, Target::Average)
     );
     println!("wrote {} samples to {out}", ds.len());
-    Ok(())
+    emit_observability(args, &report.obs)
 }
 
 fn parse_model(s: Option<&str>) -> Result<ModelKind, Box<dyn std::error::Error>> {
@@ -235,7 +287,9 @@ fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         filtered.removed
     );
     let (train, test) = filtered.kept.split(0.2, 42);
-    let model = CongestionPredictor::train(kind, target, &train, &TrainOptions::default());
+    let obs = Collector::new();
+    let model =
+        CongestionPredictor::train_observed(kind, target, &train, &TrainOptions::default(), &obs);
     let acc = model.evaluate(&test);
     println!(
         "{} on {}: MAE {:.2}%, MedAE {:.2}% (held-out 20%)",
@@ -244,7 +298,7 @@ fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         acc.mae,
         acc.medae
     );
-    Ok(())
+    emit_observability(args, &obs.finish())
 }
 
 fn predict_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -254,14 +308,19 @@ fn predict_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (module, source) = load_module(path)?;
     let ds = congestion_core::persist::load(data)?;
     let filtered = filter_marginal(&ds, &FilterOptions::default());
-    let model = CongestionPredictor::train(
+    let obs = Collector::new();
+    let model = CongestionPredictor::train_observed(
         ModelKind::Gbrt,
         Target::Average,
         &filtered.kept,
         &TrainOptions::default(),
+        &obs,
     );
     let flow = CongestionFlow::new();
-    let design = flow.synthesize(&module)?;
+    let design = {
+        let _span = obs.span("hls");
+        flow.synthesize(&module)?
+    };
     let predictions = model.predict_design(&design, &flow.device);
     let regions = locate_congested(&design.module, &predictions);
     println!("{}", render_report(&regions, Some(&source), 10));
@@ -274,5 +333,5 @@ fn predict_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             println!("  - {s:?}");
         }
     }
-    Ok(())
+    emit_observability(args, &obs.finish())
 }

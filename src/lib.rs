@@ -48,6 +48,7 @@ pub use fpga_fabric;
 pub use hls_ir;
 pub use hls_synth;
 pub use mlkit;
+pub use obskit;
 pub use rosetta_gen;
 
 /// The most commonly used items, re-exported flat.
@@ -62,4 +63,5 @@ pub mod prelude {
     pub use hls_ir::frontend::{compile, compile_named, compile_with_directives};
     pub use hls_ir::{Directives, Module, Partition};
     pub use hls_synth::{HlsFlow, HlsOptions};
+    pub use obskit::{Collector, ObsRecord};
 }

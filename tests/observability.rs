@@ -1,0 +1,120 @@
+//! Observability contract tests.
+//!
+//! Two guarantees are pinned here: (1) the metrics snapshot attached to a
+//! dataset build is **bit-identical for any worker count** — per-design
+//! collectors merge in input order, and wall-clock values are quarantined
+//! in gauges / `*_ms` histograms that `deterministic_digest` excludes; and
+//! (2) the Chrome trace export keeps the trace-event fields
+//! (`name`/`ph`/`ts`/`dur`/`pid`/`tid`) that chrome://tracing and Perfetto
+//! require.
+
+use fpga_hls_congestion::obskit;
+use fpga_hls_congestion::prelude::*;
+
+/// A Rosetta suite group (face detection, no directives) plus two small
+/// inline designs: enough shape diversity to exercise every stage span
+/// without making the 1-vs-8-worker double build slow.
+fn modules() -> Vec<Module> {
+    let fd = rosetta_gen::suite::face_detection_group(rosetta_gen::Preset::Plain)
+        .build()
+        .expect("suite generator must compile");
+    let small = [
+        "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+        "int32 g(int32 a[32]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 32; i++) { s = s + a[i]; } return s; }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| compile_named(s, &format!("obs{i}")).unwrap());
+    std::iter::once(fd).chain(small).collect()
+}
+
+#[test]
+fn metrics_snapshot_is_bit_identical_across_worker_counts() {
+    let modules = modules();
+    let run = |workers| {
+        CongestionFlow::fast()
+            .with_workers(workers)
+            .build_dataset_report(&modules)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+
+    let a = serial.obs.metrics.deterministic_digest();
+    let b = parallel.obs.metrics.deterministic_digest();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "metrics digest must not depend on worker count");
+
+    // The digest covers counters and deterministic histograms; the full
+    // counter maps must also agree key-for-key and value-for-value.
+    assert_eq!(serial.obs.metrics.counters, parallel.obs.metrics.counters);
+    assert_eq!(
+        serial.obs.metrics.counters["dataset.designs"],
+        modules.len() as u64
+    );
+    assert!(serial.obs.metrics.counters["dataset.samples"] > 0);
+    assert!(serial.obs.metrics.counters.contains_key("route.conns"));
+
+    // The per-pass overflow convergence curve is made of tile counts, not
+    // wall-clock, so its buckets are part of the deterministic contract.
+    let h = &serial.obs.metrics.histograms["route.pass_overflow"];
+    let hp = &parallel.obs.metrics.histograms["route.pass_overflow"];
+    assert_eq!(h.counts, hp.counts);
+    assert_eq!(h.sum.to_bits(), hp.sum.to_bits());
+}
+
+#[test]
+fn chrome_trace_export_keeps_pinned_fields() {
+    let modules = modules();
+    let report = CongestionFlow::fast().build_dataset_report(&modules[1..2]);
+    let trace = obskit::sink::chrome_trace_json(&report.obs.events);
+
+    // Golden schema: the exact fields chrome://tracing / Perfetto parse.
+    for field in [
+        "\"traceEvents\":[",
+        "\"name\":",
+        "\"ph\":\"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"pid\":1",
+        "\"tid\":",
+    ] {
+        assert!(trace.contains(field), "missing {field} in trace:\n{trace}");
+    }
+
+    // One span per pipeline stage, nested under the per-design span, plus
+    // the root dataset_build span.
+    for span in [
+        "dataset_build",
+        "design",
+        "hls",
+        "place",
+        "route",
+        "congestion",
+        "timing",
+        "features",
+    ] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{span}\"")),
+            "missing span {span} in trace:\n{trace}"
+        );
+    }
+    assert!(
+        trace.contains("\"design\":\"obs0\""),
+        "design span must carry the design name:\n{trace}"
+    );
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+}
+
+#[test]
+fn metrics_json_export_is_versioned_and_attributable() {
+    let report = CongestionFlow::fast().build_dataset_report(&modules()[1..2]);
+    let json = obskit::sink::metrics_json(
+        &report.obs.metrics,
+        &[("tool", "test-harness"), ("version", "0.0.0")],
+    );
+    assert!(json.contains("\"schema\": \"obskit.metrics.v1\""));
+    assert!(json.contains("\"tool\": \"test-harness\""));
+    assert!(json.contains("\"dataset.samples\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
