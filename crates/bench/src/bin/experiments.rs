@@ -17,7 +17,14 @@ use std::path::Path;
 
 /// Flags that consume the next token; the experiment selector must not
 /// mistake their values for an experiment name.
-const VALUE_FLAGS: &[&str] = &["--trace-out", "--metrics-out"];
+const VALUE_FLAGS: &[&str] = &[
+    "--trace-out",
+    "--metrics-out",
+    "--fault-plan",
+    "--max-retries",
+    "--stage-timeout-ms",
+    "--checkpoint-dir",
+];
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2)
@@ -133,10 +140,37 @@ fn main() {
                 println!("congested area shrinks: {}", f.area_shrinks());
             }
             "dataset" => {
-                // Parallel fault-tolerant dataset build over the training suite,
-                // with the per-design / per-stage timing breakdown. Worker count
-                // honours RAYON_NUM_THREADS.
-                let flow = effort.flow();
+                // Parallel supervised dataset build over the training suite,
+                // with the per-design / per-stage timing breakdown. Worker
+                // count honours RAYON_NUM_THREADS; the robustness flags
+                // (--fault-plan/--max-retries/--stage-timeout-ms/
+                // --checkpoint-dir/--resume) mirror `hls-congest dataset`.
+                let mut flow = effort.flow();
+                if let Some(path) = flag(&args, "--fault-plan") {
+                    match fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|t| faultkit::FaultPlan::from_json(&t).map_err(|e| e.to_string()))
+                    {
+                        Ok(plan) => {
+                            eprintln!("armed fault plan {path} (seed {})", plan.seed);
+                            flow = flow.with_fault_plan(plan);
+                        }
+                        Err(e) => {
+                            eprintln!("bad --fault-plan {path}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                if let Some(n) = flag(&args, "--max-retries") {
+                    flow.supervision.max_retries = n.parse().expect("--max-retries takes a number");
+                }
+                if let Some(ms) = flag(&args, "--stage-timeout-ms") {
+                    let ms: u64 = ms.parse().expect("--stage-timeout-ms takes milliseconds");
+                    flow.supervision.stage_timeout = Some(std::time::Duration::from_millis(ms));
+                }
+                if let Some(dir) = flag(&args, "--checkpoint-dir") {
+                    flow = flow.with_checkpoint(dir, args.iter().any(|a| a == "--resume"));
+                }
                 let modules = designs::training_suite();
                 let report = flow.build_dataset_report(&modules);
                 emit("dataset_timing", &report.render());

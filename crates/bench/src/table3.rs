@@ -93,7 +93,8 @@ pub fn run(effort: Effort) -> (Table3, CongestionDataset) {
     let per_design = parkit::par_map(&modules, |module| {
         let (metrics, design, res) = DesignMetrics::measure(&flow, module);
         let mut part = CongestionDataset::new();
-        part.add_design(&design, &res, &flow.device);
+        part.add_design(&design, &res, &flow.device)
+            .expect("training-suite designs back-trace cleanly");
         (metrics, part)
     });
     let mut designs = Vec::new();

@@ -1,7 +1,7 @@
 //! Dataset assembly: one sample per dependency-graph node that materialized
 //! into hardware, with its 302 features and (V, H) congestion labels.
 
-use crate::backtrace::{backtrace_labels, OpLabel};
+use crate::backtrace::{backtrace_labels, BacktraceError, OpLabel};
 use crate::features::{ExtractCtx, FEATURE_COUNT};
 use crate::graph::DepGraph;
 use fpga_fabric::{Device, ImplResult};
@@ -72,7 +72,7 @@ impl Target {
 }
 
 /// The congestion dataset (paper §IV: 8111 samples over the suite).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CongestionDataset {
     /// All samples.
     pub samples: Vec<Sample>,
@@ -94,14 +94,22 @@ impl CongestionDataset {
         self.samples.is_empty()
     }
 
-    /// Add every hardware-backed graph node of `design` as a sample.
+    /// Add every hardware-backed graph node of `design` as a sample,
+    /// returning how many samples were appended.
+    ///
+    /// # Errors
+    /// Fails with a [`BacktraceError`] when op→cell provenance is broken
+    /// (or a chaos plan injects a fault at the `backtrace`/`features`
+    /// points); the dataset is left untouched in that case.
     pub fn add_design(
         &mut self,
         design: &SynthesizedDesign,
         impl_result: &ImplResult,
         device: &Device,
-    ) {
-        let labels = backtrace_labels(design, impl_result);
+    ) -> Result<usize, BacktraceError> {
+        let labels = backtrace_labels(design, impl_result)?;
+        faultkit::inject("features").map_err(|f| BacktraceError::Injected(f.to_string()))?;
+        let before = self.samples.len();
         for fid in design.module.bottom_up_order() {
             let f = design.module.function(fid);
             let binding = &design.bindings[&fid];
@@ -137,6 +145,7 @@ impl CongestionDataset {
                 });
             }
         }
+        Ok(self.samples.len() - before)
     }
 
     /// Convert to an [`mlkit`] dataset for a given target metric.
@@ -192,7 +201,8 @@ mod tests {
             let m = hls_ir::frontend::compile_named(src, &format!("d{i}")).unwrap();
             let d = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
             let r = run_par(&d, &device, &ParOptions::fast());
-            ds.add_design(&d, &r, &device);
+            let added = ds.add_design(&d, &r, &device).unwrap();
+            assert!(added > 0, "every test design yields samples");
         }
         ds
     }

@@ -38,8 +38,14 @@ pub mod predict;
 pub mod resolve;
 pub mod stats;
 
+pub use backtrace::BacktraceError;
 pub use dataset::{CongestionDataset, Sample, Target};
 pub use features::{FeatureCategory, FEATURE_COUNT};
 pub use graph::DepGraph;
-pub use pipeline::{CongestionFlow, DatasetBuildReport, DesignReport, StageTimings};
+pub use persist::{
+    CheckpointEntry, CheckpointLookup, CheckpointStore, PersistError, RecordedFailure,
+};
+pub use pipeline::{
+    CheckpointConfig, CongestionFlow, DatasetBuildReport, DesignFailure, DesignReport, StageTimings,
+};
 pub use predict::{CongestionPredictor, ModelKind};

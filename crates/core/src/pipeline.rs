@@ -5,19 +5,44 @@
 //! [`CongestionFlow::build_dataset_report`] fans designs out across worker
 //! threads (one design per worker, see [`parkit`]) and merges the per-design
 //! samples back **in input order**, making the parallel output bit-identical
-//! to the serial path. It is also fault-tolerant: a design that fails IR
-//! verification is recorded in the returned [`DatasetBuildReport`] and the
-//! build continues with the remaining designs.
+//! to the serial path.
+//!
+//! It is also *supervised*: each design's stages (`hls`, `par`, `features`)
+//! run under a [`faultkit::Supervisor`] that catches panics at the stage
+//! boundary, retries transient failures with deterministic backoff, and
+//! downgrades terminal failures into the per-design [`DesignFailure`]
+//! taxonomy — a bad design costs its own samples, never the batch. With a
+//! checkpoint directory configured, every design's verdict (success *or*
+//! failure) persists incrementally, so a killed run resumed with the same
+//! configuration recomputes nothing.
 
+use crate::backtrace::BacktraceError;
 use crate::dataset::CongestionDataset;
+use crate::persist::{
+    CheckpointEntry, CheckpointLookup, CheckpointStore, PersistError, RecordedFailure,
+};
+use faultkit::{FaultPlan, StageFailure, StageLog, Supervisor, SupervisorPolicy};
 use fpga_fabric::par::{run_par, run_par_obs, ParOptions};
 use fpga_fabric::route::RouteStats;
 use fpga_fabric::{Device, ImplResult};
 use hls_ir::Module;
 use hls_synth::{HlsFlow, HlsOptions, SynthError, SynthesizedDesign};
 use obskit::{Collector, ObsRecord};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Where (and whether) a dataset build checkpoints per-design outcomes.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding one entry (CSV + JSON meta) per design.
+    pub dir: PathBuf,
+    /// Replay committed entries instead of recomputing their designs.
+    /// When `false` the run still *writes* checkpoints but starts fresh.
+    pub resume: bool,
+}
 
 /// Drives HLS + (for the training phase) simulated PAR over designs.
 #[derive(Debug, Clone)]
@@ -31,6 +56,12 @@ pub struct CongestionFlow {
     /// Worker threads for dataset construction. `None` (the default) uses
     /// [`parkit::num_threads`], which honours `RAYON_NUM_THREADS`.
     pub workers: Option<usize>,
+    /// Per-stage retry/budget policy for dataset construction.
+    pub supervision: SupervisorPolicy,
+    /// Fault plan armed during dataset construction (chaos testing).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-design checkpointing for dataset construction.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl CongestionFlow {
@@ -41,6 +72,9 @@ impl CongestionFlow {
             par: ParOptions::default(),
             device: Device::xc7z020(),
             workers: None,
+            supervision: SupervisorPolicy::default(),
+            fault_plan: None,
+            checkpoint: None,
         }
     }
 
@@ -56,6 +90,41 @@ impl CongestionFlow {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
         self
+    }
+
+    /// Set the per-stage retry/budget policy.
+    pub fn with_supervision(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervision = policy;
+        self
+    }
+
+    /// Arm a fault plan for chaos testing. Also silences the default panic
+    /// hook's backtrace spew for injected panics — they are expected and
+    /// caught.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        faultkit::silence_injected_panics();
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Checkpoint per-design outcomes under `dir`; with `resume`, replay
+    /// entries committed by a previous run of the same configuration.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, resume: bool) -> Self {
+        self.checkpoint = Some(CheckpointConfig {
+            dir: dir.into(),
+            resume,
+        });
+        self
+    }
+
+    /// Digest of everything that determines a design's samples: HLS and
+    /// PAR options, and the target device. Checkpoints are keyed by this,
+    /// so entries from a differently-configured run are never resumed.
+    /// Worker count, fault plan, and supervision policy are deliberately
+    /// excluded — they change *how* the answer is computed, not the answer.
+    pub fn config_digest(&self) -> u64 {
+        let opts = format!("{:?}|{:?}|{}", self.hls, self.par, self.device.name);
+        faultkit::fnv1a(&[b"congestion-flow-v1", opts.as_bytes()])
     }
 
     /// HLS only — the prediction phase's input.
@@ -117,8 +186,8 @@ impl CongestionFlow {
     /// samples in the same order, but fail-fast in the result type.
     ///
     /// # Errors
-    /// Returns the first (in input order) design's synthesis error.
-    pub fn build_dataset(&self, modules: &[Module]) -> Result<CongestionDataset, SynthError> {
+    /// Returns the first (in input order) design's failure.
+    pub fn build_dataset(&self, modules: &[Module]) -> Result<CongestionDataset, DesignFailure> {
         self.build_dataset_report(modules).into_result()
     }
 
@@ -128,16 +197,27 @@ impl CongestionFlow {
     /// Properties:
     ///
     /// - **Deterministic**: samples are merged in design input order, and
-    ///   each design's HLS/PAR run is seeded, so the dataset is
+    ///   each design's HLS/PAR run is seeded, so the dataset — and every
+    ///   supervision log, injection decision, and retry schedule — is
     ///   bit-identical regardless of worker count.
     /// - **Fault-tolerant**: a failing design is recorded in
-    ///   [`DatasetBuildReport::designs`] and does not abort the build; all
-    ///   remaining designs still contribute samples.
+    ///   [`DatasetBuildReport::designs`] (with its [`DesignFailure`]
+    ///   taxonomy entry) and does not abort the build; panics are caught at
+    ///   stage boundaries and degrade the same way.
+    /// - **Resumable**: with [`Self::with_checkpoint`], each design's
+    ///   verdict persists as soon as it is known; a resumed run replays
+    ///   committed verdicts instead of recomputing them.
     pub fn build_dataset_report(&self, modules: &[Module]) -> DatasetBuildReport {
         let start = Instant::now();
         let requested = self.workers.unwrap_or_else(parkit::num_threads);
-        let results =
-            parkit::par_map_threads(requested, modules, |m| self.implement_for_dataset(m));
+        let store = self.open_checkpoint_store();
+        let results = parkit::par_map_threads(requested, modules, |m| {
+            let st = match store.as_deref() {
+                Some(Ok(s)) => Some(s),
+                _ => None,
+            };
+            self.implement_for_dataset(m, st)
+        });
 
         // Merge in input order — bit-identical to the serial loop. The
         // per-design obskit records merge under the same rule, so every
@@ -155,6 +235,14 @@ impl CongestionFlow {
                 root.absorb(rec);
             }
         }
+        if let Some(Err(e)) = store.as_deref() {
+            // The directory could not even be opened: record it once and
+            // run without checkpointing rather than aborting the build.
+            root.inc("checkpoint.errors", 1);
+            for d in &mut designs {
+                d.checkpoint_error.get_or_insert_with(|| e.to_string());
+            }
+        }
         let wall = start.elapsed();
         root.set_gauge("dataset.wall_ms", wall.as_secs_f64() * 1e3);
         DatasetBuildReport {
@@ -166,70 +254,277 @@ impl CongestionFlow {
         }
     }
 
+    /// Open the configured checkpoint store, if any. The `Err` form is
+    /// surfaced in the build report instead of failing the build.
+    fn open_checkpoint_store(&self) -> Option<Arc<Result<CheckpointStore, PersistError>>> {
+        self.checkpoint
+            .as_ref()
+            .map(|c| Arc::new(CheckpointStore::open(&c.dir, self.config_digest())))
+    }
+
     /// The per-worker unit of [`Self::build_dataset_report`]: one design
-    /// through HLS → PAR → feature extraction, never panicking on a bad
-    /// module.
+    /// through supervised HLS → PAR → feature extraction. Never panics on
+    /// a bad module — or a panicking stage.
     ///
     /// Every stage runs inside an obskit span on the design's own
     /// collector, and [`StageTimings`] is derived from those spans — one
     /// measurement substrate instead of two. A design that fails mid-flow
     /// keeps the spans of every stage it reached, so partial timings
     /// survive into the report (the `hls` span of a design that dies in
-    /// synthesis still carries the time spent before the error).
+    /// synthesis still carries the time spent before the error, including
+    /// retried attempts).
     fn implement_for_dataset(
         &self,
         module: &Module,
+        store: Option<&CheckpointStore>,
     ) -> (Vec<crate::dataset::Sample>, DesignReport, ObsRecord) {
         let obs = Collector::new();
         obs.inc("dataset.designs", 1);
+
+        // Resume fast path: a committed verdict under this configuration
+        // short-circuits the whole design.
+        if let Some(store) = store {
+            if self.checkpoint.as_ref().is_some_and(|c| c.resume) {
+                match store.lookup(&module.name) {
+                    CheckpointLookup::Hit(entry) => {
+                        return self.replay_checkpoint(module, entry, obs);
+                    }
+                    CheckpointLookup::Miss => {}
+                    CheckpointLookup::Corrupt(message) => {
+                        // Recompute and overwrite; count the corruption.
+                        obs.inc("checkpoint.corrupt", 1);
+                        let mut span = obs.span("checkpoint_corrupt");
+                        span.arg("design", module.name.clone());
+                        span.arg("error", message);
+                    }
+                }
+            }
+        }
+
+        let supervisor = Supervisor::new(
+            self.supervision.clone(),
+            self.fault_plan.clone(),
+            &module.name,
+        );
         let mut design_span = obs.span("design");
         design_span.arg("design", module.name.clone());
+        let mut supervision: Vec<StageLog> = Vec::new();
 
+        // Stage 1: HLS. `InvalidIr` is permanent; injected faults retry.
         let mut hls_span = obs.span("hls");
-        let design = match self.synthesize(module) {
-            Ok(d) => d,
-            Err(e) => {
-                // Record the partial HLS timing and the error on the span,
-                // then finish the collector — the failed stage's time is
-                // attributed, not dropped.
-                hls_span.arg("error", e.to_string());
+        let run =
+            supervisor.run_stage("hls", |_| self.synthesize(module), SynthError::is_transient);
+        record_stage(&obs, &run.log);
+        supervision.push(run.log);
+        let design = match run.result {
+            Ok(d) => {
+                hls_span.end();
+                d
+            }
+            Err(failure) => {
+                let failure = DesignFailure::classify("hls", failure, DesignFailure::Synth);
+                hls_span.arg("error", failure.to_string());
                 drop(hls_span);
                 design_span.arg("outcome", "failed");
                 drop(design_span);
-                obs.inc("dataset.designs_failed", 1);
-                let rec = obs.finish();
-                let report = DesignReport {
-                    name: module.name.clone(),
-                    outcome: Err(e),
-                    timings: StageTimings::from_record(&rec),
-                    route_stats: RouteStats::default(),
-                };
-                return (Vec::new(), report, rec);
+                return self.fail_design(module, failure, supervision, obs, store);
             }
         };
-        hls_span.end();
 
-        let (impl_result, _par) = run_par_obs(&design, &self.device, &self.par, &obs);
+        // Stage 2: place-and-route. Infallible by type — failures here are
+        // panics (real or injected) or budget overruns.
+        let run = supervisor.run_stage(
+            "par",
+            |_| Ok(run_par_obs(&design, &self.device, &self.par, &obs)),
+            |_: &NoError| false,
+        );
+        record_stage(&obs, &run.log);
+        supervision.push(run.log);
+        let (impl_result, _par) = match run.result {
+            Ok(v) => v,
+            Err(failure) => {
+                let failure = DesignFailure::classify("par", failure, |e: NoError| match e {});
+                design_span.arg("outcome", "failed");
+                drop(design_span);
+                return self.fail_design(module, failure, supervision, obs, store);
+            }
+        };
         let route_stats = impl_result.route.stats;
 
-        let mut ds = CongestionDataset::new();
-        {
-            let _span = obs.span("features");
-            ds.add_design(&design, &impl_result, &self.device);
-        }
+        // Stage 3: back-trace + feature extraction. The dataset is rebuilt
+        // per attempt, so a failed attempt can't leak partial samples.
+        let mut features_span = obs.span("features");
+        let run = supervisor.run_stage(
+            "features",
+            |_| {
+                let mut ds = CongestionDataset::new();
+                ds.add_design(&design, &impl_result, &self.device)?;
+                Ok(ds)
+            },
+            BacktraceError::is_transient,
+        );
+        record_stage(&obs, &run.log);
+        supervision.push(run.log);
+        let ds = match run.result {
+            Ok(ds) => {
+                features_span.end();
+                ds
+            }
+            Err(failure) => {
+                let failure =
+                    DesignFailure::classify("features", failure, DesignFailure::Backtrace);
+                features_span.arg("error", failure.to_string());
+                drop(features_span);
+                design_span.arg("outcome", "failed");
+                drop(design_span);
+                return self.fail_design(module, failure, supervision, obs, store);
+            }
+        };
+
         obs.inc("dataset.designs_ok", 1);
         obs.inc("dataset.samples", ds.len() as u64);
         design_span.arg("samples", ds.len().to_string());
         drop(design_span);
 
+        let checkpoint_error = store.and_then(|s| {
+            self.commit_checkpoint(
+                s,
+                &obs,
+                CheckpointEntry {
+                    design: module.name.clone(),
+                    outcome: Ok(ds.clone()),
+                },
+            )
+        });
         let rec = obs.finish();
         let report = DesignReport {
             name: module.name.clone(),
             outcome: Ok(ds.len()),
             timings: StageTimings::from_record(&rec),
             route_stats,
+            supervision,
+            from_checkpoint: false,
+            checkpoint_error,
         };
         (ds.samples, report, rec)
+    }
+
+    /// Failure tail of [`Self::implement_for_dataset`]: bump counters,
+    /// checkpoint the verdict, and build the report. The caller has
+    /// already closed its spans.
+    fn fail_design(
+        &self,
+        module: &Module,
+        failure: DesignFailure,
+        supervision: Vec<StageLog>,
+        obs: Collector,
+        store: Option<&CheckpointStore>,
+    ) -> (Vec<crate::dataset::Sample>, DesignReport, ObsRecord) {
+        obs.inc("dataset.designs_failed", 1);
+        let checkpoint_error = store.and_then(|s| {
+            self.commit_checkpoint(
+                s,
+                &obs,
+                CheckpointEntry {
+                    design: module.name.clone(),
+                    outcome: Err(failure.recorded()),
+                },
+            )
+        });
+        let rec = obs.finish();
+        let report = DesignReport {
+            name: module.name.clone(),
+            outcome: Err(failure),
+            timings: StageTimings::from_record(&rec),
+            route_stats: RouteStats::default(),
+            supervision,
+            from_checkpoint: false,
+            checkpoint_error,
+        };
+        (Vec::new(), report, rec)
+    }
+
+    /// Write one design's verdict to the checkpoint store. A store failure
+    /// degrades to a warning on the report (the samples are already in
+    /// hand) rather than failing the design.
+    fn commit_checkpoint(
+        &self,
+        store: &CheckpointStore,
+        obs: &Collector,
+        entry: CheckpointEntry,
+    ) -> Option<String> {
+        match store.store(&entry) {
+            Ok(()) => {
+                obs.inc("checkpoint.stored", 1);
+                None
+            }
+            Err(e) => {
+                obs.inc("checkpoint.errors", 1);
+                Some(e.to_string())
+            }
+        }
+    }
+
+    /// Resume tail: turn a committed checkpoint entry into a report
+    /// without running any stage.
+    fn replay_checkpoint(
+        &self,
+        module: &Module,
+        entry: CheckpointEntry,
+        obs: Collector,
+    ) -> (Vec<crate::dataset::Sample>, DesignReport, ObsRecord) {
+        obs.inc("checkpoint.resumed", 1);
+        let mut design_span = obs.span("design");
+        design_span.arg("design", module.name.clone());
+        design_span.arg("outcome", "resumed");
+        let outcome = match entry.outcome {
+            Ok(ds) => {
+                obs.inc("dataset.designs_ok", 1);
+                obs.inc("dataset.samples", ds.len() as u64);
+                design_span.arg("samples", ds.len().to_string());
+                Ok(ds)
+            }
+            Err(recorded) => {
+                obs.inc("dataset.designs_failed", 1);
+                Err(recorded)
+            }
+        };
+        drop(design_span);
+        let rec = obs.finish();
+        let (samples, outcome) = match outcome {
+            Ok(ds) => (ds.samples.clone(), Ok(ds.len())),
+            Err(recorded) => (Vec::new(), Err(DesignFailure::Recorded(recorded))),
+        };
+        let report = DesignReport {
+            name: module.name.clone(),
+            outcome,
+            timings: StageTimings::from_record(&rec),
+            route_stats: RouteStats::default(),
+            supervision: Vec::new(),
+            from_checkpoint: true,
+            checkpoint_error: None,
+        };
+        (samples, report, rec)
+    }
+}
+
+/// Fold a stage's supervision log into the design's obskit counters.
+fn record_stage(obs: &Collector, log: &StageLog) {
+    obs.inc("faultkit.injected", u64::from(log.injected));
+    obs.inc("faultkit.retries", u64::from(log.retries()));
+    obs.inc("faultkit.recovered_panics", u64::from(log.panics_caught()));
+    obs.inc("faultkit.timeouts", u64::from(log.timeouts()));
+}
+
+/// Uninhabited error type for supervised stages that are infallible by
+/// construction (place-and-route): the only way such a stage fails is a
+/// panic or a budget overrun, both handled by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoError {}
+
+impl fmt::Display for NoError {
+    fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
     }
 }
 
@@ -304,24 +599,170 @@ impl fmt::Display for StageTimings {
     }
 }
 
+/// Why one design failed a dataset build — the failure taxonomy. Every
+/// variant knows its stage and renders a stable `kind` string, so reports
+/// and checkpoints can aggregate failures across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignFailure {
+    /// HLS failed (IR verification or an injected synthesis fault).
+    Synth(SynthError),
+    /// Back-trace / feature extraction failed.
+    Backtrace(BacktraceError),
+    /// Checkpoint persistence failed in a way that lost the design.
+    Persist(PersistError),
+    /// A fault plan injected an error at an otherwise-infallible stage and
+    /// the retry budget ran out.
+    Injected {
+        /// Supervised stage name.
+        stage: String,
+        /// Rendered injected fault.
+        message: String,
+    },
+    /// The stage panicked on its last allowed attempt; the supervisor
+    /// caught it at the stage boundary.
+    Panic {
+        /// Supervised stage name.
+        stage: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// Every allowed attempt of the stage overran the per-attempt budget.
+    Timeout {
+        /// Supervised stage name.
+        stage: String,
+        /// The budget each attempt exceeded.
+        budget: Duration,
+    },
+    /// A failure replayed from a checkpoint written by an earlier run.
+    Recorded(RecordedFailure),
+}
+
+impl DesignFailure {
+    /// Map a supervisor's terminal [`StageFailure`] into the taxonomy.
+    /// `wrap` embeds the stage's own typed error.
+    fn classify<E>(
+        stage: &str,
+        failure: StageFailure<E>,
+        wrap: impl FnOnce(E) -> DesignFailure,
+    ) -> DesignFailure {
+        match failure {
+            StageFailure::Error(e) => wrap(e),
+            StageFailure::Injected { message } => DesignFailure::Injected {
+                stage: stage.to_string(),
+                message,
+            },
+            StageFailure::Panic { message, .. } => DesignFailure::Panic {
+                stage: stage.to_string(),
+                message,
+            },
+            StageFailure::Timeout { budget } => DesignFailure::Timeout {
+                stage: stage.to_string(),
+                budget,
+            },
+        }
+    }
+
+    /// Stable taxonomy bucket. A resumed failure keeps the bucket it was
+    /// recorded under, so aggregation is identical before and after resume.
+    pub fn kind(&self) -> String {
+        match self {
+            DesignFailure::Synth(SynthError::Injected(_)) => "injected".to_string(),
+            DesignFailure::Synth(_) => "synth".to_string(),
+            DesignFailure::Backtrace(BacktraceError::Injected(_)) => "injected".to_string(),
+            DesignFailure::Backtrace(_) => "backtrace".to_string(),
+            DesignFailure::Persist(_) => "persist".to_string(),
+            DesignFailure::Injected { .. } => "injected".to_string(),
+            DesignFailure::Panic { .. } => "panic".to_string(),
+            DesignFailure::Timeout { .. } => "timeout".to_string(),
+            DesignFailure::Recorded(r) => r.kind.clone(),
+        }
+    }
+
+    /// The supervised stage the failure is attributed to.
+    pub fn stage(&self) -> String {
+        match self {
+            DesignFailure::Synth(_) => "hls".to_string(),
+            DesignFailure::Backtrace(_) => "features".to_string(),
+            DesignFailure::Persist(_) => "persist".to_string(),
+            DesignFailure::Injected { stage, .. }
+            | DesignFailure::Panic { stage, .. }
+            | DesignFailure::Timeout { stage, .. } => stage.clone(),
+            DesignFailure::Recorded(r) => r.stage.clone(),
+        }
+    }
+
+    /// The checkpoint-file form of this failure. Round-trips through
+    /// [`DesignFailure::Recorded`] with `kind`/`stage` preserved.
+    fn recorded(&self) -> RecordedFailure {
+        match self {
+            DesignFailure::Recorded(r) => r.clone(),
+            other => RecordedFailure {
+                kind: other.kind(),
+                stage: other.stage(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for DesignFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignFailure::Synth(e) => write!(f, "{e}"),
+            DesignFailure::Backtrace(e) => write!(f, "{e}"),
+            DesignFailure::Persist(e) => write!(f, "{e}"),
+            DesignFailure::Injected { stage, message } => {
+                write!(f, "[{stage}] {message}")
+            }
+            DesignFailure::Panic { stage, message } => {
+                write!(f, "[{stage}] panic: {message}")
+            }
+            DesignFailure::Timeout { stage, budget } => {
+                write!(f, "[{stage}] exceeded stage budget of {budget:?}")
+            }
+            DesignFailure::Recorded(r) => {
+                write!(f, "[{}] {} (from checkpoint)", r.stage, r.message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignFailure {}
+
 /// Outcome of implementing one design during a dataset build.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
     /// Module name.
     pub name: String,
-    /// Number of samples contributed, or the error that stopped the design.
-    pub outcome: Result<usize, SynthError>,
+    /// Number of samples contributed, or the failure that stopped the
+    /// design.
+    pub outcome: Result<usize, DesignFailure>,
     /// Per-stage wall-clock for this design (stages not reached stay zero).
     pub timings: StageTimings,
     /// Router search-effort counters for this design (zero when the design
     /// failed before routing).
     pub route_stats: RouteStats,
+    /// Supervision log of every stage attempted: attempts, backoff
+    /// schedule, injected-fault counts. Deterministic across worker counts
+    /// (`StageLog: PartialEq`); empty for checkpoint-resumed designs.
+    pub supervision: Vec<StageLog>,
+    /// True when this verdict was replayed from a checkpoint rather than
+    /// computed.
+    pub from_checkpoint: bool,
+    /// Warning from the checkpoint store, when the design itself succeeded
+    /// but its entry could not be written (the build keeps the samples).
+    pub checkpoint_error: Option<String>,
 }
 
 impl DesignReport {
     /// True when the design contributed samples.
     pub fn is_ok(&self) -> bool {
         self.outcome.is_ok()
+    }
+
+    /// Total retries across this design's supervised stages.
+    pub fn retries(&self) -> u32 {
+        self.supervision.iter().map(StageLog::retries).sum()
     }
 }
 
@@ -374,12 +815,34 @@ impl DatasetBuildReport {
         s
     }
 
+    /// Number of designs whose verdicts were replayed from a checkpoint.
+    pub fn resumed(&self) -> usize {
+        self.designs.iter().filter(|d| d.from_checkpoint).count()
+    }
+
+    /// Total supervised retries across all designs.
+    pub fn total_retries(&self) -> u32 {
+        self.designs.iter().map(DesignReport::retries).sum()
+    }
+
+    /// Failed designs bucketed by taxonomy kind (`synth`, `panic`,
+    /// `timeout`, `injected`, ...), in stable alphabetical order.
+    pub fn failure_taxonomy(&self) -> BTreeMap<String, usize> {
+        let mut buckets = BTreeMap::new();
+        for d in &self.designs {
+            if let Err(e) = &d.outcome {
+                *buckets.entry(e.kind()).or_insert(0) += 1;
+            }
+        }
+        buckets
+    }
+
     /// Collapse to the fail-fast result the serial pipeline used to return:
-    /// the dataset, or the first (in input order) failed design's error.
+    /// the dataset, or the first (in input order) failed design's failure.
     ///
     /// # Errors
-    /// Returns the first design error when any design failed.
-    pub fn into_result(self) -> Result<CongestionDataset, SynthError> {
+    /// Returns the first design failure when any design failed.
+    pub fn into_result(self) -> Result<CongestionDataset, DesignFailure> {
         for d in self.designs {
             d.outcome?;
         }
@@ -398,6 +861,24 @@ impl DatasetBuildReport {
             if self.workers == 1 { "" } else { "s" },
             fmt_duration(self.wall),
         ));
+        if self.resumed() > 0 {
+            out.push_str(&format!(
+                "  resumed from checkpoint: {} design{}\n",
+                self.resumed(),
+                if self.resumed() == 1 { "" } else { "s" },
+            ));
+        }
+        if self.total_retries() > 0 {
+            out.push_str(&format!("  supervised retries: {}\n", self.total_retries()));
+        }
+        let taxonomy = self.failure_taxonomy();
+        if !taxonomy.is_empty() {
+            let buckets: Vec<String> = taxonomy
+                .iter()
+                .map(|(kind, n)| format!("{kind} ×{n}"))
+                .collect();
+            out.push_str(&format!("  failure taxonomy: {}\n", buckets.join(", ")));
+        }
         out.push_str(&format!("  stage totals: {}\n", self.stage_totals()));
         out.push_str(&format!("  router: {}\n", self.route_stats_totals()));
         out.push_str(&format!(
@@ -405,24 +886,31 @@ impl DatasetBuildReport {
             "design", "samples", "total"
         ));
         for d in &self.designs {
+            let cached = if d.from_checkpoint { " (cached)" } else { "" };
             match &d.outcome {
                 Ok(n) => out.push_str(&format!(
-                    "  {:<24} {:>8} {:>10}  {}\n",
+                    "  {:<24} {:>8} {:>10}  {}{}\n",
                     d.name,
                     n,
                     fmt_duration(d.timings.total()),
                     d.timings,
+                    cached,
                 )),
                 // A failed design still shows the time it spent in the
                 // stages it reached before dying — partial timings are
                 // recorded on the error path, not dropped.
                 Err(e) => out.push_str(&format!(
-                    "  {:<24} {:>8} {:>10}  {}  FAILED: {e}\n",
+                    "  {:<24} {:>8} {:>10}  {}{}  FAILED[{}]: {e}\n",
                     d.name,
                     "-",
                     fmt_duration(d.timings.total()),
                     d.timings,
+                    cached,
+                    e.kind(),
                 )),
+            }
+            if let Some(w) = &d.checkpoint_error {
+                out.push_str(&format!("    checkpoint warning: {w}\n"));
             }
         }
         out
@@ -452,6 +940,9 @@ const _: () = {
     assert_send_sync::<CongestionDataset>();
     assert_send_sync::<DatasetBuildReport>();
     assert_send_sync::<SynthError>();
+    assert_send_sync::<DesignFailure>();
+    assert_send_sync::<CheckpointStore>();
+    assert_send_sync::<Supervisor>();
     // Finished records are plain data; only the live `Collector` is
     // single-threaded.
     assert_send_sync::<ObsRecord>();

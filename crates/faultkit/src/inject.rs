@@ -1,0 +1,274 @@
+//! Thread-local injection context and the injection points themselves.
+//!
+//! The [`Supervisor`](crate::Supervisor) arms a scope —
+//! `(plan, design, attempt)` — around each stage attempt; instrumented code
+//! deep inside the pipeline calls [`inject`] (fallible stages) or
+//! [`inject_abort`] (infallible stages) with its stage name. With no armed
+//! scope both calls are a two-instruction no-op, so production binaries pay
+//! nothing for carrying the injection points.
+//!
+//! The context is thread-local on purpose: the dataset builder fans designs
+//! out one-per-worker (`parkit`), and each worker supervises its own design
+//! with its own attempt counter. A process-global context would leak one
+//! design's faults into another's stages.
+
+use crate::plan::{FaultKind, FaultPlan};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+/// A typed, injected transient error. Fallible stages wrap this into their
+/// own error enum (e.g. `SynthError::Injected`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Injection-point name.
+    pub stage: String,
+    /// Design being processed when the fault fired.
+    pub design: String,
+    /// Attempt number (0-based) the fault fired on.
+    pub attempt: u32,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faultkit: injected transient error at `{}` (design `{}`, attempt {})",
+            self.stage, self.design, self.attempt
+        )
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+/// The panic payload used for injected panics, so supervisors (and the
+/// quiet panic hook) can tell injected panics from genuine bugs by
+/// downcasting instead of string-matching.
+#[derive(Debug, Clone)]
+pub struct InjectedPanic {
+    /// Human-readable description of the injection.
+    pub message: String,
+    /// True when the plan asked for a *typed error* at an infallible stage:
+    /// the panic is just the transport, and the supervisor records the
+    /// attempt as a transient error rather than a panic.
+    pub as_error: bool,
+}
+
+struct Ctx {
+    plan: Arc<FaultPlan>,
+    design: String,
+    attempt: u32,
+    fired: u32,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Ctx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An armed injection scope; disarms (pops) on drop. Returned by [`arm`].
+pub struct InjectionScope {
+    depth: usize,
+}
+
+impl InjectionScope {
+    /// How many faults fired inside this scope so far. Survives a panic in
+    /// the scoped code — read it *after* catching, *before* dropping.
+    pub fn fired(&self) -> u32 {
+        STACK.with(|s| {
+            s.borrow()
+                .get(self.depth)
+                .map(|c| c.fired)
+                .unwrap_or_default()
+        })
+    }
+}
+
+impl Drop for InjectionScope {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.len(), self.depth + 1, "injection scopes must nest");
+            s.truncate(self.depth);
+        });
+    }
+}
+
+/// Arm fault injection on the current thread for one stage attempt.
+pub fn arm(plan: Arc<FaultPlan>, design: &str, attempt: u32) -> InjectionScope {
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(Ctx {
+            plan,
+            design: design.to_string(),
+            attempt,
+            fired: 0,
+        });
+        InjectionScope { depth: s.len() - 1 }
+    })
+}
+
+/// The fault decided for `stage` under the innermost armed scope, if any.
+/// Marks the fault as fired.
+fn decide(stage: &str) -> Option<(FaultKind, InjectedFault)> {
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let ctx = s.last_mut()?;
+        let rule = ctx.plan.fault_for(&ctx.design, stage, ctx.attempt)?;
+        let fault = InjectedFault {
+            stage: stage.to_string(),
+            design: ctx.design.clone(),
+            attempt: ctx.attempt,
+        };
+        let kind = rule.kind.clone();
+        ctx.fired += 1;
+        Some((kind, fault))
+    })
+}
+
+/// Injection point for **fallible** stages. Returns `Err(InjectedFault)`
+/// for `error` faults (wrap it into the stage's error type), panics with an
+/// [`InjectedPanic`] payload for `panic` faults, sleeps for `delay_ms`
+/// faults, and is a no-op when no scope is armed or no rule matches.
+pub fn inject(stage: &str) -> Result<(), InjectedFault> {
+    let Some((kind, fault)) = decide(stage) else {
+        return Ok(());
+    };
+    match kind {
+        FaultKind::Error => Err(fault),
+        FaultKind::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        FaultKind::Panic => {
+            std::panic::panic_any(InjectedPanic {
+                message: format!(
+                    "faultkit: injected panic at `{}` (design `{}`, attempt {})",
+                    fault.stage, fault.design, fault.attempt
+                ),
+                as_error: false,
+            });
+        }
+    }
+}
+
+/// Injection point for **infallible** stages (the router has no error
+/// path). `error` faults are transported as a panic whose payload is
+/// flagged `as_error`, which the supervisor classifies back into a
+/// transient error; `panic` and `delay_ms` behave as in [`inject`].
+pub fn inject_abort(stage: &str) {
+    let Some((kind, fault)) = decide(stage) else {
+        return;
+    };
+    match kind {
+        FaultKind::Delay(d) => std::thread::sleep(d),
+        FaultKind::Panic => std::panic::panic_any(InjectedPanic {
+            message: format!(
+                "faultkit: injected panic at `{}` (design `{}`, attempt {})",
+                fault.stage, fault.design, fault.attempt
+            ),
+            as_error: false,
+        }),
+        FaultKind::Error => std::panic::panic_any(InjectedPanic {
+            message: fault.to_string(),
+            as_error: true,
+        }),
+    }
+}
+
+/// Install a process-wide panic hook that suppresses the default
+/// "thread panicked" stderr message for *injected* panics (payload is an
+/// [`InjectedPanic`]) and delegates everything else to the previous hook.
+/// Idempotent; call it from chaos tests and from the CLI when a fault plan
+/// is loaded, so supervised chaos runs don't spray stderr.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, FaultRule};
+
+    fn plan(kind: FaultKind) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::new(0).with_rule(FaultRule::once("d", "s", kind)))
+    }
+
+    #[test]
+    fn noop_without_scope() {
+        assert!(inject("s").is_ok());
+        inject_abort("s"); // must not panic
+    }
+
+    #[test]
+    fn error_fault_is_typed_and_counted() {
+        let scope = arm(plan(FaultKind::Error), "d", 0);
+        let e = inject("s").unwrap_err();
+        assert_eq!(e.stage, "s");
+        assert_eq!(e.design, "d");
+        assert_eq!(e.attempt, 0);
+        // Second call fires again (the rule still matches this attempt).
+        assert!(inject("s").is_err());
+        assert!(inject("other").is_ok());
+        assert_eq!(scope.fired(), 2);
+    }
+
+    #[test]
+    fn panic_fault_carries_marker_payload() {
+        silence_injected_panics();
+        let scope = arm(plan(FaultKind::Panic), "d", 0);
+        let caught = std::panic::catch_unwind(|| inject("s")).unwrap_err();
+        let p = caught
+            .downcast_ref::<InjectedPanic>()
+            .expect("marker payload");
+        assert!(!p.as_error);
+        assert!(p.message.contains("`s`"));
+        assert_eq!(scope.fired(), 1);
+    }
+
+    #[test]
+    fn abort_point_transports_errors_as_flagged_panics() {
+        silence_injected_panics();
+        let _scope = arm(plan(FaultKind::Error), "d", 0);
+        let caught = std::panic::catch_unwind(|| inject_abort("s")).unwrap_err();
+        let p = caught
+            .downcast_ref::<InjectedPanic>()
+            .expect("marker payload");
+        assert!(p.as_error);
+    }
+
+    #[test]
+    fn attempt_gates_injection() {
+        let p = plan(FaultKind::Error);
+        {
+            let _s = arm(p.clone(), "d", 0);
+            assert!(inject("s").is_err());
+        }
+        {
+            let _s = arm(p, "d", 1);
+            assert!(inject("s").is_ok(), "attempts_below=1 spares attempt 1");
+        }
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let p = plan(FaultKind::Error);
+        let outer = arm(p.clone(), "d", 5);
+        assert!(inject("s").is_ok(), "outer scope is attempt 5");
+        {
+            let inner = arm(p, "d", 0);
+            assert!(inject("s").is_err());
+            assert_eq!(inner.fired(), 1);
+        }
+        assert!(inject("s").is_ok(), "inner scope popped");
+        assert_eq!(outer.fired(), 0);
+    }
+}

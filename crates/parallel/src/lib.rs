@@ -16,14 +16,74 @@
 //!    honours the `RAYON_NUM_THREADS` environment variable (kept for
 //!    ecosystem familiarity) and falls back to the machine's available
 //!    parallelism.
+//! 3. **Panics are isolated per item**: [`par_map_catch_threads`] catches a
+//!    panicking closure at the item boundary and returns the payload as an
+//!    error value in that item's slot, so one poisoned design cannot sink a
+//!    whole dataset build. [`par_map_threads`] is built on top of it and
+//!    re-raises the first (in input order) panic only after every other
+//!    item has completed — deterministic for any worker count.
 //!
 //! Work is distributed dynamically (an atomic cursor over the item list),
 //! so a single slow item — one large design, one expensive fold — does not
 //! leave the other workers idle, which is exactly the workload shape of
 //! HLS + place-and-route over a benchmark suite.
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A captured panic from one item's closure invocation.
+///
+/// [`par_map_catch_threads`] turns a panicking item into `Err(Panicked)`
+/// instead of letting the unwind cross the thread join and poison the whole
+/// batch. The original payload is preserved, so callers that do want to die
+/// can [`Panicked::resume`] with full fidelity (typed payloads like
+/// faultkit's marker structs survive the round trip).
+pub struct Panicked {
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl Panicked {
+    fn new(payload: Box<dyn Any + Send + 'static>) -> Panicked {
+        Panicked { payload }
+    }
+
+    /// Human-readable panic message (`&str`/`String` payloads; anything
+    /// else renders as a placeholder).
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// The original panic payload.
+    pub fn into_payload(self) -> Box<dyn Any + Send + 'static> {
+        self.payload
+    }
+
+    /// Re-raise the captured panic on the current thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.payload)
+    }
+}
+
+impl fmt::Debug for Panicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Panicked({:?})", self.message())
+    }
+}
+
+impl fmt::Display for Panicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "panic: {}", self.message())
+    }
+}
 
 /// The worker count used by [`par_map`]: `RAYON_NUM_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`].
@@ -55,26 +115,81 @@ where
 /// the calling thread (the serial reference path).
 ///
 /// # Panics
-/// Propagates the first panic raised by `f`.
+/// If `f` panics for any item, every other item still completes, and the
+/// panic of the **first item in input order** is then re-raised with its
+/// original payload — identical behaviour for 1 and N workers. (Before this
+/// existed, a worker panic unwound across the scope join and poisoned the
+/// whole batch, discarding every completed item.) Callers that want panics
+/// as values instead use [`par_map_catch_threads`].
 pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let mut out = Vec::with_capacity(items.len());
+    let mut first_panic = None;
+    for result in par_map_catch_threads(threads, items, f) {
+        match result {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        p.resume();
+    }
+    out
+}
+
+/// [`par_map_catch_threads`] with the default worker count.
+pub fn par_map_catch<T, R, F>(items: &[T], f: F) -> Vec<Result<R, Panicked>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_catch_threads(num_threads(), items, f)
+}
+
+/// Map `f` over `items` with up to `threads` workers, catching panics **per
+/// item**: a panicking closure yields `Err(`[`Panicked`]`)` in that item's
+/// slot while every other item completes normally.
+///
+/// Output order equals input order, and the Ok/Err classification of every
+/// slot is bit-identical for 1 vs N workers (the per-item function decides
+/// it, not scheduling).
+///
+/// The closure runs behind an `AssertUnwindSafe` boundary. That is sound
+/// here because the boundary is per *item*: `f` only borrows `items`
+/// immutably, and an item whose invocation unwound contributes nothing but
+/// the payload — no half-mutated state can be observed by other items.
+/// Closures that mutate shared state through interior mutability must keep
+/// that state consistent across unwinds themselves.
+pub fn par_map_catch_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, Panicked>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let call = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(Panicked::new);
     let workers = threads.clamp(1, items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(call).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, Panicked>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let value = f(item);
+                let value = call(item);
                 *slots[i].lock().unwrap() = Some(value);
             });
         }
@@ -160,5 +275,115 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    /// Marker in test panic messages so the quiet hook below can drop the
+    /// default "thread panicked" stderr spam without hiding real failures.
+    const TEST_PANIC: &str = "parkit-test-panic";
+
+    fn quiet_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains(TEST_PANIC))
+                    .or_else(|| {
+                        info.payload()
+                            .downcast_ref::<String>()
+                            .map(|s| s.contains(TEST_PANIC))
+                    })
+                    .unwrap_or(false);
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panics_are_caught_per_item_and_ordered() {
+        quiet_panics();
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_catch_threads(8, &items, |&x| {
+            if x % 10 == 3 {
+                panic!("{TEST_PANIC} at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                let p = r.as_ref().unwrap_err();
+                assert!(p.message().contains(&format!("at {i}")), "{p:?}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn catch_classification_identical_for_1_and_n_workers() {
+        quiet_panics();
+        let items: Vec<u32> = (0..97).collect();
+        let f = |&x: &u32| {
+            if x % 7 == 0 {
+                panic!("{TEST_PANIC} {x}");
+            }
+            x + 1
+        };
+        let flatten = |v: Vec<Result<u32, Panicked>>| -> Vec<Result<u32, String>> {
+            v.into_iter().map(|r| r.map_err(|p| p.message())).collect()
+        };
+        let serial = flatten(par_map_catch_threads(1, &items, f));
+        let parallel = flatten(par_map_catch_threads(6, &items, f));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_reraises_first_panic_in_input_order_with_payload() {
+        quiet_panics();
+        let completed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..32).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_threads(4, &items, |&x| {
+                // Two panicking items; the *lower index* must win
+                // regardless of which worker hits one first.
+                if x == 9 || x == 21 {
+                    panic!("{TEST_PANIC} index {x}");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            });
+        }))
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert!(msg.contains("index 9"), "first in input order wins: {msg}");
+        // Every non-panicking item still ran — nothing was poisoned.
+        assert_eq!(completed.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn typed_panic_payloads_survive_the_round_trip() {
+        quiet_panics();
+        #[derive(Debug, PartialEq)]
+        struct Marker(u32);
+        let items = [1u32];
+        let out = par_map_catch_threads(1, &items, |_| {
+            // Typed payloads must survive for supervisor downcasting; the
+            // quiet hook can't match these, so silence via the marker-free
+            // path is acceptable for this single case.
+            std::panic::panic_any(Marker(5));
+            #[allow(unreachable_code)]
+            0u32
+        });
+        let payload = out.into_iter().next().unwrap().unwrap_err().into_payload();
+        assert_eq!(payload.downcast_ref::<Marker>(), Some(&Marker(5)));
     }
 }

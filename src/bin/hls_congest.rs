@@ -7,6 +7,12 @@
 //! hls-congest dataset   <file.mhls>... -o data.csv [--workers N] [--router-stats]
 //!                                                   build + save a labelled dataset
 //!                                                   (parallel, fault-tolerant, timed)
+//!   robustness flags:
+//!     --fault-plan <plan.json>    arm a deterministic chaos-testing plan
+//!     --max-retries <n>           per-stage retry budget (default 2)
+//!     --stage-timeout-ms <ms>     per-attempt wall-clock budget
+//!     --checkpoint-dir <dir>      persist per-design verdicts incrementally
+//!     --resume                    replay verdicts committed by a prior run
 //! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
 //! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
 //! hls-congest --version                             crate version + git hash
@@ -116,7 +122,7 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that take no value; `positional()` must not swallow the token
 /// that follows them.
-const BOOL_FLAGS: &[&str] = &["--router-stats", "--profile", "--version"];
+const BOOL_FLAGS: &[&str] = &["--router-stats", "--profile", "--version", "--resume"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -224,12 +230,30 @@ fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(w) = flag(args, "--workers") {
         flow = flow.with_workers(w.parse()?);
     }
+    if let Some(path) = flag(args, "--fault-plan") {
+        let text = std::fs::read_to_string(path)?;
+        let plan = fpga_hls_congestion::faultkit::FaultPlan::from_json(&text)?;
+        eprintln!("armed fault plan {path} (seed {})", plan.seed);
+        flow = flow.with_fault_plan(plan);
+    }
+    if let Some(n) = flag(args, "--max-retries") {
+        flow.supervision.max_retries = n.parse()?;
+    }
+    if let Some(ms) = flag(args, "--stage-timeout-ms") {
+        flow.supervision.stage_timeout = Some(std::time::Duration::from_millis(ms.parse()?));
+    }
+    if let Some(dir) = flag(args, "--checkpoint-dir") {
+        flow = flow.with_checkpoint(dir, bool_flag(args, "--resume"));
+    } else if bool_flag(args, "--resume") {
+        return Err("--resume needs --checkpoint-dir <dir>".into());
+    }
     let mut modules = Vec::new();
     for f in &files {
         modules.push(load_module(f)?.0);
     }
-    // Fault-tolerant build: designs run on parallel workers, a failing
-    // design is reported below without sinking the rest of the batch.
+    // Supervised build: designs run on parallel workers; panics, injected
+    // faults, and timeouts degrade into the per-design failure taxonomy
+    // reported below without sinking the rest of the batch.
     let report = flow.build_dataset_report(&modules);
     print!("{}", report.render());
     if bool_flag(args, "--router-stats") {

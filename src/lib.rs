@@ -44,6 +44,7 @@
 //! ```
 
 pub use congestion_core;
+pub use faultkit;
 pub use fpga_fabric;
 pub use hls_ir;
 pub use hls_synth;
@@ -58,7 +59,8 @@ pub mod prelude {
     pub use congestion_core::pipeline::CongestionFlow;
     pub use congestion_core::predict::TrainOptions;
     pub use congestion_core::resolve::{suggest_fixes, ResolveOptions, Suggestion};
-    pub use congestion_core::{CongestionPredictor, ModelKind, Target};
+    pub use congestion_core::{CongestionPredictor, DesignFailure, ModelKind, Target};
+    pub use faultkit::{FaultKind, FaultPlan, FaultRule, SupervisorPolicy};
     pub use fpga_fabric::{Device, ImplResult};
     pub use hls_ir::frontend::{compile, compile_named, compile_with_directives};
     pub use hls_ir::{Directives, Module, Partition};

@@ -1,0 +1,247 @@
+//! Chaos-engineering contract tests for the supervised dataset pipeline.
+//!
+//! A canned fault plan injects a panic, a stage timeout, and a persistent
+//! transient error into a four-design build; the contract is graceful
+//! degradation — the build never aborts, healthy designs keep their
+//! samples, and every casualty lands in the per-design failure taxonomy.
+//! A second set of tests pins determinism (supervision logs bit-identical
+//! across worker counts) and checkpoint/resume (a resumed run recomputes
+//! nothing that already reached a verdict).
+
+use fpga_hls_congestion::faultkit::FaultKind;
+use fpga_hls_congestion::prelude::*;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SRC: &str =
+    "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }";
+
+/// Four small copies of the same kernel under different names — the fault
+/// plan tells them apart, the clean pipeline does not.
+fn modules() -> Vec<Module> {
+    ["alpha", "beta", "gamma", "delta"]
+        .iter()
+        .map(|name| compile_named(SRC, name).expect("kernel compiles"))
+        .collect()
+}
+
+/// The canned chaos plan: `alpha` panics in the router on every attempt,
+/// `beta` hits a persistent injected synthesis error, `gamma` is delayed
+/// past the stage budget forever, and `delta` survives one injected
+/// back-trace panic thanks to a retry.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(7)
+        .with_rule(FaultRule::once("alpha", "route", FaultKind::Panic).for_attempts(u32::MAX))
+        .with_rule(FaultRule::once("beta", "hls", FaultKind::Error).for_attempts(u32::MAX))
+        .with_rule(
+            FaultRule::once("gamma", "hls", FaultKind::Delay(Duration::from_millis(900)))
+                .for_attempts(u32::MAX),
+        )
+        .with_rule(FaultRule::once("delta", "backtrace", FaultKind::Panic))
+}
+
+fn chaos_flow() -> CongestionFlow {
+    let mut policy = SupervisorPolicy::no_sleep();
+    policy.max_retries = 1;
+    policy.stage_timeout = Some(Duration::from_millis(250));
+    CongestionFlow::fast()
+        .with_supervision(policy)
+        .with_fault_plan(chaos_plan())
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("hls_congest_chaos_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+#[test]
+fn chaos_build_degrades_gracefully_with_taxonomy() {
+    let report = chaos_flow()
+        .with_workers(4)
+        .build_dataset_report(&modules());
+
+    assert_eq!(report.designs.len(), 4);
+    assert_eq!(
+        report.succeeded(),
+        1,
+        "only delta survives:\n{}",
+        report.render()
+    );
+    assert_eq!(report.failed(), 3);
+
+    // Exactly one failure per taxonomy bucket.
+    let taxonomy = report.failure_taxonomy();
+    let buckets: Vec<(&str, usize)> = taxonomy.iter().map(|(k, &n)| (k.as_str(), n)).collect();
+    assert_eq!(
+        buckets,
+        vec![("injected", 1), ("panic", 1), ("timeout", 1)],
+        "unexpected taxonomy: {taxonomy:?}"
+    );
+    assert!(matches!(
+        report.designs[0].outcome,
+        Err(DesignFailure::Panic { .. })
+    ));
+    assert!(matches!(
+        report.designs[1].outcome,
+        Err(DesignFailure::Synth(_))
+    ));
+    assert!(matches!(
+        report.designs[2].outcome,
+        Err(DesignFailure::Timeout { .. })
+    ));
+
+    // delta needed a retry to shake off its injected back-trace panic.
+    let delta = &report.designs[3];
+    assert!(delta.is_ok());
+    assert!(delta.retries() >= 1, "delta should have retried");
+
+    // The surviving samples are exactly a clean build of delta.
+    let clean = CongestionFlow::fast()
+        .build_dataset(&[compile_named(SRC, "delta").unwrap()])
+        .unwrap();
+    assert_eq!(report.dataset.samples, clean.samples);
+
+    // Counters landed in the merged metrics.
+    let counters = &report.obs.metrics.counters;
+    assert!(counters["faultkit.injected"] >= 4);
+    assert!(counters["faultkit.retries"] >= 3);
+    assert!(counters["faultkit.recovered_panics"] >= 1);
+    assert!(counters["faultkit.timeouts"] >= 1);
+
+    // The render names every bucket and the failed designs.
+    let text = report.render();
+    assert!(text.contains("failure taxonomy:"));
+    for needle in ["injected", "panic", "timeout", "FAILED"] {
+        assert!(text.contains(needle), "render missing `{needle}`:\n{text}");
+    }
+}
+
+#[test]
+fn chaos_outcomes_are_bit_identical_across_worker_counts() {
+    // Wall-clock-free chaos (no stage timeout): everything the supervisor
+    // records is a pure function of the plan, so 1 worker and 8 workers
+    // must agree exactly — samples, outcomes, and full attempt logs.
+    let plan = FaultPlan::new(11)
+        .with_rule(FaultRule::once("alpha", "route", FaultKind::Panic).for_attempts(u32::MAX))
+        .with_rule(FaultRule::once("beta", "hls", FaultKind::Error).for_attempts(u32::MAX))
+        .with_rule(FaultRule::once("delta", "backtrace", FaultKind::Panic));
+    let run = |workers| {
+        CongestionFlow::fast()
+            .with_supervision(SupervisorPolicy::no_sleep())
+            .with_fault_plan(plan.clone())
+            .with_workers(workers)
+            .build_dataset_report(&modules())
+    };
+    let serial = run(1);
+    let parallel = run(8);
+
+    assert_eq!(serial.dataset.samples, parallel.dataset.samples);
+    for (a, b) in serial.designs.iter().zip(&parallel.designs) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.outcome, b.outcome, "outcome diverged for {}", a.name);
+        assert_eq!(
+            a.supervision, b.supervision,
+            "supervision log diverged for {}",
+            a.name
+        );
+    }
+    assert_eq!(
+        serial.obs.metrics.deterministic_digest(),
+        parallel.obs.metrics.deterministic_digest(),
+        "chaos metrics must not depend on worker count"
+    );
+}
+
+#[test]
+fn resume_replays_every_committed_verdict() {
+    let dir = fresh_dir("resume");
+    let modules = modules();
+    // beta fails permanently; the other three succeed.
+    let plan = FaultPlan::new(3)
+        .with_rule(FaultRule::once("beta", "hls", FaultKind::Error).for_attempts(u32::MAX));
+    let flow = |resume| {
+        CongestionFlow::fast()
+            .with_supervision(SupervisorPolicy::no_sleep())
+            .with_fault_plan(plan.clone())
+            .with_checkpoint(&dir, resume)
+    };
+
+    let first = flow(false).build_dataset_report(&modules);
+    assert_eq!(first.succeeded(), 3);
+    assert_eq!(first.resumed(), 0);
+    assert_eq!(first.obs.metrics.counters["checkpoint.stored"], 4);
+
+    // Resume with the same configuration: every verdict — including
+    // beta's failure — replays from the checkpoint; no stage runs.
+    let second = flow(true).build_dataset_report(&modules);
+    assert_eq!(second.resumed(), 4, "{}", second.render());
+    assert_eq!(second.succeeded(), 3);
+    assert_eq!(second.dataset.samples, first.dataset.samples);
+    assert!(matches!(
+        second.designs[1].outcome,
+        Err(DesignFailure::Recorded(_))
+    ));
+    assert_eq!(
+        second.obs.events.iter().filter(|e| e.name == "hls").count(),
+        0,
+        "a resumed run must not re-run any stage"
+    );
+    assert_eq!(second.obs.metrics.counters["checkpoint.resumed"], 4);
+    assert_eq!(second.obs.metrics.counters.get("faultkit.injected"), None);
+    assert!(second
+        .render()
+        .contains("resumed from checkpoint: 4 designs"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_run_resumes_only_the_missing_designs() {
+    let dir = fresh_dir("killed");
+    let modules = modules();
+    let flow = |resume| {
+        CongestionFlow::fast()
+            .with_supervision(SupervisorPolicy::no_sleep())
+            .with_checkpoint(&dir, resume)
+    };
+
+    let first = flow(false).build_dataset_report(&modules);
+    assert_eq!(first.succeeded(), 4);
+
+    // Simulate a SIGKILL that landed before gamma committed: delete its
+    // checkpoint pair (rename-commit means a real kill leaves either both
+    // files or neither).
+    let mut removed = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("gamma-"))
+        {
+            std::fs::remove_file(&path).unwrap();
+            removed += 1;
+        }
+    }
+    assert_eq!(removed, 2, "expected gamma's csv + json pair");
+
+    let second = flow(true).build_dataset_report(&modules);
+    assert_eq!(second.resumed(), 3, "{}", second.render());
+    assert_eq!(second.succeeded(), 4);
+    // Exactly one design (gamma) went through the stages again.
+    assert_eq!(
+        second.obs.events.iter().filter(|e| e.name == "hls").count(),
+        1
+    );
+    // Byte-for-byte the same dataset as the uninterrupted run.
+    assert_eq!(second.dataset.samples, first.dataset.samples);
+
+    // A configuration change invalidates the whole store: nothing resumes.
+    let mut other = flow(true);
+    other.hls.clock_ns = 8.0;
+    let third = other.build_dataset_report(&modules);
+    assert_eq!(third.resumed(), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
