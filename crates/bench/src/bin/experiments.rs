@@ -1,7 +1,8 @@
 //! Experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--fast] [--grid-search] <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|router-bench|all>
+//! experiments [--fast] [--grid-search] [--gbrt-kernel <histogram|exact>] [--gbrt-bins <n>]
+//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|router-bench|train-bench|all>
 //! experiments --version
 //! ```
 //!
@@ -24,6 +25,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-retries",
     "--stage-timeout-ms",
     "--checkpoint-dir",
+    "--gbrt-kernel",
+    "--gbrt-bins",
 ];
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -68,6 +71,30 @@ fn main() {
     let effort = if fast { Effort::Fast } else { Effort::Full };
     let what = selector(&args).unwrap_or_else(|| "all".to_string());
 
+    // GBRT kernel overrides, applied to every experiment that trains models.
+    let gbrt_kernel = flag(&args, "--gbrt-kernel").map(|s| {
+        mlkit::GbrtKernel::parse(s).unwrap_or_else(|| {
+            eprintln!("bad --gbrt-kernel `{s}` (expected histogram|exact)");
+            std::process::exit(2);
+        })
+    });
+    let gbrt_bins = flag(&args, "--gbrt-bins").map(|s| {
+        s.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("bad --gbrt-bins `{s}` (expected a bin count)");
+            std::process::exit(2);
+        })
+    });
+    let train_opts = |grid_search: bool| {
+        let mut opts = effort.train(grid_search);
+        if let Some(k) = gbrt_kernel {
+            opts.gbrt_kernel = k;
+        }
+        if let Some(b) = gbrt_bins {
+            opts.gbrt_bins = b;
+        }
+        opts
+    };
+
     fs::create_dir_all("reports").ok();
 
     // Session-wide collector: every experiment gets a span, and experiments
@@ -101,7 +128,7 @@ fn main() {
             "table4" => {
                 let (t3, ds) = table3::run(effort);
                 emit("table3", &t3.render());
-                let t = table4::run_on(&ds, effort, grid);
+                let t = table4::run_with(&ds, &train_opts(grid));
                 emit("table4", &t.render());
                 println!(
                     "GBRT wins: {}, filtering helps: {}",
@@ -221,6 +248,24 @@ fn main() {
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: router_bench::to_metrics(&rows),
+                });
+            }
+            "train-bench" => {
+                // GBRT training-kernel head-to-head; `--fast` shrinks the
+                // suite and stage count (the CI smoke run). Full effort also
+                // writes the BENCH_train.json baseline at the repo root.
+                let rows = train_bench::run(effort);
+                emit("train_bench", &train_bench::render(&rows));
+                let json = train_bench::to_json(&rows);
+                write_file("train_bench.json", &json);
+                if effort == Effort::Full {
+                    if let Err(e) = fs::write("BENCH_train.json", &json) {
+                        eprintln!("warning: could not write BENCH_train.json: {e}");
+                    }
+                }
+                obs.absorb(obskit::ObsRecord {
+                    events: Vec::new(),
+                    metrics: train_bench::to_metrics(&rows),
                 });
             }
             other => {

@@ -16,6 +16,7 @@
 //! | [`fig6`] | Fig 6 — congestion maps of the case-study steps |
 //! | [`ablation`] | design-choice ablations called out in DESIGN.md |
 //! | [`router_bench`] | routing-kernel comparison recorded in BENCH_route.json |
+//! | [`train_bench`] | GBRT training-kernel comparison recorded in BENCH_train.json |
 
 pub mod ablation;
 pub mod designs;
@@ -29,6 +30,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod train_bench;
 
 pub use designs::Effort;
 pub use metrics::DesignMetrics;

@@ -1,0 +1,249 @@
+//! Flattened, batched inference for fitted tree ensembles.
+//!
+//! [`crate::tree::RegressionTree`] stores nodes as a per-tree enum vector
+//! — fine for training, but batch prediction then chases a separate heap
+//! allocation per tree and pays an enum-discriminant match per node.
+//! [`CompiledEnsemble`] re-lays every tree into **one contiguous table of
+//! packed 24-byte node records** (trees back-to-back, children addressed
+//! by global `u32` index) and predicts a **block of rows at a time**:
+//! every row of a block traverses one tree before the next tree starts,
+//! so each tree's top levels stay hot in cache across the whole block and
+//! one bounds-checked load fetches a whole node.
+//!
+//! Bit-identity contract: for every row, the batched result equals
+//! `base + scale * Σ_t tree_t.predict_one(row)` with the tree outputs
+//! added in tree order — the exact float sequence the per-row path
+//! produces — so swapping in the compiled engine can never move a
+//! reported metric. The differential suite pins this.
+
+use crate::dataset::Matrix;
+use crate::tree::RegressionTree;
+
+/// Sentinel in a node's `feature` field marking a leaf (its `threshold`
+/// field holds the leaf value).
+const LEAF: u32 = u32::MAX;
+
+/// Rows advanced together through the node table. Big enough to amortize
+/// per-tree loop overhead, small enough that per-row cursors stay in L1.
+const BLOCK: usize = 64;
+
+/// One packed node record: 24 bytes, 8-byte aligned, so a single cache
+/// line holds 2–3 nodes and one indexed load fetches everything a
+/// traversal step needs.
+#[derive(Debug, Clone, Copy)]
+struct CompiledNode {
+    /// Split feature; [`LEAF`] marks a leaf.
+    feature: u32,
+    /// Left child index (global), valid for split nodes.
+    left: u32,
+    /// Right child index (global), valid for split nodes.
+    right: u32,
+    /// Split threshold (`<=` goes left); leaf value for leaves.
+    threshold: f64,
+}
+
+/// A fitted ensemble compiled to a contiguous flat node table.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledEnsemble {
+    /// Constant prediction offset (the training-target mean).
+    base: f64,
+    /// Shrinkage applied to the summed tree outputs.
+    scale: f64,
+    /// All trees' nodes, back-to-back in boosting-stage order.
+    nodes: Vec<CompiledNode>,
+    /// Root node index of each tree, in boosting-stage order.
+    roots: Vec<u32>,
+}
+
+impl CompiledEnsemble {
+    /// Flatten `trees` (in boosting-stage order) into one node table.
+    pub fn from_trees(base: f64, scale: f64, trees: &[RegressionTree]) -> CompiledEnsemble {
+        use crate::tree::Node;
+        let total: usize = trees.iter().map(|t| t.nodes().len()).sum();
+        let mut c = CompiledEnsemble {
+            base,
+            scale,
+            nodes: Vec::with_capacity(total),
+            roots: Vec::with_capacity(trees.len()),
+        };
+        for tree in trees {
+            let offset = c.nodes.len() as u32;
+            c.roots.push(offset); // grow() always places the root at index 0
+            for node in tree.nodes() {
+                c.nodes.push(match node {
+                    Node::Leaf { value } => CompiledNode {
+                        feature: LEAF,
+                        left: 0,
+                        right: 0,
+                        threshold: *value,
+                    },
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                        ..
+                    } => CompiledNode {
+                        feature: *feature as u32,
+                        left: offset + *left as u32,
+                        right: offset + *right as u32,
+                        threshold: *threshold,
+                    },
+                });
+            }
+        }
+        c
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes in the flattened table.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Predict one raw feature row (walks the flat table; used for spot
+    /// checks — batches should go through [`Self::predict_into`]).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0f64;
+        for &root in &self.roots {
+            let mut n = self.nodes[root as usize];
+            while n.feature != LEAF {
+                let next = if row[n.feature as usize] <= n.threshold {
+                    n.left
+                } else {
+                    n.right
+                };
+                n = self.nodes[next as usize];
+            }
+            acc += n.threshold;
+        }
+        self.base + self.scale * acc
+    }
+
+    /// Predict every row of `x` into `out`, block-wise: all rows of a
+    /// block traverse one tree before the next tree starts, so each tree's
+    /// upper levels stay hot in cache for the whole block and the node
+    /// table is read front-to-back once per block.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != x.rows()`.
+    pub fn predict_into(&self, x: &Matrix, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output length mismatch");
+        let mut acc = [0.0f64; BLOCK];
+        let mut rows: Vec<&[f64]> = Vec::with_capacity(BLOCK);
+        for block_start in (0..x.rows()).step_by(BLOCK) {
+            let bl = BLOCK.min(x.rows() - block_start);
+            acc[..bl].fill(0.0);
+            rows.clear();
+            rows.extend((0..bl).map(|r| x.row(block_start + r)));
+            for &root in &self.roots {
+                for (slot, row) in acc[..bl].iter_mut().zip(&rows) {
+                    let mut n = self.nodes[root as usize];
+                    while n.feature != LEAF {
+                        let next = if row[n.feature as usize] <= n.threshold {
+                            n.left
+                        } else {
+                            n.right
+                        };
+                        n = self.nodes[next as usize];
+                    }
+                    // Per-row accumulation stays in tree order, so the
+                    // float sequence matches `predict_row` exactly.
+                    *slot += n.threshold;
+                }
+            }
+            for (r, &a) in acc[..bl].iter().enumerate() {
+                out[block_start + r] = self.base + self.scale * a;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinnedMatrix;
+    use crate::tree::TreeOptions;
+
+    fn wavy(n: usize, cols: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..cols)
+                    .map(|j| (((i * 13 + j * 7) % 101) as f64) * 0.21)
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (r[0] * 0.4).sin() * 8.0 + r[1] * 0.5)
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn fit_forest(x: &Matrix, y: &[f64], k: usize) -> Vec<RegressionTree> {
+        let binned = BinnedMatrix::from_matrix(x);
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let features: Vec<usize> = (0..x.cols()).collect();
+        (0..k)
+            .map(|d| {
+                RegressionTree::fit(
+                    &binned,
+                    y,
+                    &samples,
+                    &features,
+                    &TreeOptions {
+                        max_depth: 1 + d % 4,
+                        min_samples_leaf: 2,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_per_row_bitwise() {
+        let (x, y) = wavy(333, 5); // odd count: exercises the partial block
+        let trees = fit_forest(&x, &y, 7);
+        let c = CompiledEnsemble::from_trees(1.25, 0.1, &trees);
+        let mut out = vec![0.0; x.rows()];
+        c.predict_into(&x, &mut out);
+        for (i, row) in x.iter_rows().enumerate() {
+            let per_row = 1.25 + 0.1 * trees.iter().map(|t| t.predict_one(row)).sum::<f64>();
+            assert_eq!(out[i].to_bits(), per_row.to_bits(), "row {i}");
+            assert_eq!(c.predict_row(row).to_bits(), per_row.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_ensemble_predicts_base() {
+        let c = CompiledEnsemble::from_trees(3.5, 0.1, &[]);
+        assert_eq!(c.n_trees(), 0);
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let mut out = vec![0.0; 2];
+        c.predict_into(&x, &mut out);
+        assert_eq!(out, vec![3.5, 3.5]);
+    }
+
+    #[test]
+    fn node_table_is_contiguous_and_complete() {
+        let (x, y) = wavy(120, 3);
+        let trees = fit_forest(&x, &y, 4);
+        let c = CompiledEnsemble::from_trees(0.0, 1.0, &trees);
+        let expected: usize = trees.iter().map(|t| t.split_count() * 2 + 1).sum();
+        // A binary tree with s splits has s+1 leaves => 2s+1 nodes.
+        assert_eq!(c.n_nodes(), expected);
+        assert_eq!(c.n_trees(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn predict_into_checks_length() {
+        let c = CompiledEnsemble::from_trees(0.0, 1.0, &[]);
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        c.predict_into(&x, &mut []);
+    }
+}

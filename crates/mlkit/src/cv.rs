@@ -10,14 +10,54 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Why a cross-validation or grid-search request is unsatisfiable. The
+/// `try_*` entry points return these; the panicking wrappers keep the old
+/// ergonomics for callers whose inputs are statically valid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CvError {
+    /// `k < 2`: a single fold has no held-out data to score.
+    TooFewFolds {
+        /// The requested fold count.
+        k: usize,
+    },
+    /// `n < k`: some fold would have an empty validation set.
+    TooFewSamples {
+        /// Available samples.
+        n: usize,
+        /// Requested folds.
+        k: usize,
+    },
+    /// Grid search over zero parameter sets has no winner.
+    EmptyGrid,
+}
+
+impl std::fmt::Display for CvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CvError::TooFewFolds { k } => write!(f, "k-fold needs k >= 2, got k = {k}"),
+            CvError::TooFewSamples { n, k } => {
+                write!(f, "k-fold needs at least k samples, got n = {n} < k = {k}")
+            }
+            CvError::EmptyGrid => write!(f, "grid search over an empty parameter grid"),
+        }
+    }
+}
+
+impl std::error::Error for CvError {}
+
+/// One fold's `(train, validation)` index vectors.
+pub type Fold = (Vec<usize>, Vec<usize>);
+
 /// Deterministic k-fold index split: returns `(train, validation)` index
-/// vectors for each fold.
-///
-/// # Panics
-/// Panics if `k < 2` or `n < k`.
-pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
-    assert!(k >= 2, "k must be at least 2");
-    assert!(n >= k, "need at least k samples");
+/// vectors for each fold, or a [`CvError`] explaining why the split is
+/// impossible.
+pub fn try_kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>, CvError> {
+    if k < 2 {
+        return Err(CvError::TooFewFolds { k });
+    }
+    if n < k {
+        return Err(CvError::TooFewSamples { n, k });
+    }
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
@@ -29,7 +69,18 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
         let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
         folds.push((train, val));
     }
-    folds
+    Ok(folds)
+}
+
+/// [`try_kfold`] for statically valid inputs.
+///
+/// # Panics
+/// Panics if `k < 2` or `n < k`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    match try_kfold(n, k, seed) {
+        Ok(folds) => folds,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// One fold's MAE: train on `train_idx`, score on `val_idx`.
@@ -58,11 +109,24 @@ where
     M: Regressor,
     F: Fn() -> M + Sync,
 {
-    let folds = kfold(data.len(), k, seed);
+    match try_cross_val_mae(data, k, seed, make) {
+        Ok(score) => score,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`cross_val_mae`] returning a [`CvError`] instead of panicking when the
+/// fold split is impossible.
+pub fn try_cross_val_mae<M, F>(data: &Dataset, k: usize, seed: u64, make: F) -> Result<f64, CvError>
+where
+    M: Regressor,
+    F: Fn() -> M + Sync,
+{
+    let folds = try_kfold(data.len(), k, seed)?;
     let scores = parkit::par_map(&folds, |(train_idx, val_idx)| {
         fold_mae(data, train_idx, val_idx, &make)
     });
-    scores.iter().sum::<f64>() / folds.len() as f64
+    Ok(scores.iter().sum::<f64>() / folds.len() as f64)
 }
 
 /// [`cross_val_mae`] recording per-fold telemetry into `obs`: one `cv.fold`
@@ -138,9 +202,32 @@ where
     P: Sync,
     F: Fn(&P) -> M + Sync,
 {
-    assert!(!params.is_empty(), "empty parameter grid");
+    match try_grid_search(data, k, seed, params, make) {
+        Ok(best) => best,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`grid_search`] returning a [`CvError`] instead of panicking on an empty
+/// grid or an impossible fold split.
+pub fn try_grid_search<M, P, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    params: &[P],
+    make: F,
+) -> Result<(usize, f64), CvError>
+where
+    M: Regressor,
+    P: Sync,
+    F: Fn(&P) -> M + Sync,
+{
+    if params.is_empty() {
+        return Err(CvError::EmptyGrid);
+    }
+    try_kfold(data.len(), k, seed)?; // validate once up front
     let scores = parkit::par_map(params, |p| cross_val_mae_serial(data, k, seed, || make(p)));
-    pick_best(&scores)
+    Ok(pick_best(&scores))
 }
 
 /// [`grid_search`] recording progress telemetry into `obs`: one
@@ -239,6 +326,54 @@ mod tests {
     #[should_panic]
     fn kfold_rejects_k_one() {
         kfold(10, 1, 0);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        assert_eq!(try_kfold(10, 1, 0), Err(CvError::TooFewFolds { k: 1 }));
+        assert_eq!(
+            try_kfold(3, 5, 0),
+            Err(CvError::TooFewSamples { n: 3, k: 5 })
+        );
+        let d = toy(4);
+        let make = || Lasso::new(LassoOptions::default());
+        assert_eq!(
+            try_cross_val_mae(&d, 10, 0, make),
+            Err(CvError::TooFewSamples { n: 4, k: 10 })
+        );
+        let empty: [f64; 0] = [];
+        assert_eq!(
+            try_grid_search(&d, 2, 0, &empty, |_| make()),
+            Err(CvError::EmptyGrid)
+        );
+        assert_eq!(
+            CvError::EmptyGrid.to_string(),
+            "grid search over an empty parameter grid"
+        );
+    }
+
+    #[test]
+    fn try_variants_match_panicking_apis_on_valid_input() {
+        let d = toy(60);
+        let make = || {
+            Lasso::new(LassoOptions {
+                alpha: 1e-3,
+                ..Default::default()
+            })
+        };
+        let plain = cross_val_mae(&d, 5, 1, make);
+        let tried = try_cross_val_mae(&d, 5, 1, make).unwrap();
+        assert_eq!(plain.to_bits(), tried.to_bits());
+        let alphas = [1e3, 1e-4];
+        let mk = |&a: &f64| {
+            Lasso::new(LassoOptions {
+                alpha: a,
+                ..Default::default()
+            })
+        };
+        let (bi, bs) = grid_search(&d, 5, 1, &alphas, mk);
+        let (ti, ts) = try_grid_search(&d, 5, 1, &alphas, mk).unwrap();
+        assert_eq!((bi, bs.to_bits()), (ti, ts.to_bits()));
     }
 
     #[test]

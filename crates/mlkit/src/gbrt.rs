@@ -6,13 +6,58 @@
 //! residual, so each stage fits a small tree to the current residuals.
 //! Feature importance follows the paper's definition: "averaging the number
 //! of times that a feature is used as a split point" (§IV-B).
+//!
+//! Two training kernels sit behind the same options struct
+//! ([`GbrtKernel`]): the production **histogram** engine (features binned
+//! once per fit, per-node histograms with the parent-minus-sibling
+//! subtraction trick, parallel feature chunks via `parkit`) and the
+//! **exact-split reference** that scans every candidate threshold — kept
+//! forever, like the router's `MazeKernel::ReferenceDijkstra`, so the
+//! differential suite can prove the fast kernel never silently changes
+//! the paper's Table IV numbers. After fitting, the ensemble is compiled
+//! into a flat [`CompiledEnsemble`] node table; batched prediction
+//! ([`Regressor::predict`] / [`Regressor::predict_into`]) runs on it and
+//! is bit-identical to per-row [`Regressor::predict_one`].
 
+use crate::binning::{BinnedMatrix, DEFAULT_BINS};
+use crate::compiled::CompiledEnsemble;
 use crate::dataset::Matrix;
 use crate::model::Regressor;
-use crate::tree::{BinnedMatrix, RegressionTree, TreeOptions};
+use crate::tree::{RegressionTree, TreeFitStats, TreeOptions};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Which split-search engine fits each boosting stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GbrtKernel {
+    /// Histogram engine: binned features, subtraction trick, parallel
+    /// histogram construction. The production default.
+    #[default]
+    Histogram,
+    /// Exact-split reference: sorts samples per node and scans every
+    /// boundary between distinct values. The accuracy gold standard.
+    ReferenceExact,
+}
+
+impl GbrtKernel {
+    /// Stable display name (used in metrics and CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GbrtKernel::Histogram => "histogram",
+            GbrtKernel::ReferenceExact => "reference-exact",
+        }
+    }
+
+    /// Parse a CLI spelling (`histogram`/`hist` or `exact`/`reference-exact`).
+    pub fn parse(s: &str) -> Option<GbrtKernel> {
+        match s {
+            "histogram" | "hist" => Some(GbrtKernel::Histogram),
+            "exact" | "reference-exact" | "reference_exact" => Some(GbrtKernel::ReferenceExact),
+            _ => None,
+        }
+    }
+}
 
 /// GBRT hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +74,14 @@ pub struct GbrtOptions {
     pub feature_fraction: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Split-search engine.
+    pub kernel: GbrtKernel,
+    /// Histogram-kernel bin budget per feature (clamped to 2..=256).
+    pub max_bins: usize,
+    /// Worker threads for histogram construction (1 = serial). Training is
+    /// bit-identical for any value; CV/grid-search factories keep 1 to
+    /// avoid nesting thread pools inside parallel folds.
+    pub workers: usize,
 }
 
 impl Default for GbrtOptions {
@@ -40,6 +93,9 @@ impl Default for GbrtOptions {
             subsample: 0.8,
             feature_fraction: 0.4,
             seed: 11,
+            kernel: GbrtKernel::Histogram,
+            max_bins: DEFAULT_BINS,
+            workers: 1,
         }
     }
 }
@@ -51,6 +107,7 @@ pub struct GbrtRegressor {
     pub options: GbrtOptions,
     base: f64,
     trees: Vec<RegressionTree>,
+    compiled: CompiledEnsemble,
     n_features: usize,
 }
 
@@ -61,6 +118,7 @@ impl GbrtRegressor {
             options,
             base: 0.0,
             trees: Vec::new(),
+            compiled: CompiledEnsemble::default(),
             n_features: 0,
         }
     }
@@ -101,9 +159,16 @@ impl GbrtRegressor {
         self.trees.len()
     }
 
+    /// The flattened inference engine for the fitted ensemble.
+    pub fn compiled(&self) -> &CompiledEnsemble {
+        &self.compiled
+    }
+
     /// [`Regressor::fit`] recording training telemetry into `obs`: the
     /// per-stage squared-loss curve (`train.gbrt.stage_loss` histogram —
-    /// deterministic for a given seed) and the `train.gbrt.stages` counter.
+    /// deterministic for a given seed), the `train.gbrt.stages` counter,
+    /// and the `mlkit.gbrt.*` kernel work counters (histograms scanned vs
+    /// derived by subtraction, split count, fit wall-clock).
     pub fn fit_observed(&mut self, x: &Matrix, y: &[f64], obs: &obskit::Collector) {
         self.fit_inner(x, y, Some(obs));
     }
@@ -111,13 +176,19 @@ impl GbrtRegressor {
     fn fit_inner(&mut self, x: &Matrix, y: &[f64], obs: Option<&obskit::Collector>) {
         assert_eq!(x.rows(), y.len());
         assert!(!y.is_empty());
+        let started = std::time::Instant::now();
         let n = x.rows();
         let p = x.cols();
         self.n_features = p;
         self.base = y.iter().sum::<f64>() / n as f64;
         self.trees.clear();
 
-        let binned = BinnedMatrix::from_matrix(x);
+        // The histogram kernel quantizes features exactly once per fit.
+        let binned = (self.options.kernel == GbrtKernel::Histogram)
+            .then(|| BinnedMatrix::with_bins(x, self.options.max_bins));
+        let workers = self.options.workers.max(1);
+        let mut stats = TreeFitStats::default();
+
         let mut rng = StdRng::seed_from_u64(self.options.seed);
         let mut pred = vec![self.base; n];
         let mut residual = vec![0.0f64; n];
@@ -138,7 +209,21 @@ impl GbrtRegressor {
             let mut feats: Vec<usize> = all_feats[..n_feats].to_vec();
             feats.sort_unstable();
 
-            let tree = RegressionTree::fit(&binned, &residual, rows, &feats, &self.options.tree);
+            let tree = match &binned {
+                Some(binned) => {
+                    let (tree, tree_stats) = RegressionTree::fit_hist(
+                        binned,
+                        &residual,
+                        rows,
+                        &feats,
+                        &self.options.tree,
+                        workers,
+                    );
+                    stats.absorb(&tree_stats);
+                    tree
+                }
+                None => RegressionTree::fit_exact(x, &residual, rows, &feats, &self.options.tree),
+            };
             if tree.split_count() == 0 {
                 // This stage's feature sample had no signal. A few empty
                 // stages in a row means the residuals are exhausted.
@@ -164,6 +249,24 @@ impl GbrtRegressor {
                 obs.inc("train.gbrt.stages", 1);
             }
         }
+
+        self.compiled =
+            CompiledEnsemble::from_trees(self.base, self.options.learning_rate, &self.trees);
+
+        if let Some(obs) = obs {
+            let splits: u64 = self.trees.iter().map(|t| t.split_count() as u64).sum();
+            obs.inc("mlkit.gbrt.splits", splits);
+            obs.inc("mlkit.gbrt.hist.scanned", stats.hist_scanned);
+            obs.inc("mlkit.gbrt.hist.subtracted", stats.hist_subtracted);
+            obs.inc(
+                match self.options.kernel {
+                    GbrtKernel::Histogram => "mlkit.gbrt.fits.histogram",
+                    GbrtKernel::ReferenceExact => "mlkit.gbrt.fits.reference_exact",
+                },
+                1,
+            );
+            obs.observe("mlkit.gbrt.fit_ms", started.elapsed().as_secs_f64() * 1e3);
+        }
     }
 }
 
@@ -182,6 +285,12 @@ impl Regressor for GbrtRegressor {
         self.base
             + self.options.learning_rate
                 * self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>()
+    }
+
+    /// Batched prediction on the compiled node table — bit-identical to
+    /// mapping [`Self::predict_one`] over the rows, just cache-friendly.
+    fn predict_into(&self, x: &Matrix, out: &mut [f64]) {
+        self.compiled.predict_into(x, out);
     }
 }
 
@@ -220,6 +329,62 @@ mod tests {
     }
 
     #[test]
+    fn reference_exact_kernel_fits_nonlinear_target() {
+        let (x, y) = friedman_like(400);
+        let mut m = GbrtRegressor::new(GbrtOptions {
+            n_estimators: 100,
+            kernel: GbrtKernel::ReferenceExact,
+            ..Default::default()
+        });
+        m.fit(&x, &y);
+        let err = mae(&y, &m.predict(&x));
+        let spread =
+            y.iter().cloned().fold(f64::MIN, f64::max) - y.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(err < spread * 0.08, "mae {err} vs spread {spread}");
+    }
+
+    #[test]
+    fn kernels_agree_within_tolerance() {
+        let (x, y) = friedman_like(400);
+        let fit_with = |kernel| {
+            let mut m = GbrtRegressor::new(GbrtOptions {
+                n_estimators: 80,
+                kernel,
+                ..Default::default()
+            });
+            m.fit(&x, &y);
+            mae(&y, &m.predict(&x))
+        };
+        let hist = fit_with(GbrtKernel::Histogram);
+        let exact = fit_with(GbrtKernel::ReferenceExact);
+        assert!(
+            (hist - exact).abs() <= exact.max(0.05) * 0.35,
+            "hist {hist} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn batched_predict_matches_per_row_bitwise() {
+        let (x, y) = friedman_like(300);
+        for kernel in [GbrtKernel::Histogram, GbrtKernel::ReferenceExact] {
+            let mut m = GbrtRegressor::new(GbrtOptions {
+                n_estimators: 40,
+                kernel,
+                ..Default::default()
+            });
+            m.fit(&x, &y);
+            let batched = m.predict(&x);
+            for (i, row) in x.iter_rows().enumerate() {
+                assert_eq!(
+                    batched[i].to_bits(),
+                    m.predict_one(row).to_bits(),
+                    "{kernel:?} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn importance_finds_informative_features() {
         let (x, y) = friedman_like(500);
         let mut m = GbrtRegressor::default();
@@ -241,6 +406,25 @@ mod tests {
         let mut b = GbrtRegressor::default();
         b.fit(&x, &y);
         assert_eq!(a.predict_one(x.row(5)), b.predict_one(x.row(5)));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_model() {
+        let (x, y) = friedman_like(300);
+        let fit_with = |workers| {
+            let mut m = GbrtRegressor::new(GbrtOptions {
+                n_estimators: 30,
+                workers,
+                ..Default::default()
+            });
+            m.fit(&x, &y);
+            m.predict(&x)
+        };
+        let serial = fit_with(1);
+        let parallel = fit_with(8);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -280,6 +464,28 @@ mod tests {
         let h = &rec.metrics.histograms["train.gbrt.stage_loss"];
         assert_eq!(h.count(), observed.n_trees() as u64);
         assert!(h.sum.is_finite() && h.sum >= 0.0);
+    }
+
+    #[test]
+    fn observed_fit_records_kernel_work_counters() {
+        let (x, y) = friedman_like(200);
+        let obs = obskit::Collector::new();
+        let mut m = GbrtRegressor::new(GbrtOptions {
+            n_estimators: 20,
+            ..Default::default()
+        });
+        m.fit_observed(&x, &y, &obs);
+        let rec = obs.finish();
+        let scanned = rec.metrics.counters["mlkit.gbrt.hist.scanned"];
+        let subtracted = rec.metrics.counters["mlkit.gbrt.hist.subtracted"];
+        let splits = rec.metrics.counters["mlkit.gbrt.splits"];
+        assert!(splits > 0);
+        assert!(subtracted > 0, "subtraction trick engaged");
+        // One scan per split (smaller child) + one per stage (root); every
+        // sibling histogram is derived, never scanned.
+        assert!(scanned <= splits + m.n_trees() as u64 + 8);
+        assert_eq!(rec.metrics.counters["mlkit.gbrt.fits.histogram"], 1);
+        assert_eq!(rec.metrics.histograms["mlkit.gbrt.fit_ms"].count(), 1);
     }
 
     #[test]

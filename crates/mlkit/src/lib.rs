@@ -27,6 +27,8 @@
 //! ```
 
 pub mod ann;
+pub mod binning;
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod gbrt;
@@ -37,8 +39,11 @@ pub mod scaler;
 pub mod tree;
 
 pub use ann::{MlpOptions, MlpRegressor};
+pub use binning::BinnedMatrix;
+pub use compiled::CompiledEnsemble;
+pub use cv::CvError;
 pub use dataset::{Dataset, Matrix};
-pub use gbrt::{GbrtOptions, GbrtRegressor};
+pub use gbrt::{GbrtKernel, GbrtOptions, GbrtRegressor};
 pub use linear::{Lasso, LassoOptions};
 pub use model::Regressor;
 pub use scaler::StandardScaler;

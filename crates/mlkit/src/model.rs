@@ -14,9 +14,26 @@ pub trait Regressor {
     /// Predict the target of a single feature row.
     fn predict_one(&self, row: &[f64]) -> f64;
 
-    /// Predict every row of `x`.
+    /// Predict every row of `x` into a caller-provided buffer. The default
+    /// maps [`Self::predict_one`]; batched engines (the compiled GBRT node
+    /// table) override it.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != x.rows()`.
+    fn predict_into(&self, x: &Matrix, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output length mismatch");
+        for (o, row) in out.iter_mut().zip(x.iter_rows()) {
+            *o = self.predict_one(row);
+        }
+    }
+
+    /// Predict every row of `x` — one allocation, then
+    /// [`Self::predict_into`] (so overriding `predict_into` accelerates
+    /// every caller, including CV and grid search).
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        x.iter_rows().map(|r| self.predict_one(r)).collect()
+        let mut out = vec![0.0; x.rows()];
+        self.predict_into(x, &mut out);
+        out
     }
 }
 
@@ -40,5 +57,22 @@ mod tests {
         let mut m = Mean(0.0);
         m.fit(&x, &[2.0, 4.0]);
         assert_eq!(m.predict(&x), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn default_predict_into_fills_buffer() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let mut m = Mean(0.0);
+        m.fit(&x, &[1.0, 2.0, 3.0]);
+        let mut out = vec![f64::NAN; 3];
+        m.predict_into(&x, &mut out);
+        assert_eq!(out, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn default_predict_into_checks_length() {
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        Mean(0.0).predict_into(&x, &mut []);
     }
 }

@@ -1,13 +1,27 @@
-//! CART regression trees with histogram-based split search.
+//! CART regression trees: histogram training engine + exact-split reference.
 //!
-//! Features are quantized to at most 64 bins once per ensemble fit, making
-//! split search O(samples × features) per node — fast enough to boost
-//! hundreds of trees over the 302-feature congestion dataset.
+//! Two fit kernels produce the same tree *type* (raw-value thresholds, so
+//! prediction never needs the training-time representation):
+//!
+//! * [`RegressionTree::fit_hist`] — the production engine. Features are
+//!   quantized once per ensemble ([`BinnedMatrix`]), per-node split search
+//!   accumulates gradient/count histograms over bin codes, and each split
+//!   only *scans* the smaller child — the larger child's histogram is
+//!   derived with the parent-minus-sibling subtraction trick (LightGBM's
+//!   scheme). Histogram construction parallelizes across feature chunks via
+//!   `parkit`; every feature's accumulator sees its addends in sample
+//!   order regardless of chunking, so the result is **bit-identical for
+//!   any worker count**.
+//! * [`RegressionTree::fit_exact`] — the reference kernel
+//!   (`GbrtKernel::ReferenceExact`): sorts the node's samples per feature
+//!   and scans every boundary between distinct values. Slow, but the
+//!   accuracy gold standard the differential suite compares against.
 
+pub use crate::binning::BinnedMatrix;
 use crate::dataset::Matrix;
 
-/// Number of histogram bins per feature.
-pub const BINS: usize = 64;
+/// Default bin budget, re-exported for backward compatibility.
+pub const BINS: usize = crate::binning::DEFAULT_BINS;
 
 /// Tree growth parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,71 +41,34 @@ impl Default for TreeOptions {
     }
 }
 
-/// Pre-binned feature matrix shared by all trees of an ensemble.
-#[derive(Debug, Clone)]
-pub struct BinnedMatrix {
-    /// bins[row * cols + col] = bin index.
-    bins: Vec<u8>,
-    /// Per feature: the upper value of each bin (for threshold recovery).
-    pub thresholds: Vec<Vec<f64>>,
-    rows: usize,
-    cols: usize,
+/// Work accounting for one histogram-kernel fit (summed over an ensemble by
+/// [`crate::gbrt::GbrtRegressor`] into the `mlkit.gbrt.*` obskit counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeFitStats {
+    /// Node histograms built by scanning rows.
+    pub hist_scanned: u64,
+    /// Node histograms derived via parent-minus-sibling subtraction.
+    pub hist_subtracted: u64,
+    /// Nodes emitted (splits + leaves).
+    pub nodes: u64,
+    /// Split nodes emitted.
+    pub splits: u64,
 }
 
-impl BinnedMatrix {
-    /// Quantize a matrix into per-feature equal-frequency bins.
-    pub fn from_matrix(x: &Matrix) -> BinnedMatrix {
-        let rows = x.rows();
-        let cols = x.cols();
-        let mut bins = vec![0u8; rows * cols];
-        let mut thresholds = Vec::with_capacity(cols);
-        for j in 0..cols {
-            let mut vals = x.column(j);
-            vals.sort_by(f64::total_cmp);
-            vals.dedup();
-            // Candidate thresholds: quantiles of the distinct values.
-            let nb = BINS.min(vals.len());
-            let mut cuts = Vec::with_capacity(nb);
-            for b in 1..=nb {
-                let idx = (b * vals.len()) / nb;
-                cuts.push(vals[idx.min(vals.len() - 1)]);
-            }
-            cuts.dedup_by(|a, b| a == b);
-            for i in 0..rows {
-                let v = x.row(i)[j];
-                let bin = cuts
-                    .partition_point(|&c| c < v)
-                    .min(cuts.len().saturating_sub(1));
-                bins[i * cols + j] = bin as u8;
-            }
-            thresholds.push(cuts);
-        }
-        BinnedMatrix {
-            bins,
-            thresholds,
-            rows,
-            cols,
-        }
-    }
-
-    /// Number of rows.
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Number of feature columns.
-    pub fn cols(&self) -> usize {
-        self.cols
-    }
-
-    fn bin(&self, row: usize, col: usize) -> usize {
-        self.bins[row * self.cols + col] as usize
+impl TreeFitStats {
+    /// Accumulate another fit's counters.
+    pub fn absorb(&mut self, other: &TreeFitStats) {
+        self.hist_scanned += other.hist_scanned;
+        self.hist_subtracted += other.hist_subtracted;
+        self.nodes += other.nodes;
+        self.splits += other.splits;
     }
 }
 
-/// A fitted tree node.
+/// A fitted tree node. `pub(crate)` so [`crate::compiled`] can flatten
+/// ensembles into its SoA node table.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -106,22 +83,108 @@ enum Node {
     },
 }
 
-/// A CART regression tree.
-#[derive(Debug, Clone, Default)]
-pub struct RegressionTree {
-    nodes: Vec<Node>,
-}
-
 impl Default for Node {
     fn default() -> Self {
         Node::Leaf { value: 0.0 }
     }
 }
 
+/// A CART regression tree.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+/// Gains below this are noise, not structure; both kernels share the cutoff
+/// so their "no split" decisions agree on flat targets.
+const MIN_GAIN: f64 = 1e-12;
+
+/// Minimum `samples × features` product before histogram construction fans
+/// out to parallel workers; below it, thread spawn overhead dominates.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Per-node count/sum histograms over every candidate feature, flattened as
+/// `feature_slot * stride + bin`.
+struct Hist {
+    counts: Vec<u32>,
+    sums: Vec<f64>,
+}
+
+impl Hist {
+    /// Derive this histogram minus `other` in place: the subtraction trick
+    /// turning a parent histogram into the larger child's.
+    fn subtract(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a -= b;
+        }
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a -= b;
+        }
+    }
+}
+
+/// Shared, immutable context of one histogram-kernel fit.
+struct HistCtx<'a> {
+    binned: &'a BinnedMatrix,
+    y: &'a [f64],
+    features: &'a [usize],
+    /// Histogram stride: the widest bin count among `features`.
+    stride: usize,
+    opts: TreeOptions,
+    workers: usize,
+}
+
+impl HistCtx<'_> {
+    /// Build the count/sum histograms of one node by scanning its samples.
+    ///
+    /// Large nodes fan out over contiguous feature chunks on `workers`
+    /// parkit threads. Each feature's accumulator receives its addends in
+    /// sample order no matter how features are chunked, and chunk results
+    /// are concatenated in feature order (parkit's ordered map), so the
+    /// result is bit-identical for any worker count.
+    fn build_hist(&self, samples: &[usize]) -> Hist {
+        let nf = self.features.len();
+        if self.workers > 1 && samples.len().saturating_mul(nf) >= PAR_THRESHOLD && nf > 1 {
+            let chunk_len = nf.div_ceil(self.workers);
+            let chunks: Vec<&[usize]> = self.features.chunks(chunk_len).collect();
+            let parts = parkit::par_map_threads(self.workers, &chunks, |chunk| {
+                self.scan_chunk(chunk, samples)
+            });
+            let mut counts = Vec::with_capacity(nf * self.stride);
+            let mut sums = Vec::with_capacity(nf * self.stride);
+            for (c, s) in parts {
+                counts.extend_from_slice(&c);
+                sums.extend_from_slice(&s);
+            }
+            Hist { counts, sums }
+        } else {
+            let (counts, sums) = self.scan_chunk(self.features, samples);
+            Hist { counts, sums }
+        }
+    }
+
+    /// Histogram a contiguous chunk of candidate features (row-major scan,
+    /// cache-friendly on the bin-code matrix).
+    fn scan_chunk(&self, chunk: &[usize], samples: &[usize]) -> (Vec<u32>, Vec<f64>) {
+        let mut counts = vec![0u32; chunk.len() * self.stride];
+        let mut sums = vec![0.0f64; chunk.len() * self.stride];
+        for &i in samples {
+            let yi = self.y[i];
+            for (slot, &fj) in chunk.iter().enumerate() {
+                let b = slot * self.stride + self.binned.bin(i, fj);
+                counts[b] += 1;
+                sums[b] += yi;
+            }
+        }
+        (counts, sums)
+    }
+}
+
 impl RegressionTree {
-    /// Fit a tree on the given sample indices of a binned matrix against
-    /// targets `y` (full-length array indexed by sample id), restricted to
-    /// `features`.
+    /// Histogram-kernel fit on the given sample indices of a binned matrix
+    /// against targets `y` (full-length array indexed by sample id),
+    /// restricted to `features`. Serial; see [`Self::fit_hist`] for the
+    /// parallel engine with work accounting.
     pub fn fit(
         binned: &BinnedMatrix,
         y: &[f64],
@@ -129,15 +192,154 @@ impl RegressionTree {
         features: &[usize],
         opts: &TreeOptions,
     ) -> RegressionTree {
+        Self::fit_hist(binned, y, samples, features, opts, 1).0
+    }
+
+    /// Histogram-kernel fit with up to `workers` parkit threads building
+    /// node histograms. Bit-identical output for any `workers` value.
+    pub fn fit_hist(
+        binned: &BinnedMatrix,
+        y: &[f64],
+        samples: &[usize],
+        features: &[usize],
+        opts: &TreeOptions,
+        workers: usize,
+    ) -> (RegressionTree, TreeFitStats) {
+        let stride = features
+            .iter()
+            .map(|&fj| binned.n_bins(fj))
+            .max()
+            .unwrap_or(1);
+        let ctx = HistCtx {
+            binned,
+            y,
+            features,
+            stride,
+            opts: *opts,
+            workers: workers.max(1),
+        };
         let mut tree = RegressionTree { nodes: Vec::new() };
-        let root_samples: Vec<usize> = samples.to_vec();
-        tree.grow(binned, y, root_samples, features, opts, 0);
+        let mut stats = TreeFitStats::default();
+        let root_hist = ctx.build_hist(samples);
+        stats.hist_scanned += 1;
+        tree.grow_hist(&ctx, samples.to_vec(), root_hist, 0, &mut stats);
+        (tree, stats)
+    }
+
+    fn grow_hist(
+        &mut self,
+        ctx: &HistCtx<'_>,
+        samples: Vec<usize>,
+        hist: Hist,
+        depth: usize,
+        stats: &mut TreeFitStats,
+    ) -> usize {
+        let n = samples.len();
+        let sum: f64 = samples.iter().map(|&i| ctx.y[i]).sum();
+        let mean = sum / n.max(1) as f64;
+
+        let make_leaf = |nodes: &mut Vec<Node>, stats: &mut TreeFitStats| {
+            let id = nodes.len();
+            nodes.push(Node::Leaf { value: mean });
+            stats.nodes += 1;
+            id
+        };
+
+        if depth >= ctx.opts.max_depth || n < 2 * ctx.opts.min_samples_leaf {
+            return make_leaf(&mut self.nodes, stats);
+        }
+
+        // Best split over features × bins; ties resolve to the first
+        // candidate in (feature-slot, bin) order via strict `>`.
+        let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, gain)
+        for (slot, &fj) in ctx.features.iter().enumerate() {
+            let nb = ctx.binned.n_bins(fj);
+            if nb <= 1 {
+                continue;
+            }
+            let counts = &hist.counts[slot * ctx.stride..slot * ctx.stride + nb];
+            let sums = &hist.sums[slot * ctx.stride..slot * ctx.stride + nb];
+            let mut left_cnt = 0usize;
+            let mut left_sum = 0.0f64;
+            for b in 0..nb - 1 {
+                left_cnt += counts[b] as usize;
+                left_sum += sums[b];
+                let right_cnt = n - left_cnt;
+                if left_cnt < ctx.opts.min_samples_leaf || right_cnt < ctx.opts.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = sum - left_sum;
+                let score = left_sum * left_sum / left_cnt as f64
+                    + right_sum * right_sum / right_cnt as f64;
+                let gain = score - sum * sum / n as f64;
+                if gain > best.map(|(_, _, g)| g).unwrap_or(MIN_GAIN) {
+                    best = Some((fj, b, gain));
+                }
+            }
+        }
+
+        let Some((feature, bin, gain)) = best else {
+            return make_leaf(&mut self.nodes, stats);
+        };
+
+        let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
+            .iter()
+            .partition(|&&i| ctx.binned.bin(i, feature) <= bin);
+
+        // Subtraction trick: scan only the smaller child; the larger
+        // child's histogram is parent − sibling.
+        let left_is_small = left_samples.len() <= right_samples.len();
+        let small = if left_is_small {
+            &left_samples
+        } else {
+            &right_samples
+        };
+        let small_hist = ctx.build_hist(small);
+        stats.hist_scanned += 1;
+        let mut large_hist = hist;
+        large_hist.subtract(&small_hist);
+        stats.hist_subtracted += 1;
+        let (left_hist, right_hist) = if left_is_small {
+            (small_hist, large_hist)
+        } else {
+            (large_hist, small_hist)
+        };
+
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        stats.nodes += 1;
+        stats.splits += 1;
+        let left = self.grow_hist(ctx, left_samples, left_hist, depth + 1, stats);
+        let right = self.grow_hist(ctx, right_samples, right_hist, depth + 1, stats);
+        self.nodes[id] = Node::Split {
+            feature,
+            threshold: ctx.binned.thresholds[feature][bin],
+            left,
+            right,
+            gain,
+        };
+        id
+    }
+
+    /// Exact-split reference fit: per node, sort the samples by each
+    /// candidate feature and scan every boundary between distinct values.
+    /// O(samples · log samples · features) per node — the accuracy gold
+    /// standard (`GbrtKernel::ReferenceExact`), not the production path.
+    pub fn fit_exact(
+        x: &Matrix,
+        y: &[f64],
+        samples: &[usize],
+        features: &[usize],
+        opts: &TreeOptions,
+    ) -> RegressionTree {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow_exact(x, y, samples.to_vec(), features, opts, 0);
         tree
     }
 
-    fn grow(
+    fn grow_exact(
         &mut self,
-        binned: &BinnedMatrix,
+        x: &Matrix,
         y: &[f64],
         samples: Vec<usize>,
         features: &[usize],
@@ -158,29 +360,21 @@ impl RegressionTree {
             return make_leaf(&mut self.nodes);
         }
 
-        // Best split over features x bins.
-        let total_sq: f64 = samples.iter().map(|&i| y[i] * y[i]).sum();
-        let parent_score = total_sq - sum * sum / n as f64;
-        let mut best: Option<(usize, usize, f64)> = None; // (feature, bin, gain)
-        let mut hist_cnt = [0usize; BINS];
-        let mut hist_sum = [0.0f64; BINS];
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
         for &fj in features {
-            let nb = binned.thresholds[fj].len();
-            if nb <= 1 {
-                continue;
-            }
-            hist_cnt[..nb].fill(0);
-            hist_sum[..nb].fill(0.0);
-            for &i in &samples {
-                let b = binned.bin(i, fj);
-                hist_cnt[b] += 1;
-                hist_sum[b] += y[i];
-            }
-            let mut left_cnt = 0usize;
+            pairs.clear();
+            pairs.extend(samples.iter().map(|&i| (x.row(i)[fj], y[i])));
+            // Stable sort: ties keep sample order, so prefix sums are
+            // deterministic.
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut left_sum = 0.0f64;
-            for b in 0..nb - 1 {
-                left_cnt += hist_cnt[b];
-                left_sum += hist_sum[b];
+            for (i, &(v, yi)) in pairs.iter().take(n - 1).enumerate() {
+                left_sum += yi;
+                if v == pairs[i + 1].0 {
+                    continue; // not a boundary between distinct values
+                }
+                let left_cnt = i + 1;
                 let right_cnt = n - left_cnt;
                 if left_cnt < opts.min_samples_leaf || right_cnt < opts.min_samples_leaf {
                     continue;
@@ -189,28 +383,27 @@ impl RegressionTree {
                 let score = left_sum * left_sum / left_cnt as f64
                     + right_sum * right_sum / right_cnt as f64;
                 let gain = score - sum * sum / n as f64;
-                if gain > best.map(|(_, _, g)| g).unwrap_or(1e-12) {
-                    best = Some((fj, b, gain));
+                if gain > best.map(|(_, _, g)| g).unwrap_or(MIN_GAIN) {
+                    best = Some((fj, v, gain));
                 }
             }
         }
-        let _ = parent_score;
 
-        let Some((feature, bin, gain)) = best else {
+        let Some((feature, threshold, gain)) = best else {
             return make_leaf(&mut self.nodes);
         };
 
         let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
             .iter()
-            .partition(|&&i| binned.bin(i, feature) <= bin);
+            .partition(|&&i| x.row(i)[feature] <= threshold);
 
         let id = self.nodes.len();
         self.nodes.push(Node::Leaf { value: mean }); // placeholder
-        let left = self.grow(binned, y, left_samples, features, opts, depth + 1);
-        let right = self.grow(binned, y, right_samples, features, opts, depth + 1);
+        let left = self.grow_exact(x, y, left_samples, features, opts, depth + 1);
+        let right = self.grow_exact(x, y, right_samples, features, opts, depth + 1);
         self.nodes[id] = Node::Split {
             feature,
-            threshold: binned.thresholds[feature][bin],
+            threshold,
             left,
             right,
             gain,
@@ -257,6 +450,11 @@ impl RegressionTree {
             .filter(|n| matches!(n, Node::Split { .. }))
             .count()
     }
+
+    /// The node table, for ensemble compilation.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
 }
 
 #[cfg(test)]
@@ -276,20 +474,6 @@ mod tests {
     }
 
     #[test]
-    fn binning_tolerates_nan_features() {
-        // A NaN feature value (e.g. a 0/0 ratio upstream) must not panic the
-        // sort; total_cmp orders NaN after all numbers.
-        let x = Matrix::from_rows(&[
-            vec![1.0, f64::NAN],
-            vec![2.0, 0.5],
-            vec![3.0, f64::NAN],
-            vec![4.0, 0.25],
-        ]);
-        let b = BinnedMatrix::from_matrix(&x);
-        assert_eq!(b.thresholds.len(), 2);
-    }
-
-    #[test]
     fn learns_step_function() {
         let (x, y) = step_data();
         let binned = BinnedMatrix::from_matrix(&x);
@@ -299,6 +483,30 @@ mod tests {
         assert!(t.split_count() >= 1);
         assert!((t.predict_one(&[0.2, 0.0]) - 0.0).abs() < 1.0);
         assert!((t.predict_one(&[0.9, 0.0]) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn exact_kernel_learns_step_function() {
+        let (x, y) = step_data();
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let t = RegressionTree::fit_exact(&x, &y, &samples, &[0, 1], &TreeOptions::default());
+        assert!(t.split_count() >= 1);
+        assert!((t.predict_one(&[0.2, 0.0]) - 0.0).abs() < 1.0);
+        assert!((t.predict_one(&[0.9, 0.0]) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hist_and_exact_agree_on_clean_step() {
+        // With one distinct value per bin the kernels see the same split
+        // candidates, so the fitted trees predict identically.
+        let (x, y) = step_data();
+        let binned = BinnedMatrix::from_matrix(&x);
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let h = RegressionTree::fit(&binned, &y, &samples, &[0, 1], &TreeOptions::default());
+        let e = RegressionTree::fit_exact(&x, &y, &samples, &[0, 1], &TreeOptions::default());
+        for row in x.iter_rows() {
+            assert_eq!(h.predict_one(row).to_bits(), e.predict_one(row).to_bits());
+        }
     }
 
     #[test]
@@ -353,9 +561,54 @@ mod tests {
     }
 
     #[test]
-    fn binning_handles_constant_columns() {
-        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]);
-        let b = BinnedMatrix::from_matrix(&x);
-        assert_eq!(b.thresholds[0].len(), 1);
+    fn worker_count_does_not_change_the_tree() {
+        // Large enough that the parallel path engages (given >1 workers).
+        let n = 600;
+        let nf = 60;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..nf)
+                    .map(|j| (((i * 31 + j * 17) % 251) as f64) * 0.37)
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| rows[i][0] * 2.0 - rows[i][1] + (rows[i][2] * 0.1).sin())
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let binned = BinnedMatrix::from_matrix(&x);
+        let samples: Vec<usize> = (0..n).collect();
+        let features: Vec<usize> = (0..nf).collect();
+        let opts = TreeOptions {
+            max_depth: 5,
+            min_samples_leaf: 3,
+        };
+        let (serial, s1) = RegressionTree::fit_hist(&binned, &y, &samples, &features, &opts, 1);
+        let (parallel, s8) = RegressionTree::fit_hist(&binned, &y, &samples, &features, &opts, 8);
+        assert_eq!(s1, s8, "identical work accounting");
+        for row in x.iter_rows() {
+            assert_eq!(
+                serial.predict_one(row).to_bits(),
+                parallel.predict_one(row).to_bits(),
+                "1 vs 8 workers must agree to the bit"
+            );
+        }
+    }
+
+    #[test]
+    fn subtraction_trick_scans_fewer_histograms_than_nodes() {
+        let (x, y) = step_data();
+        let binned = BinnedMatrix::from_matrix(&x);
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let opts = TreeOptions {
+            max_depth: 4,
+            min_samples_leaf: 2,
+        };
+        let (t, stats) = RegressionTree::fit_hist(&binned, &y, &samples, &[0, 1], &opts, 1);
+        assert_eq!(stats.splits, t.split_count() as u64);
+        // One scanned histogram per split (the smaller child) plus the
+        // root; every sibling comes from subtraction.
+        assert_eq!(stats.hist_scanned, stats.splits + 1);
+        assert_eq!(stats.hist_subtracted, stats.splits);
     }
 }

@@ -70,6 +70,104 @@ proptest! {
     }
 
     #[test]
+    fn bin_edges_are_monotone_and_cover_the_range(
+        rows in prop::collection::vec(prop::collection::vec(-1e4f64..1e4, 3), 2..120),
+        budget in 2usize..300,
+    ) {
+        let x = Matrix::from_rows(&rows);
+        let b = mlkit::BinnedMatrix::with_bins(&x, budget);
+        for j in 0..x.cols() {
+            let edges = &b.thresholds[j];
+            prop_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges strictly increase");
+            let col = x.column(j);
+            let max = col.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert_eq!(*edges.last().unwrap(), max, "last edge is the column max");
+            prop_assert!(edges.len() <= budget.clamp(2, 256));
+            for i in 0..x.rows() {
+                let v = x.row(i)[j];
+                let code = b.bin(i, j);
+                prop_assert!(code < edges.len());
+                // Order agreement: bin(v) <= c  <=>  v <= edges[c].
+                for (c, &e) in edges.iter().enumerate() {
+                    prop_assert_eq!(code <= c, v <= e, "v={} edge={}", v, e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_splits_always_reduce_sse(
+        data in prop::collection::vec((-100f64..100.0, -50f64..50.0, -50f64..50.0), 12..100)
+    ) {
+        let rows: Vec<Vec<f64>> = data.iter().map(|&(a, b, _)| vec![a, b]).collect();
+        let y: Vec<f64> = data.iter().map(|&(_, _, t)| t).collect();
+        let x = Matrix::from_rows(&rows);
+        let binned = BinnedMatrix::from_matrix(&x);
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let tree = RegressionTree::fit(&binned, &y, &samples, &[0, 1], &TreeOptions::default());
+        // Every accepted split carries a strictly positive SSE gain...
+        let mut min_gain = f64::INFINITY;
+        tree.for_each_split(|_, g| min_gain = min_gain.min(g));
+        if tree.split_count() > 0 {
+            prop_assert!(min_gain > 0.0, "split with non-positive gain {min_gain}");
+        }
+        // ...so the fitted tree never scores worse than the constant mean.
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sse_mean: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+        let sse_tree: f64 = x.iter_rows().zip(&y)
+            .map(|(r, t)| { let p = tree.predict_one(r); (t - p) * (t - p) })
+            .sum();
+        prop_assert!(sse_tree <= sse_mean + 1e-6 * sse_mean.max(1.0),
+            "tree SSE {sse_tree} vs mean SSE {sse_mean}");
+    }
+
+    #[test]
+    fn training_is_invariant_to_row_permutation(
+        data in prop::collection::vec((-40i32..40, -40i32..40, -20i32..20), 10..80),
+        rot in 1usize..7,
+    ) {
+        // Integer-valued data keeps every histogram sum exact, so reordering
+        // the f64 accumulation cannot perturb a split decision and the two
+        // fits must agree to the last bit.
+        let rows: Vec<Vec<f64>> = data.iter().map(|&(a, b, _)| vec![a as f64, b as f64]).collect();
+        let y: Vec<f64> = data.iter().map(|&(_, _, t)| t as f64).collect();
+        let n = rows.len();
+        let rot = rot % n;
+        let perm: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        let rows_p: Vec<Vec<f64>> = perm.iter().map(|&i| rows[i].clone()).collect();
+        let y_p: Vec<f64> = perm.iter().map(|&i| y[i]).collect();
+        let fit = |rows: &[Vec<f64>], y: &[f64]| {
+            let x = Matrix::from_rows(rows);
+            let binned = BinnedMatrix::from_matrix(&x);
+            let samples: Vec<usize> = (0..x.rows()).collect();
+            RegressionTree::fit(&binned, y, &samples, &[0, 1], &TreeOptions::default())
+        };
+        let a = fit(&rows, &y);
+        let b = fit(&rows_p, &y_p);
+        for row in rows.iter() {
+            prop_assert_eq!(a.predict_one(row).to_bits(), b.predict_one(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_training(
+        data in prop::collection::vec((-100f64..100.0, -50f64..50.0, -50f64..50.0), 10..80)
+    ) {
+        let rows: Vec<Vec<f64>> = data.iter().map(|&(a, b, _)| vec![a, b]).collect();
+        let y: Vec<f64> = data.iter().map(|&(_, _, t)| t).collect();
+        let x = Matrix::from_rows(&rows);
+        let binned = BinnedMatrix::from_matrix(&x);
+        let samples: Vec<usize> = (0..x.rows()).collect();
+        let opts = TreeOptions::default();
+        let (serial, s1) = RegressionTree::fit_hist(&binned, &y, &samples, &[0, 1], &opts, 1);
+        let (parallel, s8) = RegressionTree::fit_hist(&binned, &y, &samples, &[0, 1], &opts, 8);
+        prop_assert_eq!(s1, s8, "identical work counters");
+        for row in x.iter_rows() {
+            prop_assert_eq!(serial.predict_one(row).to_bits(), parallel.predict_one(row).to_bits());
+        }
+    }
+
+    #[test]
     fn tree_predictions_stay_within_target_range(
         data in prop::collection::vec((-100f64..100.0, -50f64..50.0), 10..80)
     ) {

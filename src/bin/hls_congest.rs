@@ -14,7 +14,9 @@
 //!     --checkpoint-dir <dir>      persist per-design verdicts incrementally
 //!     --resume                    replay verdicts committed by a prior run
 //! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
+//!                       [--gbrt-kernel histogram|exact] [--gbrt-bins N]
 //! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
+//!                       [--gbrt-kernel histogram|exact] [--gbrt-bins N]
 //! hls-congest --version                             crate version + git hash
 //! ```
 //!
@@ -298,6 +300,22 @@ fn parse_target(s: Option<&str>) -> Result<Target, Box<dyn std::error::Error>> {
     })
 }
 
+/// [`TrainOptions`] with the GBRT kernel flags (`--gbrt-kernel`,
+/// `--gbrt-bins`) applied.
+fn parse_train_options(args: &[String]) -> Result<TrainOptions, Box<dyn std::error::Error>> {
+    let mut opts = TrainOptions::default();
+    if let Some(s) = flag(args, "--gbrt-kernel") {
+        opts.gbrt_kernel = fpga_hls_congestion::mlkit::GbrtKernel::parse(s)
+            .ok_or_else(|| format!("unknown --gbrt-kernel `{s}` (histogram|exact)"))?;
+    }
+    if let Some(s) = flag(args, "--gbrt-bins") {
+        opts.gbrt_bins = s
+            .parse()
+            .map_err(|_| format!("--gbrt-bins takes a bin count, got `{s}`"))?;
+    }
+    Ok(opts)
+}
+
 fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let files = positional(args);
     let path = files.first().ok_or_else(usage)?;
@@ -312,8 +330,13 @@ fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     let (train, test) = filtered.kept.split(0.2, 42);
     let obs = Collector::new();
-    let model =
-        CongestionPredictor::train_observed(kind, target, &train, &TrainOptions::default(), &obs);
+    let model = CongestionPredictor::train_observed(
+        kind,
+        target,
+        &train,
+        &parse_train_options(args)?,
+        &obs,
+    );
     let acc = model.evaluate(&test);
     println!(
         "{} on {}: MAE {:.2}%, MedAE {:.2}% (held-out 20%)",
@@ -337,7 +360,7 @@ fn predict_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         ModelKind::Gbrt,
         Target::Average,
         &filtered.kept,
-        &TrainOptions::default(),
+        &parse_train_options(args)?,
         &obs,
     );
     let flow = CongestionFlow::new();
