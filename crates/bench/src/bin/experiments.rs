@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--fast] [--grid-search] [--gbrt-kernel <histogram|exact>] [--gbrt-bins <n>]
-//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|router-bench|train-bench|all>
+//!             [--place-kernel <delta|reference>]
+//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|place-bench|router-bench|train-bench|all>
 //! experiments --version
 //! ```
 //!
@@ -27,6 +28,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--checkpoint-dir",
     "--gbrt-kernel",
     "--gbrt-bins",
+    "--place-kernel",
 ];
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -81,6 +83,13 @@ fn main() {
     let gbrt_bins = flag(&args, "--gbrt-bins").map(|s| {
         s.parse::<usize>().unwrap_or_else(|_| {
             eprintln!("bad --gbrt-bins `{s}` (expected a bin count)");
+            std::process::exit(2);
+        })
+    });
+    // Placement kernel override, applied to the dataset experiment's flow.
+    let place_kernel = flag(&args, "--place-kernel").map(|s| {
+        fpga_fabric::PlaceKernel::parse(s).unwrap_or_else(|| {
+            eprintln!("bad --place-kernel `{s}` (expected delta|reference)");
             std::process::exit(2);
         })
     });
@@ -159,12 +168,12 @@ fn main() {
                     emit(&format!("fig6_{}_vertical", s.label), &s.vertical_art);
                     emit(&format!("fig6_{}_horizontal", s.label), &s.horizontal_art);
                     summary.push_str(&format!(
-                        "{}: {} tiles over 100%\n",
-                        s.label, s.congested_tiles
+                        "{}: peak {:.0}%, {} tiles over 100%\n",
+                        s.label, s.max_congestion, s.congested_tiles
                     ));
                 }
                 emit("fig6_summary", &summary);
-                println!("congested area shrinks: {}", f.area_shrinks());
+                println!("peak congestion recedes: {}", f.peak_recedes());
             }
             "dataset" => {
                 // Parallel supervised dataset build over the training suite,
@@ -173,6 +182,9 @@ fn main() {
                 // (--fault-plan/--max-retries/--stage-timeout-ms/
                 // --checkpoint-dir/--resume) mirror `hls-congest dataset`.
                 let mut flow = effort.flow();
+                if let Some(k) = place_kernel {
+                    flow.par.placer.kernel = k;
+                }
                 if let Some(path) = flag(&args, "--fault-plan") {
                     match fs::read_to_string(path)
                         .map_err(|e| e.to_string())
@@ -231,6 +243,24 @@ fn main() {
                 .mae;
                 text.push_str(&format!("  1-hop-only features: MAE {mae_no2:.2}\n"));
                 emit("ablation", &text);
+            }
+            "place-bench" => {
+                // Placement-kernel head-to-head; `--fast` restricts the corpus
+                // to the small designs (used by the CI smoke run). Full effort
+                // also writes the BENCH_place.json baseline at the repo root.
+                let rows = place_bench::run(effort);
+                emit("place_bench", &place_bench::render(&rows));
+                let json = place_bench::to_json(&rows);
+                write_file("place_bench.json", &json);
+                if effort == Effort::Full {
+                    if let Err(e) = fs::write("BENCH_place.json", &json) {
+                        eprintln!("warning: could not write BENCH_place.json: {e}");
+                    }
+                }
+                obs.absorb(obskit::ObsRecord {
+                    events: Vec::new(),
+                    metrics: place_bench::to_metrics(&rows),
+                });
             }
             "router-bench" => {
                 // Routing-kernel head-to-head; `--fast` restricts the corpus to

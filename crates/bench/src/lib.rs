@@ -15,6 +15,7 @@
 //! | [`fig5`] | Fig 5 — spatial distribution of vertical congestion |
 //! | [`fig6`] | Fig 6 — congestion maps of the case-study steps |
 //! | [`ablation`] | design-choice ablations called out in DESIGN.md |
+//! | [`place_bench`] | placement-kernel comparison recorded in BENCH_place.json |
 //! | [`router_bench`] | routing-kernel comparison recorded in BENCH_route.json |
 //! | [`train_bench`] | GBRT training-kernel comparison recorded in BENCH_train.json |
 
@@ -24,6 +25,7 @@ pub mod fig1;
 pub mod fig5;
 pub mod fig6;
 pub mod metrics;
+pub mod place_bench;
 pub mod router_bench;
 pub mod table1;
 pub mod table3;

@@ -23,6 +23,7 @@ use crate::persist::{
 };
 use faultkit::{FaultPlan, StageFailure, StageLog, Supervisor, SupervisorPolicy};
 use fpga_fabric::par::{run_par, run_par_obs, ParOptions};
+use fpga_fabric::place::PlaceStats;
 use fpga_fabric::route::RouteStats;
 use fpga_fabric::{Device, ImplResult};
 use hls_ir::Module;
@@ -350,6 +351,7 @@ impl CongestionFlow {
             }
         };
         let route_stats = impl_result.route.stats;
+        let place_stats = impl_result.placement.stats;
 
         // Stage 3: back-trace + feature extraction. The dataset is rebuilt
         // per attempt, so a failed attempt can't leak partial samples.
@@ -402,6 +404,7 @@ impl CongestionFlow {
             outcome: Ok(ds.len()),
             timings: StageTimings::from_record(&rec),
             route_stats,
+            place_stats,
             supervision,
             from_checkpoint: false,
             checkpoint_error,
@@ -437,6 +440,7 @@ impl CongestionFlow {
             outcome: Err(failure),
             timings: StageTimings::from_record(&rec),
             route_stats: RouteStats::default(),
+            place_stats: PlaceStats::default(),
             supervision,
             from_checkpoint: false,
             checkpoint_error,
@@ -500,6 +504,7 @@ impl CongestionFlow {
             outcome,
             timings: StageTimings::from_record(&rec),
             route_stats: RouteStats::default(),
+            place_stats: PlaceStats::default(),
             supervision: Vec::new(),
             from_checkpoint: true,
             checkpoint_error: None,
@@ -742,6 +747,9 @@ pub struct DesignReport {
     /// Router search-effort counters for this design (zero when the design
     /// failed before routing).
     pub route_stats: RouteStats,
+    /// Placer annealing-effort counters for this design (zero when the
+    /// design failed before placement).
+    pub place_stats: PlaceStats,
     /// Supervision log of every stage attempted: attempts, backoff
     /// schedule, injected-fault counts. Deterministic across worker counts
     /// (`StageLog: PartialEq`); empty for checkpoint-resumed designs.
@@ -815,6 +823,15 @@ impl DatasetBuildReport {
         s
     }
 
+    /// Placer annealing-effort counters summed over all designs.
+    pub fn place_stats_totals(&self) -> PlaceStats {
+        let mut s = PlaceStats::default();
+        for d in &self.designs {
+            s.accumulate(&d.place_stats);
+        }
+        s
+    }
+
     /// Number of designs whose verdicts were replayed from a checkpoint.
     pub fn resumed(&self) -> usize {
         self.designs.iter().filter(|d| d.from_checkpoint).count()
@@ -880,6 +897,7 @@ impl DatasetBuildReport {
             out.push_str(&format!("  failure taxonomy: {}\n", buckets.join(", ")));
         }
         out.push_str(&format!("  stage totals: {}\n", self.stage_totals()));
+        out.push_str(&format!("  placer: {}\n", self.place_stats_totals()));
         out.push_str(&format!("  router: {}\n", self.route_stats_totals()));
         out.push_str(&format!(
             "  {:<24} {:>8} {:>10}  stages\n",

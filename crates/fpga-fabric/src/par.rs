@@ -33,6 +33,12 @@ impl ParOptions {
         self.placer.seed = seed;
         self
     }
+
+    /// Set the placement kernel.
+    pub fn with_place_kernel(mut self, kernel: crate::place::PlaceKernel) -> Self {
+        self.placer.kernel = kernel;
+        self
+    }
 }
 
 /// The result of implementing a synthesized design on a device.
@@ -118,8 +124,9 @@ pub fn run_par_timed(
 }
 
 /// [`run_par_timed`] recording into an [`obskit::Collector`]: one span per
-/// stage (`place`/`route`/`congestion`/`timing`) plus the router's registry
-/// metrics (see [`record_route_metrics`]).
+/// stage (`place`/`route`/`congestion`/`timing`) plus the placer's and
+/// router's registry metrics (see [`record_place_metrics`] and
+/// [`record_route_metrics`]).
 pub fn run_par_obs(
     design: &SynthesizedDesign,
     device: &Device,
@@ -143,6 +150,21 @@ pub fn record_route_metrics(obs: &obskit::Collector, route: &crate::route::Route
     obs.inc("route.conns", route.conns.len() as u64);
     for &tiles in &route.pass_overflow {
         obs.observe("route.pass_overflow", tiles as f64);
+    }
+}
+
+/// Record a finished placement's deterministic registry metrics: the
+/// [`PlaceStats`](crate::place::PlaceStats) counters under `place.*` and
+/// the sampled annealing cost-descent curve as the `place.cost_trajectory`
+/// histogram.
+pub fn record_place_metrics(obs: &obskit::Collector, placement: &Placement) {
+    let s = &placement.stats;
+    obs.inc("place.proposed_moves", s.proposed);
+    obs.inc("place.accepted_moves", s.accepted);
+    obs.inc("place.bbox_recomputes", s.bbox_recomputes);
+    obs.inc("place.cells", placement.pos.len() as u64);
+    for &cost in &placement.cost_trajectory {
+        obs.observe("place.cost_trajectory", cost);
     }
 }
 
@@ -170,6 +192,7 @@ fn run_par_inner(
         place(&design.rtl, device, &opts.placer)
     };
     timings.place = start.elapsed();
+    record_place_metrics(obs, &placement);
 
     let start = Instant::now();
     let route = {

@@ -3,6 +3,7 @@
 use fpga_fabric::congestion::CongestionMap;
 use fpga_fabric::device::Device;
 use fpga_fabric::par::{run_par, ParOptions};
+use fpga_fabric::place::{place, recompute_cost, PlaceKernel, PlacerOptions};
 use hls_ir::frontend::compile_named;
 use hls_synth::{HlsFlow, HlsOptions};
 use proptest::prelude::*;
@@ -70,6 +71,47 @@ proptest! {
             prop_assert!((conn.net as usize) < design.rtl.nets.len());
             prop_assert!(conn.overflow >= 0.0);
         }
+    }
+
+    #[test]
+    fn placer_invariants_hold_for_random_kernels(src in kernel(), seed in 0u64..8,
+                                                 delta_kernel in any::<bool>()) {
+        let m = compile_named(&src, "prop").expect("kernel compiles");
+        let design = HlsFlow::new(HlsOptions::default()).run(&m).expect("synthesizes");
+        let device = Device::xc7z020();
+        let mut opts = PlacerOptions::fast().with_kernel(if delta_kernel {
+            PlaceKernel::DeltaAnneal
+        } else {
+            PlaceKernel::ReferenceAnneal
+        });
+        opts.seed = seed;
+        let p = place(&design.rtl, &device, &opts);
+
+        // The incrementally-maintained cost is the true cost: it matches a
+        // from-scratch recompute to 1e-6 relative, for every random move
+        // sequence either kernel executes.
+        let full = recompute_cost(&design.rtl, &device, &opts, &p);
+        prop_assert!(
+            (p.cost - full).abs() <= 1e-6 * full.abs().max(1.0),
+            "incremental {} vs recomputed {}", p.cost, full
+        );
+
+        // Every footprint lies entirely on the device: spans are clamped
+        // and move windows never push a cell past the bottom edge.
+        for i in 0..p.pos.len() {
+            prop_assert!(p.span[i] >= 1 && p.span[i] <= device.height);
+            let tiles: Vec<_> = p.footprint(i).collect();
+            prop_assert_eq!(tiles.len() as u32, p.span[i], "footprint clipped at edge");
+            for (x, y) in tiles {
+                prop_assert!(x < device.width && y < device.height);
+            }
+        }
+
+        // Same seed, same kernel: bit-identical placement.
+        let again = place(&design.rtl, &device, &opts);
+        prop_assert_eq!(&p.pos, &again.pos);
+        prop_assert_eq!(p.position_checksum(), again.position_checksum());
+        prop_assert_eq!(p.stats, again.stats);
     }
 
     #[test]

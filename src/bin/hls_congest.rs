@@ -4,7 +4,9 @@
 //! hls-congest compile   <file.mhls>                 print the IR after directives
 //! hls-congest synth     <file.mhls>                 HLS report (latency, resources, clock)
 //! hls-congest implement <file.mhls> [--router-stats] full flow: congestion map + timing
+//!                       [--place-kernel delta|reference]
 //! hls-congest dataset   <file.mhls>... -o data.csv [--workers N] [--router-stats]
+//!                       [--place-kernel delta|reference]
 //!                                                   build + save a labelled dataset
 //!                                                   (parallel, fault-tolerant, timed)
 //!   robustness flags:
@@ -148,6 +150,18 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
+/// The `--place-kernel` flag, when present.
+fn parse_place_kernel(
+    args: &[String],
+) -> Result<Option<fpga_fabric::PlaceKernel>, Box<dyn std::error::Error>> {
+    match flag(args, "--place-kernel") {
+        Some(s) => fpga_fabric::PlaceKernel::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --place-kernel `{s}` (delta|reference)").into()),
+        None => Ok(None),
+    }
+}
+
 fn compile_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let files = positional(args);
     let path = files.first().ok_or_else(usage)?;
@@ -187,7 +201,10 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let files = positional(args);
     let path = files.first().ok_or_else(usage)?;
     let (module, _) = load_module(path)?;
-    let flow = CongestionFlow::new();
+    let mut flow = CongestionFlow::new();
+    if let Some(k) = parse_place_kernel(args)? {
+        flow.par.placer.kernel = k;
+    }
     let obs = Collector::new();
     let (design, result) = flow.implement_observed(&module, &obs)?;
     println!(
@@ -207,6 +224,11 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         fpga_fabric::UtilizationReport::new(&design.rtl, &flow.device)
     );
     if bool_flag(args, "--router-stats") {
+        println!(
+            "placer ({}): {}",
+            flow.par.placer.kernel.name(),
+            result.placement.stats
+        );
         println!("router: {}", result.route.stats);
         println!(
             "routing utilization:\n{}",
@@ -229,6 +251,9 @@ fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Err(usage());
     }
     let mut flow = CongestionFlow::new();
+    if let Some(k) = parse_place_kernel(args)? {
+        flow.par.placer.kernel = k;
+    }
     if let Some(w) = flag(args, "--workers") {
         flow = flow.with_workers(w.parse()?);
     }

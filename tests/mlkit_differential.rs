@@ -161,11 +161,13 @@ fn golden_table4_gbrt_mae_band() {
         effort: 0.5,
         ..TrainOptions::fast()
     };
-    // Recorded at landing: Vertical 31.56, Horizontal 31.32 (fast-flow
-    // labels; deterministic for this seed). Band = roughly ±20%.
+    // Recorded at the delta-placer rewrite: Vertical 27.64, Horizontal
+    // 9.51 (fast-flow labels; deterministic for this seed — the better
+    // default placement routes with far less horizontal overflow, so the
+    // horizontal labels got much easier). Band = roughly ±20%.
     let bands = [
-        (Target::Vertical, 25.0, 38.0),
-        (Target::Horizontal, 25.0, 38.0),
+        (Target::Vertical, 22.0, 33.0),
+        (Target::Horizontal, 7.5, 11.5),
     ];
     for (target, lo, hi) in bands {
         let p = CongestionPredictor::train(ModelKind::Gbrt, target, &train, &opts);

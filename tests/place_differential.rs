@@ -1,0 +1,163 @@
+//! Differential tests for the placement-kernel rewrite.
+//!
+//! The delta-cost kernel maintains the annealing cost incrementally
+//! (cached net bounding boxes, exact overlap-aware density deltas); these
+//! tests prove the maintained value is the *true* cost — it matches a
+//! from-scratch recompute to 1e-6 relative — for both kernels, that the
+//! default placement is pinned by a golden checksum, and that the delta
+//! kernel never leaves more routed overflow than the reference annealer
+//! it replaced.
+
+use fpga_fabric::par::{run_par, ParOptions};
+use fpga_fabric::place::{place, recompute_cost, PlaceKernel, PlacerOptions};
+use fpga_fabric::Device;
+use hls_ir::frontend::compile_named;
+use hls_ir::module::Module;
+use hls_synth::{HlsFlow, HlsOptions, SynthesizedDesign};
+
+/// (name, module, golden default-kernel placement checksum).
+fn corpus() -> Vec<(&'static str, Module, u64)> {
+    let src = |s: &str, n: &str| compile_named(s, n).unwrap();
+    vec![
+        (
+            "mac16",
+            src(
+                "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+                "mac16",
+            ),
+            GOLDEN_MAC16,
+        ),
+        (
+            "unroll64",
+            src(
+                "int32 f(int32 a[64], int32 k) {\n#pragma HLS array_partition variable=a complete\nint32 s = 0;\n#pragma HLS unroll\nfor (i = 0; i < 64; i++) { s = s + a[i] * k; } return s; }",
+                "unroll64",
+            ),
+            GOLDEN_UNROLL64,
+        ),
+        (
+            "wide256",
+            src(
+                "int32 f(int32 a[256], int32 k) {\n#pragma HLS array_partition variable=a cyclic factor=16\nint32 s = 0;\n#pragma HLS unroll factor=16\nfor (i = 0; i < 256; i++) { s = s + a[i] * k; } return s; }",
+                "wide256",
+            ),
+            GOLDEN_WIDE256,
+        ),
+    ]
+}
+
+/// Golden `Placement::position_checksum()` values for the default kernel
+/// under `ParOptions::fast()` placer options. Recorded at the delta-kernel
+/// rewrite; every congestion label downstream depends on placement, so a
+/// drift here means datasets change.
+const GOLDEN_MAC16: u64 = 0x0484_1af7_df51_e4c6;
+const GOLDEN_UNROLL64: u64 = 0xa3e5_cb65_8b49_e5ef;
+const GOLDEN_WIDE256: u64 = 0x38fb_aa5d_46a8_ca3c;
+
+fn synth(module: &Module) -> SynthesizedDesign {
+    HlsFlow::new(HlsOptions::default()).run(module).unwrap()
+}
+
+#[test]
+fn incremental_cost_matches_full_recompute_for_both_kernels() {
+    let device = Device::xc7z020();
+    for (name, module, _) in corpus() {
+        let design = synth(&module);
+        for kernel in [PlaceKernel::DeltaAnneal, PlaceKernel::ReferenceAnneal] {
+            for seed in [1u64, 7, 23] {
+                let mut opts = PlacerOptions::fast().with_kernel(kernel);
+                opts.seed = seed;
+                let p = place(&design.rtl, &device, &opts);
+                let full = recompute_cost(&design.rtl, &device, &opts, &p);
+                assert!(
+                    (p.cost - full).abs() <= 1e-6 * full.abs().max(1.0),
+                    "{name} {kernel:?} seed {seed}: incremental cost {} drifted from recompute {}",
+                    p.cost,
+                    full
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_kernel_matches_recorded_golden_placement_checksums() {
+    let device = Device::xc7z020();
+    for (name, module, golden) in corpus() {
+        let design = synth(&module);
+        let p = place(&design.rtl, &device, &PlacerOptions::fast());
+        assert_eq!(
+            p.position_checksum(),
+            golden,
+            "{name}: default-kernel placement changed (got {:#018x}) — congestion labels would drift",
+            p.position_checksum()
+        );
+    }
+}
+
+#[test]
+fn delta_kernel_never_leaves_more_routed_overflow_than_reference() {
+    // The no-more-overflow guarantee is stated for the full annealing
+    // budget (the conditions `BENCH_place.json` records); at reduced
+    // budgets both kernels sit on the route-or-not margin and single-tile
+    // noise dominates.
+    let device = Device::xc7z020();
+    for (name, module, _) in corpus() {
+        let design = synth(&module);
+        let run = |kernel: PlaceKernel| {
+            let mut opts = ParOptions::default();
+            opts.placer.kernel = kernel;
+            run_par(&design, &device, &opts)
+                .congestion
+                .tiles_over(100.0)
+        };
+        let delta = run(PlaceKernel::DeltaAnneal);
+        let reference = run(PlaceKernel::ReferenceAnneal);
+        assert!(
+            delta <= reference,
+            "{name}: delta placement routed to {delta} overflowed tiles, reference to {reference}"
+        );
+    }
+}
+
+#[test]
+fn both_kernels_are_deterministic_per_seed() {
+    let device = Device::xc7z020();
+    let (_, module, _) = corpus().remove(1);
+    let design = synth(&module);
+    for kernel in [PlaceKernel::DeltaAnneal, PlaceKernel::ReferenceAnneal] {
+        let opts = PlacerOptions::fast().with_kernel(kernel);
+        let a = place(&design.rtl, &device, &opts);
+        let b = place(&design.rtl, &device, &opts);
+        assert_eq!(a.pos, b.pos, "{kernel:?}");
+        assert_eq!(a.cost, b.cost, "{kernel:?}");
+        assert_eq!(a.stats, b.stats, "{kernel:?}");
+    }
+}
+
+#[test]
+fn delta_kernel_spends_less_annealing_effort() {
+    // The point of the rewrite: the delta kernel refines an analytic start
+    // with a short cold schedule instead of melting a column snake, so its
+    // proposal count must be well below the reference budget.
+    let device = Device::xc7z020();
+    let (_, module, _) = corpus().remove(1);
+    let design = synth(&module);
+    let p = |kernel| {
+        place(
+            &design.rtl,
+            &device,
+            &PlacerOptions::fast().with_kernel(kernel),
+        )
+    };
+    let delta = p(PlaceKernel::DeltaAnneal);
+    let reference = p(PlaceKernel::ReferenceAnneal);
+    assert!(
+        delta.stats.proposed * 2 < reference.stats.proposed,
+        "delta proposed {} vs reference {}",
+        delta.stats.proposed,
+        reference.stats.proposed
+    );
+    assert!(delta.stats.bbox_recomputes > 0);
+    assert_eq!(reference.stats.bbox_recomputes, 0);
+}

@@ -1,9 +1,10 @@
 //! Golden tests for the routing kernel rewrite.
 //!
-//! The default (non-maze) router must stay **bit-identical** to the
-//! pre-rewrite router: the checksums below were recorded from the old
-//! plain-Dijkstra implementation and must never drift, because every
-//! congestion label in every dataset depends on them.
+//! The default (non-maze) router must stay **bit-identical** run to run:
+//! the checksums below pin the plain-Dijkstra route of the default
+//! (delta-kernel) placement, because every congestion label in every
+//! dataset depends on them. They were re-recorded at the delta-placer
+//! rewrite (better placements route differently).
 //!
 //! The maze path (A* + windows + negotiated congestion) is allowed to pick
 //! different wires, but must never leave *more* overflowed tiles than the
@@ -27,7 +28,7 @@ fn corpus() -> Vec<(&'static str, Module, u64, usize, usize)> {
                 "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
                 "mac16",
             ),
-            0xd8ee_564f_831c_0264,
+            0x9eaf_3dec_5fbf_a324,
             0,
             0,
         ),
@@ -37,9 +38,9 @@ fn corpus() -> Vec<(&'static str, Module, u64, usize, usize)> {
                 "int32 f(int32 a[64], int32 k) {\n#pragma HLS array_partition variable=a complete\nint32 s = 0;\n#pragma HLS unroll\nfor (i = 0; i < 64; i++) { s = s + a[i] * k; } return s; }",
                 "unroll64",
             ),
-            0x0778_c02c_91c8_d073,
-            313,
-            27,
+            0xf0bf_2ac1_e949_d125,
+            187,
+            21,
         ),
         (
             "wide256",
@@ -47,8 +48,8 @@ fn corpus() -> Vec<(&'static str, Module, u64, usize, usize)> {
                 "int32 f(int32 a[256], int32 k) {\n#pragma HLS array_partition variable=a cyclic factor=16\nint32 s = 0;\n#pragma HLS unroll factor=16\nfor (i = 0; i < 256; i++) { s = s + a[i] * k; } return s; }",
                 "wide256",
             ),
-            0x53a4_caa4_ac8f_f6ac,
-            0,
+            0x41a8_40f3_412b_3e56,
+            1,
             0,
         ),
     ]
@@ -90,8 +91,9 @@ fn maze_router_never_leaves_more_overflow_than_old_kernel() {
 fn maze_router_improves_on_old_kernel_for_face_detection() {
     // fd_opt is the only in-tree design congested enough that the two maze
     // kernels converge differently; the windowed A* with improve-based
-    // acceptance must do no worse than the old full-grid Dijkstra (4569
-    // overflowed tiles recorded pre-rewrite; default router leaves 4121).
+    // acceptance must do no worse than the old full-grid Dijkstra (2213
+    // overflowed tiles recorded at the delta-placer rewrite; the default
+    // router leaves 2269).
     let module = benchmark(FdVariant::Optimized).build().unwrap();
     let design = HlsFlow::new(HlsOptions::default()).run(&module).unwrap();
     let device = Device::xc7z020();
@@ -99,11 +101,11 @@ fn maze_router_improves_on_old_kernel_for_face_detection() {
         run_par(&design, &device, &ParOptions::fast())
             .route
             .usage_checksum(),
-        0x4ac5_d59a_d7e9_5ec8,
+        0x3d88_d140_345c_4c52,
         "fd_opt: default-mode routing changed"
     );
     let mut opts = ParOptions::fast();
     opts.router = RouterOptions::with_maze(2);
     let r = run_par(&design, &device, &opts);
-    assert!(r.congestion.tiles_over(100.0) <= 4569);
+    assert!(r.congestion.tiles_over(100.0) <= 2213);
 }
