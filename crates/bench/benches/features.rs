@@ -1,0 +1,72 @@
+//! Feature-extraction kernel benchmarks: the SoA `extract_into` path
+//! against the reference per-node allocation path, plus the whole
+//! dataset-add stage under each kernel and the serial vs pipelined
+//! executor. Run with `cargo bench --bench features`.
+
+use congestion_core::features::ExtractKernel;
+use congestion_core::pipeline::CongestionFlow;
+use congestion_core::CongestionDataset;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hls_ir::frontend::compile_named;
+
+fn congested_module() -> hls_ir::Module {
+    compile_named(
+        "int32 f(int32 a[64], int32 b[64]) {\n\
+         #pragma HLS array_partition variable=a complete\n\
+         #pragma HLS array_partition variable=b complete\n\
+         int32 s; int32 i; s = 0;\n\
+         #pragma HLS unroll\n\
+         for (i = 0; i < 64; i++) { s = s + a[i] * b[i]; }\n\
+         return s; }",
+        "mac64",
+    )
+    .unwrap()
+}
+
+fn bench_extract_kernels(c: &mut Criterion) {
+    let flow = CongestionFlow::fast();
+    let (design, impl_result) = flow.implement(&congested_module()).unwrap();
+    let mut g = c.benchmark_group("extract_kernels");
+    g.sample_size(10);
+    for kernel in [ExtractKernel::Soa, ExtractKernel::Reference] {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut ds = CongestionDataset::new();
+                ds.add_design_with(&design, &impl_result, &flow.device, kernel)
+                    .unwrap();
+                black_box(ds.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dataset_executors(c: &mut Criterion) {
+    let modules: Vec<hls_ir::Module> = (0..3)
+        .map(|i| {
+            compile_named(
+                "int32 f(int32 a[32], int32 k) { int32 s = 0;\n\
+                 #pragma HLS unroll factor=8\n\
+                 for (i = 0; i < 32; i++) { s = s + a[i] * k; } return s; }",
+                &format!("ex{i}"),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut g = c.benchmark_group("dataset_executors");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        let flow = CongestionFlow::fast().with_workers(1);
+        b.iter(|| black_box(flow.build_dataset(&modules).unwrap().len()))
+    });
+    g.bench_function("pipelined_depth2", |b| {
+        let flow = CongestionFlow::fast()
+            .with_workers(1)
+            .with_pipeline_depth(2);
+        b.iter(|| black_box(flow.build_dataset(&modules).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extract_kernels, bench_dataset_executors);
+criterion_main!(benches);

@@ -29,9 +29,11 @@ impl KnockoutResult {
 /// Zero out one feature category in a dataset copy.
 pub fn knock_out(data: &CongestionDataset, cat: FeatureCategory) -> CongestionDataset {
     let mut out = data.clone();
-    for s in &mut out.samples {
+    let x = out.features_mut();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
         for i in cat.range() {
-            s.features[i] = 0.0;
+            row[i] = 0.0;
         }
     }
     out
@@ -65,26 +67,28 @@ pub fn category_knockout(data: &CongestionDataset, effort: Effort) -> Vec<Knocko
 /// categories.
 pub fn without_two_hop(data: &CongestionDataset) -> CongestionDataset {
     let mut out = data.clone();
-    for s in &mut out.samples {
+    let x = out.features_mut();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
         // Interconnection: second 9 of 18.
         let ic = FeatureCategory::Interconnection.range();
-        for i in ic.start + 9..ic.end {
-            s.features[i] = 0.0;
+        for v in &mut row[ic.start + 9..ic.end] {
+            *v = 0.0;
         }
         // Resource: per type (25), the last 11 are 2-hop.
         let rr = FeatureCategory::Resource.range();
         for t in 0..4 {
             let base = rr.start + t * 25;
-            for i in base + 14..base + 25 {
-                s.features[i] = 0.0;
+            for v in &mut row[base + 14..base + 25] {
+                *v = 0.0;
             }
         }
         // #Resource/dTcs: per type (18), the last 9 are 2-hop.
         let rd = FeatureCategory::ResourcePerDtcs.range();
         for t in 0..4 {
             let base = rd.start + t * 18;
-            for i in base + 9..base + 18 {
-                s.features[i] = 0.0;
+            for v in &mut row[base + 9..base + 18] {
+                *v = 0.0;
             }
         }
     }
@@ -103,16 +107,18 @@ mod tests {
         for i in 0..200usize {
             let mut features = vec![1.0; FEATURE_COUNT];
             features[0] = (i % 9) as f64;
-            ds.samples.push(Sample {
-                design: "t".into(),
-                func: FuncId(0),
-                op: OpId(i as u32),
-                line: 1,
-                replica: None,
-                features,
-                vertical: 10.0 * (i % 9) as f64,
-                horizontal: 5.0,
-            });
+            ds.push(
+                Sample {
+                    design: "t".into(),
+                    func: FuncId(0),
+                    op: OpId(i as u32),
+                    line: 1,
+                    replica: None,
+                    vertical: 10.0 * (i % 9) as f64,
+                    horizontal: 5.0,
+                },
+                &features,
+            );
         }
         ds
     }
@@ -121,9 +127,9 @@ mod tests {
     fn knockout_zeroes_category() {
         let ds = toy();
         let ko = knock_out(&ds, FeatureCategory::Bitwidth);
-        assert!(ko.samples.iter().all(|s| s.features[0] == 0.0));
+        assert!(ko.features().iter_rows().all(|r| r[0] == 0.0));
         // Other categories untouched.
-        assert!(ko.samples.iter().all(|s| s.features[1] == 1.0));
+        assert!(ko.features().iter_rows().all(|r| r[1] == 1.0));
     }
 
     #[test]
@@ -141,12 +147,12 @@ mod tests {
     fn two_hop_ablation_zeroes_expected_slices() {
         let ds = toy();
         let ab = without_two_hop(&ds);
-        let s = &ab.samples[0];
+        let row = ab.features_of(0);
         let ic = FeatureCategory::Interconnection.range();
-        assert_eq!(s.features[ic.start + 8], 1.0, "1-hop kept");
-        assert_eq!(s.features[ic.start + 9], 0.0, "2-hop zeroed");
+        assert_eq!(row[ic.start + 8], 1.0, "1-hop kept");
+        assert_eq!(row[ic.start + 9], 0.0, "2-hop zeroed");
         let rr = FeatureCategory::Resource.range();
-        assert_eq!(s.features[rr.start + 13], 1.0);
-        assert_eq!(s.features[rr.start + 14], 0.0);
+        assert_eq!(row[rr.start + 13], 1.0);
+        assert_eq!(row[rr.start + 14], 0.0);
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! experiments [--fast] [--grid-search] [--gbrt-kernel <histogram|exact>] [--gbrt-bins <n>]
-//!             [--place-kernel <delta|reference>]
-//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|place-bench|router-bench|train-bench|all>
+//!             [--place-kernel <delta|reference>] [--extract-kernel <soa|reference>]
+//!             [--pipeline-depth <n>]
+//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|place-bench|router-bench|train-bench|pipeline-bench|all>
 //! experiments --version
 //! ```
 //!
@@ -29,6 +30,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--gbrt-kernel",
     "--gbrt-bins",
     "--place-kernel",
+    "--extract-kernel",
+    "--pipeline-depth",
 ];
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -90,6 +93,20 @@ fn main() {
     let place_kernel = flag(&args, "--place-kernel").map(|s| {
         fpga_fabric::PlaceKernel::parse(s).unwrap_or_else(|| {
             eprintln!("bad --place-kernel `{s}` (expected delta|reference)");
+            std::process::exit(2);
+        })
+    });
+    // Feature-extraction kernel and pipelined-executor depth, applied to
+    // the dataset experiment's flow.
+    let extract_kernel = flag(&args, "--extract-kernel").map(|s| {
+        congestion_core::features::ExtractKernel::parse(s).unwrap_or_else(|| {
+            eprintln!("bad --extract-kernel `{s}` (expected soa|reference)");
+            std::process::exit(2);
+        })
+    });
+    let pipeline_depth = flag(&args, "--pipeline-depth").map(|s| {
+        s.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("bad --pipeline-depth `{s}` (expected an in-flight design count)");
             std::process::exit(2);
         })
     });
@@ -185,6 +202,12 @@ fn main() {
                 if let Some(k) = place_kernel {
                     flow.par.placer.kernel = k;
                 }
+                if let Some(k) = extract_kernel {
+                    flow = flow.with_extract_kernel(k);
+                }
+                if let Some(d) = pipeline_depth {
+                    flow = flow.with_pipeline_depth(d);
+                }
                 if let Some(path) = flag(&args, "--fault-plan") {
                     match fs::read_to_string(path)
                         .map_err(|e| e.to_string())
@@ -278,6 +301,25 @@ fn main() {
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: router_bench::to_metrics(&rows),
+                });
+            }
+            "pipeline-bench" => {
+                // Dataset-build stack head-to-head (SoA extraction kernel and
+                // the pipelined executor vs the reference stack); `--fast`
+                // shrinks the corpus (the CI smoke run). Full effort also
+                // writes the BENCH_pipeline.json baseline at the repo root.
+                let bench = pipeline_bench::run(effort);
+                emit("pipeline_bench", &pipeline_bench::render(&bench));
+                let json = pipeline_bench::to_json(&bench);
+                write_file("pipeline_bench.json", &json);
+                if effort == Effort::Full {
+                    if let Err(e) = fs::write("BENCH_pipeline.json", &json) {
+                        eprintln!("warning: could not write BENCH_pipeline.json: {e}");
+                    }
+                }
+                obs.absorb(obskit::ObsRecord {
+                    events: Vec::new(),
+                    metrics: pipeline_bench::to_metrics(&bench),
                 });
             }
             "train-bench" => {

@@ -16,6 +16,7 @@
 //! | [`fig6`] | Fig 6 — congestion maps of the case-study steps |
 //! | [`ablation`] | design-choice ablations called out in DESIGN.md |
 //! | [`place_bench`] | placement-kernel comparison recorded in BENCH_place.json |
+//! | [`pipeline_bench`] | dataset-build stack comparison recorded in BENCH_pipeline.json |
 //! | [`router_bench`] | routing-kernel comparison recorded in BENCH_route.json |
 //! | [`train_bench`] | GBRT training-kernel comparison recorded in BENCH_train.json |
 
@@ -25,6 +26,7 @@ pub mod fig1;
 pub mod fig5;
 pub mod fig6;
 pub mod metrics;
+pub mod pipeline_bench;
 pub mod place_bench;
 pub mod router_bench;
 pub mod table1;

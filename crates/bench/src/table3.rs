@@ -100,7 +100,7 @@ pub fn run(effort: Effort) -> (Table3, CongestionDataset) {
     let mut designs = Vec::new();
     let mut ds = CongestionDataset::new();
     for (metrics, part) in per_design {
-        ds.samples.extend(part.samples);
+        ds.extend(&part);
         designs.push(metrics);
     }
     let wns = Summary::of(&designs.iter().map(|d| d.wns_ns).collect::<Vec<_>>());
@@ -138,6 +138,9 @@ mod tests {
         let (t, ds) = run(Effort::Fast);
         assert_eq!(t.designs.len(), 3);
         assert!(ds.len() > 500);
+        // The per-design merge must carry the feature matrix along with
+        // the samples (they live in separate SoA containers).
+        assert_eq!(ds.features().rows(), ds.len());
         assert!(t.vertical.max >= t.vertical.avg);
     }
 }

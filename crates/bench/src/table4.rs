@@ -164,20 +164,22 @@ mod tests {
             // A step term keeps the target far from linear — trees must win.
             let label = 40.0 + 4.0 * a + 0.3 * b * b + if b > 8.0 { 35.0 } else { 0.0 };
             let marginal = i % 29 == 0;
-            ds.samples.push(Sample {
-                design: "synthetic".into(),
-                func: FuncId(0),
-                op: OpId(i as u32),
-                line: 1,
-                replica: Some(ReplicaTag {
-                    group: (i / 8) as u32,
-                    index: (i % 8) as u32,
-                    total: 8,
-                }),
-                features,
-                vertical: if marginal { 4.0 } else { label },
-                horizontal: if marginal { 3.0 } else { label * 0.8 },
-            });
+            ds.push(
+                Sample {
+                    design: "synthetic".into(),
+                    func: FuncId(0),
+                    op: OpId(i as u32),
+                    line: 1,
+                    replica: Some(ReplicaTag {
+                        group: (i / 8) as u32,
+                        index: (i % 8) as u32,
+                        total: 8,
+                    }),
+                    vertical: if marginal { 4.0 } else { label },
+                    horizontal: if marginal { 3.0 } else { label * 0.8 },
+                },
+                &features,
+            );
         }
         ds
     }

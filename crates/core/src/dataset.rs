@@ -1,15 +1,22 @@
 //! Dataset assembly: one sample per dependency-graph node that materialized
 //! into hardware, with its 302 features and (V, H) congestion labels.
+//!
+//! Features live in one flat row-major [`Matrix`] owned by the dataset
+//! (structure-of-arrays), not in per-sample `Vec`s: row `i` of the matrix
+//! belongs to `samples[i]`. The SoA extract kernel writes each row in
+//! place, and [`CongestionDataset::to_ml`] hands the whole block to mlkit
+//! without copying a single row.
 
 use crate::backtrace::{backtrace_labels, BacktraceError, OpLabel};
-use crate::features::{ExtractCtx, FEATURE_COUNT};
+use crate::features::{ExtractCtx, ExtractKernel, FEATURE_COUNT};
 use crate::graph::DepGraph;
 use fpga_fabric::{Device, ImplResult};
 use hls_ir::{FuncId, OpId, ReplicaTag};
 use hls_synth::SynthesizedDesign;
-use mlkit::dataset::Dataset;
+use mlkit::dataset::{Dataset, Matrix};
 
-/// One labelled sample.
+/// One labelled sample's metadata. Its 302 features are row `i` of the
+/// owning [`CongestionDataset`]'s feature matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Design name.
@@ -22,8 +29,6 @@ pub struct Sample {
     pub line: u32,
     /// Unroll provenance (for the marginal filter).
     pub replica: Option<ReplicaTag>,
-    /// The 302 features.
-    pub features: Vec<f64>,
     /// Vertical congestion label (%).
     pub vertical: f64,
     /// Horizontal congestion label (%).
@@ -72,16 +77,27 @@ impl Target {
 }
 
 /// The congestion dataset (paper §IV: 8111 samples over the suite).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CongestionDataset {
-    /// All samples.
+    /// Per-sample metadata; `samples[i]` owns feature row `i`.
     pub samples: Vec<Sample>,
+    /// Flat row-major feature block, `FEATURE_COUNT` columns.
+    features: Matrix,
+}
+
+impl Default for CongestionDataset {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CongestionDataset {
     /// An empty dataset.
     pub fn new() -> Self {
-        Self::default()
+        CongestionDataset {
+            samples: Vec::new(),
+            features: Matrix::with_cols(FEATURE_COUNT),
+        }
     }
 
     /// Number of samples.
@@ -94,8 +110,51 @@ impl CongestionDataset {
         self.samples.is_empty()
     }
 
-    /// Add every hardware-backed graph node of `design` as a sample,
-    /// returning how many samples were appended.
+    /// Append one sample with an explicit feature row.
+    ///
+    /// # Panics
+    /// Panics if `features.len() != FEATURE_COUNT`.
+    pub fn push(&mut self, sample: Sample, features: &[f64]) {
+        self.features.push_row(features);
+        self.samples.push(sample);
+    }
+
+    /// Append one sample and return its zero-filled feature row for
+    /// in-place extraction (the SoA fast path).
+    pub fn alloc_row(&mut self, sample: Sample) -> &mut [f64] {
+        self.samples.push(sample);
+        self.features.alloc_row()
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn features_of(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// The whole feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Mutable feature matrix (feature-knockout ablations edit columns in
+    /// place).
+    pub fn features_mut(&mut self) -> &mut Matrix {
+        &mut self.features
+    }
+
+    /// Append every sample of `other`, preserving order. The feature block
+    /// moves as one flat copy — this is how per-design datasets merge back
+    /// into the build's dataset without touching individual rows.
+    pub fn extend(&mut self, other: &CongestionDataset) {
+        self.samples.extend_from_slice(&other.samples);
+        self.features.extend(&other.features);
+    }
+
+    /// Add every hardware-backed graph node of `design` as a sample using
+    /// the default (SoA) extract kernel.
     ///
     /// # Errors
     /// Fails with a [`BacktraceError`] when op→cell provenance is broken
@@ -106,6 +165,22 @@ impl CongestionDataset {
         design: &SynthesizedDesign,
         impl_result: &ImplResult,
         device: &Device,
+    ) -> Result<usize, BacktraceError> {
+        self.add_design_with(design, impl_result, device, ExtractKernel::default())
+    }
+
+    /// [`CongestionDataset::add_design`] with an explicit extract kernel.
+    /// Both kernels produce bitwise-identical rows; `Reference` is the
+    /// original per-node allocation path kept for differential testing.
+    ///
+    /// # Errors
+    /// Same contract as [`CongestionDataset::add_design`].
+    pub fn add_design_with(
+        &mut self,
+        design: &SynthesizedDesign,
+        impl_result: &ImplResult,
+        device: &Device,
+        kernel: ExtractKernel,
     ) -> Result<usize, BacktraceError> {
         let labels = backtrace_labels(design, impl_result)?;
         faultkit::inject("features").map_err(|f| BacktraceError::Injected(f.to_string()))?;
@@ -133,28 +208,31 @@ impl CongestionDataset {
                     ..
                 } = label;
                 let op_ref = f.op(op);
-                self.samples.push(Sample {
+                let sample = Sample {
                     design: design.module.name.clone(),
                     func: fid,
                     op,
                     line: op_ref.loc.map(|l| l.line).unwrap_or(0),
                     replica: op_ref.replica,
-                    features: ctx.extract(ni),
                     vertical,
                     horizontal,
-                });
+                };
+                match kernel {
+                    ExtractKernel::Soa => ctx.extract_into(ni, self.alloc_row(sample)),
+                    ExtractKernel::Reference => self.push(sample, &ctx.extract(ni)),
+                }
             }
         }
         Ok(self.samples.len() - before)
     }
 
-    /// Convert to an [`mlkit`] dataset for a given target metric.
+    /// Convert to an [`mlkit`] dataset for a given target metric. The
+    /// feature block is cloned as one flat buffer — no per-row copies.
     pub fn to_ml(&self, target: Target) -> Dataset {
-        let mut d = Dataset::with_cols(FEATURE_COUNT);
-        for s in &self.samples {
-            d.push(&s.features, target.of(s));
+        Dataset {
+            x: self.features.clone(),
+            y: self.samples.iter().map(|s| target.of(s)).collect(),
         }
-        d
     }
 
     /// Deterministic train/test split at the sample level.
@@ -182,6 +260,7 @@ impl CongestionDataset {
         let (test, train) = idx.split_at(n_test.min(self.len()));
         let pick = |ids: &[usize]| CongestionDataset {
             samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+            features: self.features.select(ids),
         };
         (pick(train), pick(test))
     }
@@ -214,11 +293,29 @@ mod tests {
     fn samples_have_302_features() {
         let ds = build_dataset(&[SRC]);
         assert!(!ds.is_empty());
-        for s in &ds.samples {
-            assert_eq!(s.features.len(), FEATURE_COUNT);
-            assert!(s.features.iter().all(|v| v.is_finite()));
+        assert_eq!(ds.features().rows(), ds.len());
+        assert_eq!(ds.features().cols(), FEATURE_COUNT);
+        for (i, s) in ds.samples.iter().enumerate() {
+            assert_eq!(ds.features_of(i).len(), FEATURE_COUNT);
+            assert!(ds.features_of(i).iter().all(|v| v.is_finite()));
             assert!(s.vertical >= 0.0 && s.horizontal >= 0.0);
         }
+    }
+
+    #[test]
+    fn both_kernels_build_identical_datasets() {
+        let device = Device::xc7z020();
+        let m = hls_ir::frontend::compile_named(SRC, "d0").unwrap();
+        let d = HlsFlow::new(HlsOptions::default()).run(&m).unwrap();
+        let r = run_par(&d, &device, &ParOptions::fast());
+        let mut soa = CongestionDataset::new();
+        let mut reference = CongestionDataset::new();
+        soa.add_design_with(&d, &r, &device, ExtractKernel::Soa)
+            .unwrap();
+        reference
+            .add_design_with(&d, &r, &device, ExtractKernel::Reference)
+            .unwrap();
+        assert_eq!(soa, reference);
     }
 
     #[test]
@@ -235,8 +332,10 @@ mod tests {
         let h = ds.to_ml(Target::Horizontal);
         let a = ds.to_ml(Target::Average);
         assert_eq!(v.len(), ds.len());
+        assert_eq!(v.x.rows(), ds.len());
         for i in 0..ds.len() {
             assert!((a.y[i] - (v.y[i] + h.y[i]) / 2.0).abs() < 1e-9);
+            assert_eq!(v.x.row(i), ds.features_of(i), "to_ml must not reorder rows");
         }
         let _ = compile(SRC).unwrap();
     }
@@ -247,24 +346,28 @@ mod tests {
         let (train, test) = ds.split(0.2, 42);
         assert_eq!(train.len() + test.len(), ds.len());
         assert!(!test.is_empty());
+        assert_eq!(train.features().rows(), train.len());
+        assert_eq!(test.features().rows(), test.len());
     }
 
     /// A dataset of `n` synthetic samples — `split` only looks at indices.
     fn synthetic(n: usize) -> CongestionDataset {
-        CongestionDataset {
-            samples: (0..n)
-                .map(|i| Sample {
+        let mut ds = CongestionDataset::new();
+        for i in 0..n {
+            ds.push(
+                Sample {
                     design: format!("s{i}"),
                     func: FuncId(0),
                     op: OpId(i as u32),
                     line: 0,
                     replica: None,
-                    features: vec![0.0],
                     vertical: 0.0,
                     horizontal: 0.0,
-                })
-                .collect(),
+                },
+                &vec![0.0; FEATURE_COUNT],
+            );
         }
+        ds
     }
 
     #[test]

@@ -9,8 +9,15 @@ use hls_synth::Resources;
 pub const COUNT: usize = 26;
 
 pub(super) fn extract(ctx: &ExtractCtx<'_>, _node: usize, out: &mut Vec<f64>) {
-    let top = &ctx.report.functions[&ctx.report.top];
-    let fop = &ctx.report.functions[&ctx.func_id];
+    compute(ctx.report, ctx.func_id, out);
+}
+
+/// The 26 global values for one function. Node-independent: the SoA kernel
+/// calls this once per function ([`ExtractCtx::new`] caches the row) and
+/// copies it into every sample.
+pub(super) fn compute(report: &hls_synth::HlsReport, func_id: hls_ir::FuncId, out: &mut Vec<f64>) {
+    let top = &report.functions[&report.top];
+    let fop = &report.functions[&func_id];
 
     // Ftop resources (4).
     for t in 0..Resources::KINDS {
@@ -29,12 +36,12 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, _node: usize, out: &mut Vec<f64>) {
         });
     }
     // Clocks: target / estimated / uncertainty for Ftop and Fop (6).
-    out.push(ctx.report.clock_target_ns);
+    out.push(report.clock_target_ns);
     out.push(top.estimated_clock_ns);
-    out.push(ctx.report.clock_uncertainty_ns);
-    out.push(ctx.report.clock_target_ns);
+    out.push(report.clock_uncertainty_ns);
+    out.push(report.clock_target_ns);
     out.push(fop.estimated_clock_ns);
-    out.push(ctx.report.clock_uncertainty_ns);
+    out.push(report.clock_uncertainty_ns);
     // Memory stats of Fop (4).
     out.push(fop.memory.words as f64);
     out.push(fop.memory.banks as f64);

@@ -35,8 +35,8 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
     // 2-hop: fan metrics accumulate over the 1-hop neighbors' own edges.
     let fan_in2 = fan_in + g.preds(node).map(|p| g.fan_in(p) as f64).sum::<f64>();
     let fan_out2 = fan_out + g.succs(node).map(|s| g.fan_out(s) as f64).sum::<f64>();
-    let n_pred2 = ctx.preds2[node].len() as f64;
-    let n_succ2 = ctx.succs2[node].len() as f64;
+    let n_pred2 = ctx.preds2.row(node).len() as f64;
+    let n_succ2 = ctx.succs2.row(node).len() as f64;
     let max_wire2 = {
         let mut m = max_wire;
         for &p in g
@@ -62,6 +62,57 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
         ratio(max_wire2, fan_in2),
         ratio(max_wire2, fan_out2),
     ]);
+}
+
+/// SoA kernel: same 18 values written into a column slice, with the
+/// pointless per-node `collect` of the `max_wire2` scan replaced by a
+/// direct walk over the adjacency lists. Summation order matches
+/// [`extract`] exactly so both kernels are bitwise-identical.
+pub(super) fn extract_into(ctx: &ExtractCtx<'_>, node: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), COUNT);
+    let g = ctx.graph;
+
+    // 1-hop.
+    let fan_in = g.fan_in(node) as f64;
+    let fan_out = g.fan_out(node) as f64;
+    let n_pred = g.inc[node].len() as f64;
+    let n_succ = g.out[node].len() as f64;
+    let max_wire = g.inc[node]
+        .iter()
+        .chain(g.out[node].iter())
+        .map(|&(_, w)| w)
+        .max()
+        .unwrap_or(0) as f64;
+    out[0] = fan_in;
+    out[1] = fan_out;
+    out[2] = fan_in + fan_out;
+    out[3] = n_pred;
+    out[4] = n_succ;
+    out[5] = n_pred + n_succ;
+    out[6] = max_wire;
+    out[7] = ratio(max_wire, fan_in);
+    out[8] = ratio(max_wire, fan_out);
+
+    // 2-hop.
+    let fan_in2 = fan_in + g.preds(node).map(|p| g.fan_in(p) as f64).sum::<f64>();
+    let fan_out2 = fan_out + g.succs(node).map(|s| g.fan_out(s) as f64).sum::<f64>();
+    let n_pred2 = ctx.preds2.row(node).len() as f64;
+    let n_succ2 = ctx.succs2.row(node).len() as f64;
+    let mut max_wire2 = max_wire;
+    for p in g.preds(node).chain(g.succs(node)) {
+        for &(_, w) in g.inc[p].iter().chain(g.out[p].iter()) {
+            max_wire2 = max_wire2.max(w as f64);
+        }
+    }
+    out[9] = fan_in2;
+    out[10] = fan_out2;
+    out[11] = fan_in2 + fan_out2;
+    out[12] = n_pred2;
+    out[13] = n_succ2;
+    out[14] = n_pred2 + n_succ2;
+    out[15] = max_wire2;
+    out[16] = ratio(max_wire2, fan_in2);
+    out[17] = ratio(max_wire2, fan_out2);
 }
 
 pub(super) fn push_names(names: &mut Vec<String>) {

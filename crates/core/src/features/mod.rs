@@ -18,13 +18,51 @@ mod optype;
 mod resource;
 mod resource_dtcs;
 
-use crate::graph::DepGraph;
+use crate::graph::{Csr, DepGraph};
 use fpga_fabric::Device;
 use hls_ir::Function;
 use hls_synth::{CharLib, HlsReport, Resources, Schedule, SynthesizedDesign};
 
 /// Total number of features (the paper's 302).
 pub const FEATURE_COUNT: usize = 302;
+
+/// Which feature-extraction kernel fills the rows.
+///
+/// Both kernels produce bitwise-identical feature vectors (pinned by the
+/// differential suite in `tests/extract_differential.rs`); they differ only
+/// in how the work is laid out. The same new-kernel/reference-kernel idiom
+/// as the router (`MazeKernel`), GBRT (`GbrtKernel`), and placer
+/// (`PlaceKernel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExtractKernel {
+    /// Batched structure-of-arrays path: `extract_into` writes straight
+    /// into a row of the dataset's flat feature matrix, reading 2-hop
+    /// neighborhoods from CSR slices — zero allocations per node.
+    #[default]
+    Soa,
+    /// The original per-node path allocating one `Vec<f64>` per sample,
+    /// kept as the differential-test reference.
+    Reference,
+}
+
+impl ExtractKernel {
+    /// Parse a CLI name (`soa` | `reference`).
+    pub fn parse(s: &str) -> Option<ExtractKernel> {
+        match s {
+            "soa" => Some(ExtractKernel::Soa),
+            "reference" => Some(ExtractKernel::Reference),
+            _ => None,
+        }
+    }
+
+    /// Display name (also the CLI spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExtractKernel::Soa => "soa",
+            ExtractKernel::Reference => "reference",
+        }
+    }
+}
 
 /// Feature categories (paper Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,10 +157,14 @@ pub struct ExtractCtx<'a> {
     pub node_timing: Vec<(f64, f64)>,
     /// Per-node (start, end) control states.
     pub node_states: Vec<(u32, u32)>,
-    /// Per-node 2-hop predecessor/successor sets (deduplicated).
-    pub preds2: Vec<Vec<usize>>,
-    /// Two-hop successors.
-    pub succs2: Vec<Vec<usize>>,
+    /// Per-node 2-hop predecessor sets (deduplicated, sorted), one CSR row
+    /// per node.
+    pub preds2: Csr,
+    /// Two-hop successors, same layout.
+    pub succs2: Csr,
+    /// The 26 global features — node-independent, computed once per
+    /// function and copied into every row.
+    pub global_row: Vec<f64>,
 }
 
 impl<'a> ExtractCtx<'a> {
@@ -165,27 +207,34 @@ impl<'a> ExtractCtx<'a> {
             node_states[i] = (start, end);
         }
 
-        // 2-hop neighbor sets.
-        let mut preds2 = Vec::with_capacity(n);
-        let mut succs2 = Vec::with_capacity(n);
+        // 2-hop neighbor sets, flattened into CSR. One scratch vector is
+        // reused across all nodes instead of one allocation per node.
+        let mut preds2 = Csr::with_capacity(n, 0);
+        let mut succs2 = Csr::with_capacity(n, 0);
+        let mut scratch: Vec<usize> = Vec::new();
         for i in 0..n {
-            let mut p: Vec<usize> = graph.preds(i).collect();
+            scratch.clear();
+            scratch.extend(graph.preds(i));
             for j in graph.preds(i) {
-                p.extend(graph.preds(j));
+                scratch.extend(graph.preds(j));
             }
-            p.sort_unstable();
-            p.dedup();
-            p.retain(|&x| x != i);
-            preds2.push(p);
-            let mut s: Vec<usize> = graph.succs(i).collect();
+            scratch.sort_unstable();
+            scratch.dedup();
+            scratch.retain(|&x| x != i);
+            preds2.push_row(&scratch);
+            scratch.clear();
+            scratch.extend(graph.succs(i));
             for j in graph.succs(i) {
-                s.extend(graph.succs(j));
+                scratch.extend(graph.succs(j));
             }
-            s.sort_unstable();
-            s.dedup();
-            s.retain(|&x| x != i);
-            succs2.push(s);
+            scratch.sort_unstable();
+            scratch.dedup();
+            scratch.retain(|&x| x != i);
+            succs2.push_row(&scratch);
         }
+
+        let mut global_row = Vec::with_capacity(global::COUNT);
+        global::compute(&design.report, func_id, &mut global_row);
 
         let totals = device.totals();
         ExtractCtx {
@@ -201,6 +250,7 @@ impl<'a> ExtractCtx<'a> {
             node_states,
             preds2,
             succs2,
+            global_row,
         }
     }
 
@@ -238,6 +288,31 @@ impl<'a> ExtractCtx<'a> {
         debug_assert_eq!(v.len() - mark, global::COUNT);
         debug_assert_eq!(v.len(), FEATURE_COUNT);
         v
+    }
+
+    /// Extract the full 302-feature vector for `node` directly into `row`
+    /// — the SoA kernel. Bitwise-identical to [`ExtractCtx::extract`] but
+    /// allocation-free: the category extractors write into fixed column
+    /// slices of the row, 2-hop neighborhoods come from CSR slices, and
+    /// the node-independent global block is a straight copy of the
+    /// precomputed `global_row`.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != FEATURE_COUNT`.
+    pub fn extract_into(&self, node: usize, row: &mut [f64]) {
+        assert_eq!(row.len(), FEATURE_COUNT, "row length mismatch");
+        use FeatureCategory as C;
+        row.fill(0.0);
+        row[0] = self.graph.nodes[node].bits as f64;
+        interconnection::extract_into(self, node, &mut row[C::Interconnection.range()]);
+        resource::extract_into(self, node, &mut row[C::Resource.range()]);
+        let (delay, lat) = self.node_timing[node];
+        let t = C::Timing.range().start;
+        row[t] = delay;
+        row[t + 1] = lat;
+        resource_dtcs::extract_into(self, node, &mut row[C::ResourcePerDtcs.range()]);
+        optype::extract_into(self, node, &mut row[C::OperatorType.range()]);
+        row[C::Global.range()].copy_from_slice(&self.global_row);
     }
 }
 

@@ -25,6 +25,22 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
     out.push(hist.iter().filter(|&&c| c > 0.0).count() as f64);
 }
 
+/// SoA kernel: the one-hot and histogram blocks are scattered straight
+/// into the (pre-zeroed) column slice — no stack histogram copy.
+pub(super) fn extract_into(ctx: &ExtractCtx<'_>, node: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), COUNT);
+    let g = ctx.graph;
+    out[g.nodes[node].kind.index()] = 1.0;
+    let hist = &mut out[OpKind::COUNT..2 * OpKind::COUNT];
+    for n in g.preds(node).chain(g.succs(node)) {
+        hist[g.nodes[n].kind.index()] += 1.0;
+    }
+    out[2 * OpKind::COUNT] = out[OpKind::COUNT..2 * OpKind::COUNT]
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .count() as f64;
+}
+
 pub(super) fn push_names(names: &mut Vec<String>) {
     for k in OpKind::ALL {
         names.push(format!("op_is_{k}"));

@@ -31,8 +31,118 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
         push_neighborhood(out, &preds, &succs, &usage, dev, fnr);
 
         // 2-hop (11).
-        push_neighborhood(out, &ctx.preds2[node], &ctx.succs2[node], &usage, dev, fnr);
+        push_neighborhood(
+            out,
+            ctx.preds2.row(node),
+            ctx.succs2.row(node),
+            &usage,
+            dev,
+            fnr,
+        );
     }
+}
+
+/// Per-type neighborhood sums/maxes accumulated in one pass over the
+/// neighbor lists (instead of one pass per resource type). Each type keeps
+/// its own accumulator updated in neighbor order, so the per-type results
+/// are bitwise-identical to the reference kernel's per-type passes.
+#[derive(Clone, Copy)]
+struct Acc {
+    pred: [f64; Resources::KINDS],
+    succ: [f64; Resources::KINDS],
+    max: [f64; Resources::KINDS],
+}
+
+impl Acc {
+    fn new(ctx: &ExtractCtx<'_>, preds: &[usize], succs: &[usize]) -> Acc {
+        let mut a = Acc {
+            pred: [0.0; Resources::KINDS],
+            succ: [0.0; Resources::KINDS],
+            max: [0.0; Resources::KINDS],
+        };
+        // Preds before succs: the reference `fold` chains them in that
+        // order, so the max sequence must too.
+        for &p in preds {
+            let r = &ctx.node_res[p];
+            for t in 0..Resources::KINDS {
+                let u = r.get(t) as f64;
+                a.pred[t] += u;
+                a.max[t] = a.max[t].max(u);
+            }
+        }
+        for &s in succs {
+            let r = &ctx.node_res[s];
+            for t in 0..Resources::KINDS {
+                let u = r.get(t) as f64;
+                a.succ[t] += u;
+                a.max[t] = a.max[t].max(u);
+            }
+        }
+        a
+    }
+}
+
+/// SoA kernel: one pass over each neighborhood fills all four types'
+/// accumulators, then the 25 per-type values are written into the column
+/// slice — no per-node `collect`, no `Vec` growth.
+pub(super) fn extract_into(ctx: &ExtractCtx<'_>, node: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), COUNT);
+    let fop_res = &ctx.report.functions[&ctx.func_id].resources;
+    let g = ctx.graph;
+    let hop1 = {
+        let mut a = Acc {
+            pred: [0.0; Resources::KINDS],
+            succ: [0.0; Resources::KINDS],
+            max: [0.0; Resources::KINDS],
+        };
+        for &(p, _) in &g.inc[node] {
+            let r = &ctx.node_res[p];
+            for t in 0..Resources::KINDS {
+                let u = r.get(t) as f64;
+                a.pred[t] += u;
+                a.max[t] = a.max[t].max(u);
+            }
+        }
+        for &(s, _) in &g.out[node] {
+            let r = &ctx.node_res[s];
+            for t in 0..Resources::KINDS {
+                let u = r.get(t) as f64;
+                a.succ[t] += u;
+                a.max[t] = a.max[t].max(u);
+            }
+        }
+        a
+    };
+    let hop2 = Acc::new(ctx, ctx.preds2.row(node), ctx.succs2.row(node));
+    for t in 0..Resources::KINDS {
+        let dev = ctx.device_totals.get(t) as f64;
+        let fnr = fop_res.get(t) as f64;
+        let own = ctx.node_res[node].get(t) as f64;
+        let base = t * PER_TYPE;
+        out[base] = own;
+        out[base + 1] = ratio(own, dev);
+        out[base + 2] = ratio(own, fnr);
+        write_neighborhood(&mut out[base + 3..base + 14], &hop1, t, dev, fnr);
+        write_neighborhood(&mut out[base + 14..base + 25], &hop2, t, dev, fnr);
+    }
+}
+
+/// The 11 neighborhood features of [`push_neighborhood`], written from the
+/// accumulated sums for one resource type.
+fn write_neighborhood(out: &mut [f64], a: &Acc, t: usize, dev: f64, fnr: f64) {
+    let (pred_sum, succ_sum, max) = (a.pred[t], a.succ[t], a.max[t]);
+    let both = pred_sum + succ_sum;
+    out[0] = pred_sum;
+    out[1] = succ_sum;
+    out[2] = both;
+    out[3] = ratio(pred_sum, dev);
+    out[4] = ratio(succ_sum, dev);
+    out[5] = ratio(both, dev);
+    out[6] = ratio(pred_sum, fnr);
+    out[7] = ratio(succ_sum, fnr);
+    out[8] = ratio(both, fnr);
+    out[9] = max;
+    out[10] = ratio(max, both);
 }
 
 /// The 11 neighborhood features: pred/succ/both usage sums, their
@@ -46,8 +156,10 @@ fn push_neighborhood(
     dev: f64,
     fnr: f64,
 ) {
-    let pred_sum: f64 = preds.iter().map(|&p| usage(p)).sum();
-    let succ_sum: f64 = succs.iter().map(|&s| usage(s)).sum();
+    // fold(0.0) rather than sum(): std's f64 sum identity is -0.0, which
+    // would serialize an empty neighborhood as "-0" in the CSV.
+    let pred_sum: f64 = preds.iter().map(|&p| usage(p)).fold(0.0, |a, b| a + b);
+    let succ_sum: f64 = succs.iter().map(|&s| usage(s)).fold(0.0, |a, b| a + b);
     let both = pred_sum + succ_sum;
     out.push(pred_sum);
     out.push(succ_sum);

@@ -29,12 +29,88 @@ pub(super) fn extract(ctx: &ExtractCtx<'_>, node: usize, out: &mut Vec<f64>) {
             node,
             t,
             out,
-            &ctx.preds2[node],
-            &ctx.succs2[node],
+            ctx.preds2.row(node),
+            ctx.succs2.row(node),
             dev,
             fnr,
         );
     }
+}
+
+/// Per-type ΔTcs-scaled sums accumulated in one pass over the neighbor
+/// lists. The per-element arithmetic (`usage / ΔTcs`, summed in neighbor
+/// order per type) matches [`push_scaled`] exactly, so both kernels agree
+/// bitwise; the control-state distance is computed once per neighbor
+/// instead of once per neighbor per type.
+fn scaled_sums(
+    ctx: &ExtractCtx<'_>,
+    node: usize,
+    preds: &[usize],
+    succs: &[usize],
+) -> ([f64; Resources::KINDS], [f64; Resources::KINDS]) {
+    let mut pred = [0.0; Resources::KINDS];
+    let mut succ = [0.0; Resources::KINDS];
+    for &p in preds {
+        let d = ctx.delta_tcs(p, node);
+        let r = &ctx.node_res[p];
+        for (t, acc) in pred.iter_mut().enumerate() {
+            *acc += r.get(t) as f64 / d;
+        }
+    }
+    for &s in succs {
+        let d = ctx.delta_tcs(node, s);
+        let r = &ctx.node_res[s];
+        for (t, acc) in succ.iter_mut().enumerate() {
+            *acc += r.get(t) as f64 / d;
+        }
+    }
+    (pred, succ)
+}
+
+/// SoA kernel: the same 72 values written into a column slice from
+/// single-pass accumulators.
+pub(super) fn extract_into(ctx: &ExtractCtx<'_>, node: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), COUNT);
+    let fop_res = &ctx.report.functions[&ctx.func_id].resources;
+    let g = ctx.graph;
+    let mut pred1 = [0.0; Resources::KINDS];
+    let mut succ1 = [0.0; Resources::KINDS];
+    for &(p, _) in &g.inc[node] {
+        let d = ctx.delta_tcs(p, node);
+        let r = &ctx.node_res[p];
+        for (t, acc) in pred1.iter_mut().enumerate() {
+            *acc += r.get(t) as f64 / d;
+        }
+    }
+    for &(s, _) in &g.out[node] {
+        let d = ctx.delta_tcs(node, s);
+        let r = &ctx.node_res[s];
+        for (t, acc) in succ1.iter_mut().enumerate() {
+            *acc += r.get(t) as f64 / d;
+        }
+    }
+    let (pred2, succ2) = scaled_sums(ctx, node, ctx.preds2.row(node), ctx.succs2.row(node));
+    for t in 0..Resources::KINDS {
+        let dev = ctx.device_totals.get(t) as f64;
+        let fnr = fop_res.get(t) as f64;
+        let base = t * PER_TYPE;
+        write_scaled(&mut out[base..base + 9], pred1[t], succ1[t], dev, fnr);
+        write_scaled(&mut out[base + 9..base + 18], pred2[t], succ2[t], dev, fnr);
+    }
+}
+
+/// The 9 scaled features of [`push_scaled`], written from accumulated sums.
+fn write_scaled(out: &mut [f64], pred: f64, succ: f64, dev: f64, fnr: f64) {
+    let both = pred + succ;
+    out[0] = pred;
+    out[1] = succ;
+    out[2] = both;
+    out[3] = ratio(pred, dev);
+    out[4] = ratio(succ, dev);
+    out[5] = ratio(both, dev);
+    out[6] = ratio(pred, fnr);
+    out[7] = ratio(succ, fnr);
+    out[8] = ratio(both, fnr);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -50,14 +126,16 @@ fn push_scaled(
 ) {
     // Σ usage(p) / ΔTcs(p, node) over predecessors (and symmetrically for
     // successors).
+    // fold(0.0) rather than sum(): std's f64 sum identity is -0.0, which
+    // would serialize an empty neighborhood as "-0" in the CSV.
     let pred: f64 = preds
         .iter()
         .map(|&p| ctx.node_res[p].get(t) as f64 / ctx.delta_tcs(p, node))
-        .sum();
+        .fold(0.0, |a, b| a + b);
     let succ: f64 = succs
         .iter()
         .map(|&s| ctx.node_res[s].get(t) as f64 / ctx.delta_tcs(node, s))
-        .sum();
+        .fold(0.0, |a, b| a + b);
     let both = pred + succ;
     out.push(pred);
     out.push(succ);

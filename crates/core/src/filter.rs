@@ -7,7 +7,7 @@
 //! congestion metrics are distributed at the margin of the device compared
 //! to the higher values in the middle").
 
-use crate::dataset::{CongestionDataset, Sample};
+use crate::dataset::CongestionDataset;
 use std::collections::HashMap;
 
 /// Filter configuration.
@@ -71,13 +71,12 @@ pub fn filter_marginal(data: &CongestionDataset, opts: &FilterOptions) -> Filter
         }
     }
 
-    let kept: Vec<Sample> = data
-        .samples
-        .iter()
-        .zip(&drop)
-        .filter(|(_, &d)| !d)
-        .map(|(s, _)| s.clone())
-        .collect();
+    let mut kept = CongestionDataset::new();
+    for (i, s) in data.samples.iter().enumerate() {
+        if !drop[i] {
+            kept.push(s.clone(), data.features_of(i));
+        }
+    }
     let removed = data.len() - kept.len();
     FilterReport {
         removed,
@@ -86,13 +85,14 @@ pub fn filter_marginal(data: &CongestionDataset, opts: &FilterOptions) -> Filter
         } else {
             removed as f64 / data.len() as f64
         },
-        kept: CongestionDataset { samples: kept },
+        kept,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Sample;
     use crate::features::FEATURE_COUNT;
     use hls_ir::{FuncId, OpId, ReplicaTag};
 
@@ -107,10 +107,13 @@ mod tests {
                 index,
                 total: 8,
             }),
-            features: vec![0.0; FEATURE_COUNT],
             vertical: label,
             horizontal: label,
         }
+    }
+
+    fn push(ds: &mut CongestionDataset, s: Sample) {
+        ds.push(s, &vec![0.0; FEATURE_COUNT]);
     }
 
     fn unreplicated(label: f64) -> Sample {
@@ -124,10 +127,10 @@ mod tests {
     fn marginal_replicas_dropped() {
         let mut ds = CongestionDataset::new();
         for i in 0..7 {
-            ds.samples.push(sample("d", 1, i, 80.0));
+            push(&mut ds, sample("d", 1, i, 80.0));
         }
         // One replica at the device margin with a tiny label.
-        ds.samples.push(sample("d", 1, 7, 10.0));
+        push(&mut ds, sample("d", 1, 7, 10.0));
         let rep = filter_marginal(&ds, &FilterOptions::default());
         assert_eq!(rep.removed, 1);
         assert_eq!(rep.kept.len(), 7);
@@ -138,7 +141,7 @@ mod tests {
     fn tight_groups_untouched() {
         let mut ds = CongestionDataset::new();
         for i in 0..8 {
-            ds.samples.push(sample("d", 1, i, 75.0 + i as f64));
+            push(&mut ds, sample("d", 1, i, 75.0 + i as f64));
         }
         let rep = filter_marginal(&ds, &FilterOptions::default());
         assert_eq!(rep.removed, 0);
@@ -147,9 +150,9 @@ mod tests {
     #[test]
     fn small_groups_and_unreplicated_kept() {
         let mut ds = CongestionDataset::new();
-        ds.samples.push(sample("d", 1, 0, 80.0));
-        ds.samples.push(sample("d", 1, 1, 1.0)); // group of 2 < min_group
-        ds.samples.push(unreplicated(0.5));
+        push(&mut ds, sample("d", 1, 0, 80.0));
+        push(&mut ds, sample("d", 1, 1, 1.0)); // group of 2 < min_group
+        push(&mut ds, unreplicated(0.5));
         let rep = filter_marginal(&ds, &FilterOptions::default());
         assert_eq!(rep.removed, 0);
     }
@@ -158,10 +161,10 @@ mod tests {
     fn groups_do_not_mix_across_designs() {
         let mut ds = CongestionDataset::new();
         for i in 0..4 {
-            ds.samples.push(sample("a", 1, i, 90.0));
+            push(&mut ds, sample("a", 1, i, 90.0));
         }
         for i in 0..4 {
-            ds.samples.push(sample("b", 1, i, 5.0));
+            push(&mut ds, sample("b", 1, i, 5.0));
         }
         // Same group id, different designs: neither group has outliers.
         let rep = filter_marginal(&ds, &FilterOptions::default());

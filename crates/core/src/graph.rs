@@ -201,6 +201,90 @@ impl DepGraph {
     }
 }
 
+/// Compressed-sparse-row adjacency: the rows of a `Vec<Vec<usize>>`
+/// flattened into one `indices` array with per-row `offsets`. Two
+/// allocations per graph instead of one per node, and each row reads as a
+/// contiguous slice — the storage behind the feature extractor's 2-hop
+/// neighbor sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[i]..offsets[i + 1]` is row `i`'s slice of `indices`.
+    offsets: Vec<usize>,
+    /// Concatenated row contents.
+    indices: Vec<usize>,
+}
+
+impl Default for Csr {
+    fn default() -> Self {
+        Csr::new()
+    }
+}
+
+impl Csr {
+    /// An empty adjacency with zero rows.
+    pub fn new() -> Self {
+        Csr {
+            offsets: vec![0],
+            indices: Vec::new(),
+        }
+    }
+
+    /// An empty adjacency with room reserved for `rows` rows of `nnz`
+    /// total entries.
+    pub fn with_capacity(rows: usize, nnz: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Csr {
+            offsets,
+            indices: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: &[usize]) {
+        self.indices.extend_from_slice(row);
+        self.offsets.push(self.indices.len());
+    }
+
+    /// Build from explicit rows.
+    pub fn from_rows(rows: &[Vec<usize>]) -> Self {
+        let nnz = rows.iter().map(Vec::len).sum();
+        let mut c = Csr::with_capacity(rows.len(), nnz);
+        for r in rows {
+            c.push_row(r);
+        }
+        c
+    }
+
+    /// Expand back into explicit rows (the inverse of [`Csr::from_rows`]).
+    pub fn to_rows(&self) -> Vec<Vec<usize>> {
+        (0..self.len()).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the adjacency has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[usize] {
+        &self.indices[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +369,40 @@ mod tests {
         let total_in: u64 = (0..g.len()).map(|i| g.fan_in(i) as u64).sum();
         assert_eq!(total_out, total_in);
         assert!(total_out > 0);
+    }
+
+    #[test]
+    fn csr_empty_and_empty_rows() {
+        assert_eq!(Csr::new().len(), 0);
+        assert!(Csr::new().is_empty());
+        let c = Csr::from_rows(&[vec![], vec![], vec![]]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.row(1), &[] as &[usize]);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary ragged rows — including empty rows at either end —
+        /// round-trip through the flattened CSR form exactly, and every
+        /// row slice matches the source row.
+        #[test]
+        fn csr_roundtrips_arbitrary_rows(
+            rows in prop::collection::vec(
+                prop::collection::vec(0usize..1000, 0..12),
+                0..24,
+            ),
+        ) {
+            let c = Csr::from_rows(&rows);
+            prop_assert_eq!(c.len(), rows.len());
+            prop_assert_eq!(c.nnz(), rows.iter().map(Vec::len).sum::<usize>());
+            for (i, r) in rows.iter().enumerate() {
+                prop_assert_eq!(c.row(i), r.as_slice());
+            }
+            prop_assert_eq!(c.to_rows(), rows);
+        }
     }
 }

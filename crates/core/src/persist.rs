@@ -111,7 +111,7 @@ pub fn write_csv<W: Write>(data: &CongestionDataset, mut w: W) -> std::io::Resul
         write!(w, ",{name}")?;
     }
     writeln!(w, ",label_vertical,label_horizontal")?;
-    for s in &data.samples {
+    for (row, s) in data.samples.iter().enumerate() {
         let (g, i, t, has) = match s.replica {
             Some(r) => (r.group, r.index, r.total, 1),
             None => (0, 0, 0, 0),
@@ -121,7 +121,7 @@ pub fn write_csv<W: Write>(data: &CongestionDataset, mut w: W) -> std::io::Resul
             "{},{},{},{},{},{},{},{}",
             s.design, s.func.0, s.op.0, s.line, g, i, t, has
         )?;
-        for v in &s.features {
+        for v in data.features_of(row) {
             write!(w, ",{v}")?;
         }
         writeln!(w, ",{},{}", s.vertical, s.horizontal)?;
@@ -186,16 +186,18 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<CongestionDataset, ParseCsvError> {
         for i in 0..FEATURE_COUNT {
             features.push(pf64(META_COLS + i)?);
         }
-        ds.samples.push(Sample {
-            design: cols[0].to_string(),
-            func: FuncId(pu32(1)?),
-            op: OpId(pu32(2)?),
-            line: pu32(3)?,
-            replica,
-            features,
-            vertical: pf64(META_COLS + FEATURE_COUNT)?,
-            horizontal: pf64(META_COLS + FEATURE_COUNT + 1)?,
-        });
+        ds.push(
+            Sample {
+                design: cols[0].to_string(),
+                func: FuncId(pu32(1)?),
+                op: OpId(pu32(2)?),
+                line: pu32(3)?,
+                replica,
+                vertical: pf64(META_COLS + FEATURE_COUNT)?,
+                horizontal: pf64(META_COLS + FEATURE_COUNT + 1)?,
+            },
+            &features,
+        );
     }
     Ok(ds)
 }
@@ -494,20 +496,22 @@ mod tests {
             let mut features = vec![0.0; FEATURE_COUNT];
             features[0] = i as f64;
             features[100] = 0.125 * i as f64;
-            ds.samples.push(Sample {
-                design: format!("d{}", i % 2),
-                func: FuncId(0),
-                op: OpId(i as u32),
-                line: i as u32 + 1,
-                replica: (i % 3 == 0).then_some(ReplicaTag {
-                    group: 7,
-                    index: i as u32,
-                    total: 20,
-                }),
-                features,
-                vertical: 1.5 * i as f64,
-                horizontal: 0.5 * i as f64,
-            });
+            ds.push(
+                Sample {
+                    design: format!("d{}", i % 2),
+                    func: FuncId(0),
+                    op: OpId(i as u32),
+                    line: i as u32 + 1,
+                    replica: (i % 3 == 0).then_some(ReplicaTag {
+                        group: 7,
+                        index: i as u32,
+                        total: 20,
+                    }),
+                    vertical: 1.5 * i as f64,
+                    horizontal: 0.5 * i as f64,
+                },
+                &features,
+            );
         }
         ds
     }
@@ -519,12 +523,12 @@ mod tests {
         write_csv(&ds, &mut buf)?;
         let back = read_csv(std::io::Cursor::new(buf))?;
         assert_eq!(back.len(), ds.len());
-        for (a, b) in ds.samples.iter().zip(&back.samples) {
+        for (i, (a, b)) in ds.samples.iter().zip(&back.samples).enumerate() {
             assert_eq!(a.design, b.design);
             assert_eq!(a.op, b.op);
             assert_eq!(a.line, b.line);
             assert_eq!(a.replica, b.replica);
-            assert_eq!(a.features, b.features);
+            assert_eq!(ds.features_of(i), back.features_of(i));
             assert_eq!(a.vertical, b.vertical);
             assert_eq!(a.horizontal, b.horizontal);
         }
@@ -687,7 +691,6 @@ mod tests {
             op: OpId(0),
             line: 1,
             replica: None,
-            features: vec![v; FEATURE_COUNT],
             vertical: v,
             horizontal: 2.0 * v,
         }
@@ -720,11 +723,12 @@ mod tests {
                     message: design.clone(),
                 })
             } else {
-                Ok(CongestionDataset {
-                    samples: (0..n_samples)
-                        .map(|i| tagged_sample(&design, i as f64 + 0.5))
-                        .collect(),
-                })
+                let mut data = CongestionDataset::new();
+                for i in 0..n_samples {
+                    let v = i as f64 + 0.5;
+                    data.push(tagged_sample(&design, v), &vec![v; FEATURE_COUNT]);
+                }
+                Ok(data)
             };
             let entry = CheckpointEntry { design: design.clone(), outcome };
             store.store(&entry).unwrap();

@@ -311,9 +311,12 @@ impl CongestionPredictor {
     }
 
     /// Predict per-operation congestion for a synthesized design *without*
-    /// implementing it — the paper's prediction phase.
+    /// implementing it — the paper's prediction phase. Features for every
+    /// op are extracted with the SoA kernel into one reused row buffer, so
+    /// prediction no longer allocates a `Vec<f64>` per op.
     pub fn predict_design(&self, design: &SynthesizedDesign, device: &Device) -> Vec<OpPrediction> {
         let mut out = Vec::new();
+        let mut row = [0.0f64; FEATURE_COUNT];
         for fid in design.module.bottom_up_order() {
             let f = design.module.function(fid);
             let binding = &design.bindings[&fid];
@@ -323,8 +326,8 @@ impl CongestionPredictor {
                 if node.is_port || node.ops.is_empty() {
                     continue;
                 }
-                let features = ctx.extract(ni);
-                let value = self.predict_features(&features);
+                ctx.extract_into(ni, &mut row);
+                let value = self.predict_features(&row);
                 for &op in &node.ops {
                     out.push(OpPrediction {
                         func: fid,
@@ -380,16 +383,18 @@ mod tests {
             features[0] = a;
             features[1] = b;
             let label = 5.0 * a + 2.0 * b * b;
-            ds.samples.push(crate::dataset::Sample {
-                design: "synthetic".into(),
-                func: FuncId(0),
-                op: OpId(i as u32),
-                line: 1,
-                replica: None,
-                features,
-                vertical: label,
-                horizontal: label / 2.0,
-            });
+            ds.push(
+                crate::dataset::Sample {
+                    design: "synthetic".into(),
+                    func: FuncId(0),
+                    op: OpId(i as u32),
+                    line: 1,
+                    replica: None,
+                    vertical: label,
+                    horizontal: label / 2.0,
+                },
+                &features,
+            );
         }
         ds
     }
@@ -445,7 +450,7 @@ mod tests {
         let opts = TrainOptions::fast();
         let v = CongestionPredictor::train(ModelKind::Linear, Target::Vertical, &ds, &opts);
         let h = CongestionPredictor::train(ModelKind::Linear, Target::Horizontal, &ds, &opts);
-        let row = &ds.samples[0].features;
+        let row = ds.features_of(0);
         let pv = v.predict_features(row);
         let ph = h.predict_features(row);
         assert!((pv - ph).abs() > 1e-6, "different targets, different fits");

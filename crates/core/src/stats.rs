@@ -128,6 +128,10 @@ mod tests {
     use crate::features::FEATURE_COUNT;
     use hls_ir::{FuncId, OpId, ReplicaTag};
 
+    fn push(ds: &mut CongestionDataset, s: Sample) {
+        ds.push(s, &vec![0.0; FEATURE_COUNT]);
+    }
+
     fn sample(design: &str, v: f64, replica: bool) -> Sample {
         Sample {
             design: design.into(),
@@ -139,7 +143,6 @@ mod tests {
                 index: 0,
                 total: 2,
             }),
-            features: vec![0.0; FEATURE_COUNT],
             vertical: v,
             horizontal: v / 2.0,
         }
@@ -148,9 +151,9 @@ mod tests {
     #[test]
     fn stats_split_by_design() {
         let mut ds = CongestionDataset::new();
-        ds.samples.push(sample("a", 10.0, false));
-        ds.samples.push(sample("a", 30.0, true));
-        ds.samples.push(sample("b", 100.0, false));
+        push(&mut ds, sample("a", 10.0, false));
+        push(&mut ds, sample("a", 30.0, true));
+        push(&mut ds, sample("b", 100.0, false));
         let s = dataset_stats(&ds, Target::Vertical);
         assert_eq!(s.per_design.len(), 2);
         let a = &s.per_design["a"];
@@ -166,7 +169,7 @@ mod tests {
     #[test]
     fn horizontal_target_halves_labels() {
         let mut ds = CongestionDataset::new();
-        ds.samples.push(sample("a", 40.0, false));
+        push(&mut ds, sample("a", 40.0, false));
         let v = dataset_stats(&ds, Target::Vertical).overall.mean;
         let h = dataset_stats(&ds, Target::Horizontal).overall.mean;
         assert_eq!(h, v / 2.0);
@@ -182,8 +185,8 @@ mod tests {
     #[test]
     fn display_lists_each_design() {
         let mut ds = CongestionDataset::new();
-        ds.samples.push(sample("alpha", 1.0, false));
-        ds.samples.push(sample("beta", 2.0, false));
+        push(&mut ds, sample("alpha", 1.0, false));
+        push(&mut ds, sample("beta", 2.0, false));
         let text = dataset_stats(&ds, Target::Vertical).to_string();
         assert!(text.contains("alpha"));
         assert!(text.contains("beta"));

@@ -35,6 +35,29 @@ impl Matrix {
         m
     }
 
+    /// Build from an already-flat row-major buffer — the zero-copy entry
+    /// point for producers that fill a matrix row by row elsewhere (the
+    /// SoA feature extractor hands its buffer over through this).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `cols` (a matrix with
+    /// zero columns must be empty).
+    pub fn from_flat(cols: usize, data: Vec<f64>) -> Self {
+        let rows = if cols == 0 {
+            assert!(data.is_empty(), "zero-column matrix must have no data");
+            0
+        } else {
+            assert_eq!(data.len() % cols, 0, "flat buffer length mismatch");
+            data.len() / cols
+        };
+        Matrix { data, rows, cols }
+    }
+
+    /// The underlying row-major buffer.
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Append one row.
     ///
     /// # Panics
@@ -43,6 +66,30 @@ impl Matrix {
         assert_eq!(row.len(), self.cols, "row length mismatch");
         self.data.extend_from_slice(row);
         self.rows += 1;
+    }
+
+    /// Append one zero-filled row and return it for in-place filling —
+    /// lets extractors write features straight into the matrix without a
+    /// staging buffer.
+    pub fn alloc_row(&mut self) -> &mut [f64] {
+        self.data.resize(self.data.len() + self.cols, 0.0);
+        self.rows += 1;
+        let start = self.data.len() - self.cols;
+        &mut self.data[start..]
+    }
+
+    /// Append every row of `other` — one flat copy, no per-row traffic.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ (a zero-row `other` merges into
+    /// anything).
+    pub fn extend(&mut self, other: &Matrix) {
+        if other.rows == 0 {
+            return;
+        }
+        assert_eq!(other.cols, self.cols, "column count mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
     }
 
     /// Number of rows.
@@ -181,6 +228,18 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut m = Matrix::with_cols(3);
         m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn matrix_extend_appends_flat() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        a.extend(&b);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.row(2), &[5.0, 6.0]);
+        // Empty other is a no-op even with mismatched cols.
+        a.extend(&Matrix::with_cols(7));
+        assert_eq!(a.rows(), 3);
     }
 
     #[test]

@@ -50,4 +50,4 @@ pub mod span;
 pub use metrics::{
     is_timing_metric, HistogramSnapshot, MetricsSnapshot, Registry, DEFAULT_BUCKETS,
 };
-pub use span::{Collector, ObsRecord, SpanEvent, SpanGuard};
+pub use span::{Collector, ObsRecord, OwnedSpan, SpanEvent, SpanGuard};

@@ -7,6 +7,8 @@
 //!                       [--place-kernel delta|reference]
 //! hls-congest dataset   <file.mhls>... -o data.csv [--workers N] [--router-stats]
 //!                       [--place-kernel delta|reference]
+//!                       [--pipeline-depth N]        cross-stage pipelined executor
+//!                       [--extract-kernel soa|reference]
 //!                                                   build + save a labelled dataset
 //!                                                   (parallel, fault-tolerant, timed)
 //!   robustness flags:
@@ -256,6 +258,14 @@ fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(w) = flag(args, "--workers") {
         flow = flow.with_workers(w.parse()?);
+    }
+    if let Some(d) = flag(args, "--pipeline-depth") {
+        flow = flow.with_pipeline_depth(d.parse()?);
+    }
+    if let Some(k) = flag(args, "--extract-kernel") {
+        let kernel = congestion_core::features::ExtractKernel::parse(k)
+            .ok_or_else(|| format!("bad --extract-kernel `{k}` (expected soa|reference)"))?;
+        flow = flow.with_extract_kernel(kernel);
     }
     if let Some(path) = flag(args, "--fault-plan") {
         let text = std::fs::read_to_string(path)?;

@@ -20,9 +20,9 @@ fn dataset_is_reproducible() {
     let a = run();
     let b = run();
     assert_eq!(a.len(), b.len());
+    assert_eq!(a.features(), b.features());
     for (x, y) in a.samples.iter().zip(&b.samples) {
         assert_eq!(x.op, y.op);
-        assert_eq!(x.features, y.features);
         assert_eq!(x.vertical, y.vertical);
         assert_eq!(x.horizontal, y.horizontal);
     }
@@ -37,7 +37,7 @@ fn trained_models_are_reproducible() {
     for kind in [ModelKind::Linear, ModelKind::Ann, ModelKind::Gbrt] {
         let a = train(kind);
         let b = train(kind);
-        let row = &ds.samples[0].features;
+        let row = ds.features_of(0);
         assert_eq!(
             a.predict_features(row),
             b.predict_features(row),
@@ -72,9 +72,9 @@ fn worker_count_does_not_change_dataset_or_models() {
 
     // Identical sample order, features, and labels.
     assert_eq!(serial.samples.len(), parallel.samples.len());
+    assert_eq!(serial.features(), parallel.features());
     for (a, b) in serial.samples.iter().zip(&parallel.samples) {
         assert_eq!((&a.design, a.func, a.op), (&b.design, b.func, b.op));
-        assert_eq!(a.features, b.features);
         assert_eq!(a.vertical.to_bits(), b.vertical.to_bits());
         assert_eq!(a.horizontal.to_bits(), b.horizontal.to_bits());
     }
@@ -85,10 +85,11 @@ fn worker_count_does_not_change_dataset_or_models() {
         let a = CongestionPredictor::train(kind, Target::Vertical, &serial, &TrainOptions::fast());
         let b =
             CongestionPredictor::train(kind, Target::Vertical, &parallel, &TrainOptions::fast());
-        for s in &serial.samples {
+        for i in 0..serial.len() {
+            let row = serial.features_of(i);
             assert_eq!(
-                a.predict_features(&s.features).to_bits(),
-                b.predict_features(&s.features).to_bits(),
+                a.predict_features(row).to_bits(),
+                b.predict_features(row).to_bits(),
                 "{kind:?} prediction differs between worker counts"
             );
         }
@@ -125,6 +126,40 @@ fn maze_router_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn pipelined_executor_matches_serial_byte_for_byte() {
+    // The cross-stage pipelined executor must be a pure scheduling change:
+    // the serialized CSV bytes — the strictest equality, catching even
+    // `-0.0` vs `+0.0` — match the serial builder's at any queue depth and
+    // worker count.
+    let modules: Vec<Module> = [
+        "int32 f(int32 a[16], int32 k) { int32 s = 0; for (i = 0; i < 16; i++) { s = s + a[i] * k; } return s; }",
+        "int32 g(int32 a[32]) { int32 s = 0;\n#pragma HLS unroll factor=4\nfor (i = 0; i < 32; i++) { s = s + a[i]; } return s; }",
+        "int32 h(int32 x, int32 y) { return (x * y) + (x - y) * 3; }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| compile_named(s, &format!("pl{i}")).unwrap())
+    .collect();
+
+    let csv = |flow: CongestionFlow| {
+        let ds = flow.build_dataset(&modules).unwrap();
+        let mut bytes = Vec::new();
+        congestion_core::persist::write_csv(&ds, &mut bytes).unwrap();
+        bytes
+    };
+    let serial = csv(CongestionFlow::fast().with_workers(1));
+    for (workers, depth) in [(1, 1), (2, 2), (8, 4)] {
+        let pipelined = csv(CongestionFlow::fast()
+            .with_workers(workers)
+            .with_pipeline_depth(depth));
+        assert_eq!(
+            serial, pipelined,
+            "pipelined ({workers} workers, depth {depth}) changed the dataset bytes"
+        );
+    }
+}
+
+#[test]
 fn different_par_seeds_change_labels() {
     let flow = CongestionFlow::fast();
     let mut flow2 = CongestionFlow::fast();
@@ -144,7 +179,5 @@ fn different_par_seeds_change_labels() {
         "a different placement seed must move some labels"
     );
     // …but the features (HLS-level) are placement-independent.
-    for (x, y) in a.samples.iter().zip(&b.samples) {
-        assert_eq!(x.features, y.features);
-    }
+    assert_eq!(a.features(), b.features());
 }

@@ -29,9 +29,9 @@ fn training_and_prediction_pipeline() {
     assert!(dataset.len() > 30, "dataset size {}", dataset.len());
 
     // Every sample has the full, finite feature vector and sane labels.
-    for s in &dataset.samples {
-        assert_eq!(s.features.len(), congestion_core::FEATURE_COUNT);
-        assert!(s.features.iter().all(|v| v.is_finite()));
+    assert_eq!(dataset.features().cols(), congestion_core::FEATURE_COUNT);
+    for (i, s) in dataset.samples.iter().enumerate() {
+        assert!(dataset.features_of(i).iter().all(|v| v.is_finite()));
         assert!(s.vertical >= 0.0 && s.vertical < 1000.0);
         assert!(s.horizontal >= 0.0 && s.horizontal < 1000.0);
     }

@@ -96,12 +96,13 @@ proptest! {
         let flow = CongestionFlow::fast();
         let m = compile_named(&src, "prop2").expect("random program must compile");
         let ds = flow.build_dataset(std::slice::from_ref(&m)).expect("dataset");
-        for s in &ds.samples {
-            prop_assert_eq!(s.features.len(), congestion_core::FEATURE_COUNT);
-            prop_assert!(s.features.iter().all(|v| v.is_finite()));
+        for i in 0..ds.len() {
+            let row = ds.features_of(i);
+            prop_assert_eq!(row.len(), congestion_core::FEATURE_COUNT);
+            prop_assert!(row.iter().all(|v| v.is_finite()));
             // One-hot operator type sums to exactly 1.
             let r = congestion_core::FeatureCategory::OperatorType.range();
-            let one_hot: f64 = s.features[r.start..r.start + 41].iter().sum();
+            let one_hot: f64 = row[r.start..r.start + 41].iter().sum();
             prop_assert!((one_hot - 1.0).abs() < 1e-9);
         }
     }

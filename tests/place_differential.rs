@@ -159,5 +159,14 @@ fn delta_kernel_spends_less_annealing_effort() {
         reference.stats.proposed
     );
     assert!(delta.stats.bbox_recomputes > 0);
-    assert_eq!(reference.stats.bbox_recomputes, 0);
+    // The reference kernel rescans every incident net twice per proposal
+    // (before/after HPWL), and the delta kernel's cached boxes must make it
+    // strictly cheaper per unit of search effort.
+    assert!(
+        reference.stats.bbox_recomputes >= 2 * reference.stats.proposed,
+        "reference rescans unrecorded: {} rescans for {} proposals",
+        reference.stats.bbox_recomputes,
+        reference.stats.proposed
+    );
+    assert!(delta.stats.bbox_recomputes < reference.stats.bbox_recomputes);
 }
