@@ -23,6 +23,7 @@ use std::path::Path;
 const VALUE_FLAGS: &[&str] = &[
     "--trace-out",
     "--metrics-out",
+    "--ledger-out",
     "--fault-plan",
     "--max-retries",
     "--stage-timeout-ms",
@@ -270,16 +271,17 @@ fn main() {
             "place-bench" => {
                 // Placement-kernel head-to-head; `--fast` restricts the corpus
                 // to the small designs (used by the CI smoke run). Full effort
-                // also writes the BENCH_place.json baseline at the repo root.
+                // also refreshes the BENCH_place.json baseline at the repo root
+                // through the canonical writer (same bytes in both copies).
                 let rows = place_bench::run(effort);
                 emit("place_bench", &place_bench::render(&rows));
-                let json = place_bench::to_json(&rows);
-                write_file("place_bench.json", &json);
-                if effort == Effort::Full {
-                    if let Err(e) = fs::write("BENCH_place.json", &json) {
-                        eprintln!("warning: could not write BENCH_place.json: {e}");
-                    }
-                }
+                let json = place_bench::to_json(&rows, effort);
+                artifact::write_bench(
+                    "place_bench.json",
+                    "BENCH_place.json",
+                    &json,
+                    effort == Effort::Full,
+                );
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: place_bench::to_metrics(&rows),
@@ -288,16 +290,16 @@ fn main() {
             "router-bench" => {
                 // Routing-kernel head-to-head; `--fast` restricts the corpus to
                 // the small designs (used by the CI smoke run). Full effort also
-                // writes the BENCH_route.json baseline at the repo root.
+                // refreshes the BENCH_route.json baseline at the repo root.
                 let rows = router_bench::run(effort);
                 emit("router_bench", &router_bench::render(&rows));
-                let json = router_bench::to_json(&rows);
-                write_file("router_bench.json", &json);
-                if effort == Effort::Full {
-                    if let Err(e) = fs::write("BENCH_route.json", &json) {
-                        eprintln!("warning: could not write BENCH_route.json: {e}");
-                    }
-                }
+                let json = router_bench::to_json(&rows, effort);
+                artifact::write_bench(
+                    "router_bench.json",
+                    "BENCH_route.json",
+                    &json,
+                    effort == Effort::Full,
+                );
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: router_bench::to_metrics(&rows),
@@ -307,16 +309,16 @@ fn main() {
                 // Dataset-build stack head-to-head (SoA extraction kernel and
                 // the pipelined executor vs the reference stack); `--fast`
                 // shrinks the corpus (the CI smoke run). Full effort also
-                // writes the BENCH_pipeline.json baseline at the repo root.
+                // refreshes the BENCH_pipeline.json baseline at the repo root.
                 let bench = pipeline_bench::run(effort);
                 emit("pipeline_bench", &pipeline_bench::render(&bench));
-                let json = pipeline_bench::to_json(&bench);
-                write_file("pipeline_bench.json", &json);
-                if effort == Effort::Full {
-                    if let Err(e) = fs::write("BENCH_pipeline.json", &json) {
-                        eprintln!("warning: could not write BENCH_pipeline.json: {e}");
-                    }
-                }
+                let json = pipeline_bench::to_json(&bench, effort);
+                artifact::write_bench(
+                    "pipeline_bench.json",
+                    "BENCH_pipeline.json",
+                    &json,
+                    effort == Effort::Full,
+                );
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: pipeline_bench::to_metrics(&bench),
@@ -325,20 +327,35 @@ fn main() {
             "train-bench" => {
                 // GBRT training-kernel head-to-head; `--fast` shrinks the
                 // suite and stage count (the CI smoke run). Full effort also
-                // writes the BENCH_train.json baseline at the repo root.
+                // refreshes the BENCH_train.json baseline at the repo root.
                 let rows = train_bench::run(effort);
                 emit("train_bench", &train_bench::render(&rows));
-                let json = train_bench::to_json(&rows);
-                write_file("train_bench.json", &json);
-                if effort == Effort::Full {
-                    if let Err(e) = fs::write("BENCH_train.json", &json) {
-                        eprintln!("warning: could not write BENCH_train.json: {e}");
-                    }
-                }
+                let json = train_bench::to_json(&rows, effort);
+                artifact::write_bench(
+                    "train_bench.json",
+                    "BENCH_train.json",
+                    &json,
+                    effort == Effort::Full,
+                );
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: train_bench::to_metrics(&rows),
                 });
+            }
+            "regress" => {
+                // The quality regression gate: validate the committed
+                // BENCH_*.json baselines (schema, meta stamps, perf/accuracy
+                // tolerance bands, determinism invariants), the reports/
+                // mirrors, and the run ledger. Nonzero exit on any finding —
+                // CI runs this after the bench smokes.
+                let ledger = flag(&args, "--ledger-out")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| Path::new("reports").join("runs.jsonl"));
+                let report = regress::run(Path::new("."), Some(&ledger));
+                emit("regress", &report.render());
+                if !report.ok() {
+                    std::process::exit(1);
+                }
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
@@ -359,6 +376,34 @@ fn main() {
     }
 
     let rec = obs.finish();
+    // Run ledger: one `obskit.run.v1` line per invocation, stamped with the
+    // config digest, active kernels, per-experiment stage timings, and the
+    // session metric snapshot. `regress` only reads the ledger.
+    if what != "regress" {
+        if let Some(path) = flag(&args, "--ledger-out") {
+            let mut run_rec = obskit::RunRecord::new(
+                "experiments",
+                &what,
+                env!("CARGO_PKG_VERSION"),
+                option_env!("GIT_HASH").unwrap_or("unknown"),
+            );
+            run_rec.config_digest =
+                format!("{:016x}", faultkit::fnv1a(&[args.join(" ").as_bytes()]));
+            artifact::stamp_kernels(&mut run_rec);
+            run_rec.note("effort", effort.name());
+            for e in &rec.events {
+                if e.cat == "experiment" {
+                    run_rec.stage_ms(&e.name, e.dur_us as f64 / 1e3);
+                }
+            }
+            run_rec.absorb_metrics(&rec.metrics);
+            if let Err(e) = run_rec.append_to(Path::new(path)) {
+                eprintln!("warning: could not append run record to {path}: {e}");
+            } else {
+                eprintln!("appended run record to {path}");
+            }
+        }
+    }
     if let Some(path) = flag(&args, "--trace-out") {
         if let Err(e) = fs::write(path, obskit::sink::chrome_trace_json(&rec.events)) {
             eprintln!("warning: could not write {path}: {e}");

@@ -16,6 +16,14 @@ pub enum Effort {
 }
 
 impl Effort {
+    /// Canonical meta/ledger spelling (`fast` | `full`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Effort::Fast => "fast",
+            Effort::Full => "full",
+        }
+    }
+
     /// The implementation flow for this effort.
     pub fn flow(&self) -> CongestionFlow {
         let mut flow = CongestionFlow::new();

@@ -21,6 +21,7 @@
 //! | [`train_bench`] | GBRT training-kernel comparison recorded in BENCH_train.json |
 
 pub mod ablation;
+pub mod artifact;
 pub mod designs;
 pub mod fig1;
 pub mod fig5;
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod metrics;
 pub mod pipeline_bench;
 pub mod place_bench;
+pub mod regress;
 pub mod router_bench;
 pub mod table1;
 pub mod table3;

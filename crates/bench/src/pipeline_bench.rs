@@ -404,15 +404,8 @@ pub fn to_metrics(bench: &PipelineBench) -> obskit::MetricsSnapshot {
 
 /// Serialize through the workspace-wide `obskit.metrics.v1` JSON schema
 /// (same format as the other BENCH files).
-pub fn to_json(bench: &PipelineBench) -> String {
-    obskit::sink::metrics_json(
-        &to_metrics(bench),
-        &[
-            ("tool", "experiments pipeline-bench"),
-            ("version", env!("CARGO_PKG_VERSION")),
-            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
-        ],
-    )
+pub fn to_json(bench: &PipelineBench, effort: Effort) -> String {
+    crate::artifact::bench_json("experiments pipeline-bench", effort, &to_metrics(bench))
 }
 
 /// Human-readable tables for stdout.
@@ -522,7 +515,7 @@ mod tests {
 
     #[test]
     fn json_uses_obskit_metrics_schema() {
-        let j = to_json(&sample_bench());
+        let j = to_json(&sample_bench(), Effort::Fast);
         assert!(j.contains("\"schema\": \"obskit.metrics.v1\""), "{j}");
         assert!(
             j.contains("\"tool\": \"experiments pipeline-bench\""),

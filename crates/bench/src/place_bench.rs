@@ -185,16 +185,11 @@ pub fn to_metrics(rows: &[PlaceBenchRow]) -> obskit::MetricsSnapshot {
 
 /// Serialize the rows through the workspace-wide `obskit.metrics.v1` JSON
 /// schema (the same format `hls-congest --metrics-out` writes), so
-/// `BENCH_place.json` and pipeline metrics snapshots share tooling.
-pub fn to_json(rows: &[PlaceBenchRow]) -> String {
-    obskit::sink::metrics_json(
-        &to_metrics(rows),
-        &[
-            ("tool", "experiments place-bench"),
-            ("version", env!("CARGO_PKG_VERSION")),
-            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
-        ],
-    )
+/// `BENCH_place.json` and pipeline metrics snapshots share tooling. The
+/// meta block carries the active kernel stamps via
+/// [`crate::artifact::bench_json`].
+pub fn to_json(rows: &[PlaceBenchRow], effort: Effort) -> String {
+    crate::artifact::bench_json("experiments place-bench", effort, &to_metrics(rows))
 }
 
 /// Human-readable table for stdout.
@@ -296,7 +291,7 @@ mod tests {
 
     #[test]
     fn json_uses_obskit_metrics_schema() {
-        let j = to_json(&sample_rows());
+        let j = to_json(&sample_rows(), Effort::Fast);
         assert!(j.contains("\"schema\": \"obskit.metrics.v1\""), "{j}");
         assert!(j.contains("\"tool\": \"experiments place-bench\""), "{j}");
         assert!(j.contains("place_bench.d.delta.proposed_moves"), "{j}");

@@ -158,15 +158,8 @@ pub fn to_metrics(rows: &[RouterBenchRow]) -> obskit::MetricsSnapshot {
 /// Serialize the rows through the workspace-wide `obskit.metrics.v1` JSON
 /// schema (the same format `hls-congest --metrics-out` writes), so
 /// `BENCH_route.json` and pipeline metrics snapshots share tooling.
-pub fn to_json(rows: &[RouterBenchRow]) -> String {
-    obskit::sink::metrics_json(
-        &to_metrics(rows),
-        &[
-            ("tool", "experiments router-bench"),
-            ("version", env!("CARGO_PKG_VERSION")),
-            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
-        ],
-    )
+pub fn to_json(rows: &[RouterBenchRow], effort: Effort) -> String {
+    crate::artifact::bench_json("experiments router-bench", effort, &to_metrics(rows))
 }
 
 /// Human-readable table for stdout.
@@ -263,7 +256,7 @@ mod tests {
 
     #[test]
     fn json_uses_obskit_metrics_schema() {
-        let j = to_json(&sample_rows());
+        let j = to_json(&sample_rows(), Effort::Fast);
         assert!(j.contains("\"schema\": \"obskit.metrics.v1\""), "{j}");
         assert!(j.contains("\"tool\": \"experiments router-bench\""), "{j}");
         assert!(j.contains("router_bench.d.astar.expanded_nodes"), "{j}");

@@ -205,15 +205,8 @@ pub fn to_metrics(rows: &[TrainBenchRow]) -> obskit::MetricsSnapshot {
 /// Serialize the rows through the workspace-wide `obskit.metrics.v1` JSON
 /// schema, so `BENCH_train.json` and pipeline metrics snapshots share
 /// tooling.
-pub fn to_json(rows: &[TrainBenchRow]) -> String {
-    obskit::sink::metrics_json(
-        &to_metrics(rows),
-        &[
-            ("tool", "experiments train-bench"),
-            ("version", env!("CARGO_PKG_VERSION")),
-            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
-        ],
-    )
+pub fn to_json(rows: &[TrainBenchRow], effort: Effort) -> String {
+    crate::artifact::bench_json("experiments train-bench", effort, &to_metrics(rows))
 }
 
 /// Human-readable table for stdout.
@@ -335,7 +328,7 @@ mod tests {
 
     #[test]
     fn json_uses_obskit_metrics_schema() {
-        let j = to_json(&sample_rows());
+        let j = to_json(&sample_rows(), Effort::Fast);
         assert!(j.contains("\"schema\": \"obskit.metrics.v1\""), "{j}");
         assert!(j.contains("\"tool\": \"experiments train-bench\""), "{j}");
         assert!(j.contains("train_bench.vertical.histogram.fit_ms"), "{j}");

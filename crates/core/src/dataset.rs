@@ -226,6 +226,15 @@ impl CongestionDataset {
         Ok(self.samples.len() - before)
     }
 
+    /// The dataset's statistical identity: per-column distribution
+    /// sketches plus a digest of the raw matrix bits (see
+    /// [`crate::fingerprint`]). Fingerprints of bit-identical datasets are
+    /// byte-identical, so this inherits the 1-vs-N-worker invariance of
+    /// the build itself.
+    pub fn fingerprint(&self) -> crate::fingerprint::DatasetFingerprint {
+        crate::fingerprint::DatasetFingerprint::of(self)
+    }
+
     /// Convert to an [`mlkit`] dataset for a given target metric. The
     /// feature block is cloned as one flat buffer — no per-row copies.
     pub fn to_ml(&self, target: Target) -> Dataset {

@@ -30,6 +30,7 @@ pub mod backtrace;
 pub mod dataset;
 pub mod features;
 pub mod filter;
+pub mod fingerprint;
 pub mod graph;
 pub mod locate;
 pub mod persist;
@@ -41,6 +42,7 @@ pub mod stats;
 pub use backtrace::BacktraceError;
 pub use dataset::{CongestionDataset, Sample, Target};
 pub use features::{FeatureCategory, FEATURE_COUNT};
+pub use fingerprint::{drift, DatasetFingerprint, DriftReport, FINGERPRINT_SCHEMA};
 pub use graph::DepGraph;
 pub use persist::{
     CheckpointEntry, CheckpointLookup, CheckpointStore, PersistError, RecordedFailure,

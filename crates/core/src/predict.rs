@@ -348,6 +348,17 @@ impl CongestionPredictor {
             _ => None,
         }
     }
+
+    /// Model telemetry on `data` (typically the held-out split): split-gain
+    /// importance for the GBRT, plus prediction/residual quantile sketches
+    /// for any model family. Feeds the run ledger (`--ledger-out`).
+    pub fn telemetry(&self, data: &CongestionDataset) -> mlkit::ModelTelemetry {
+        let ml = data.to_ml(self.target);
+        match &self.model {
+            Model::Gbrt(m) => mlkit::ModelTelemetry::of_gbrt(m, &ml.x, &ml.y),
+            other => mlkit::ModelTelemetry::of_regressor(other.as_regressor(), &ml.x, &ml.y),
+        }
+    }
 }
 
 /// A per-operation congestion prediction.

@@ -146,6 +146,25 @@ pub enum MazeKernel {
     ReferenceDijkstra,
 }
 
+impl MazeKernel {
+    /// Parse a CLI name (`astar` | `reference`).
+    pub fn parse(s: &str) -> Option<MazeKernel> {
+        match s {
+            "astar" => Some(MazeKernel::AStar),
+            "reference" => Some(MazeKernel::ReferenceDijkstra),
+            _ => None,
+        }
+    }
+
+    /// Canonical CLI / metrics name (the bench `meta` kernel stamp).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MazeKernel::AStar => "astar",
+            MazeKernel::ReferenceDijkstra => "reference",
+        }
+    }
+}
+
 /// Router options.
 #[derive(Debug, Clone)]
 pub struct RouterOptions {

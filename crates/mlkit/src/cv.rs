@@ -130,10 +130,12 @@ where
 }
 
 /// [`cross_val_mae`] recording per-fold telemetry into `obs`: one `cv.fold`
-/// span and a `cv.fold.wall_ms` histogram sample per fold, plus the
-/// `cv.folds` counter. Each parallel fold records into its own collector;
-/// the records are absorbed **in fold order**, so every deterministic
-/// metric is bit-identical for any worker count.
+/// span, a `cv.fold.wall_ms` histogram sample, and a `cv.fold.mae`
+/// histogram sample per fold (the per-fold accuracy the run ledger keeps),
+/// plus the `cv.folds` counter. Each parallel fold records into its own
+/// collector; the records are absorbed **in fold order**, so every
+/// deterministic metric — per-fold MAE included — is bit-identical for any
+/// worker count.
 pub fn cross_val_mae_observed<M, F>(
     data: &Dataset,
     k: usize,
@@ -154,6 +156,7 @@ where
             fold_mae(data, train_idx, val_idx, &make)
         };
         fold_obs.observe("cv.fold.wall_ms", start.elapsed().as_secs_f64() * 1e3);
+        fold_obs.observe("cv.fold.mae", score);
         fold_obs.inc("cv.folds", 1);
         (score, fold_obs.finish())
     });

@@ -36,6 +36,7 @@ pub mod linear;
 pub mod metrics;
 pub mod model;
 pub mod scaler;
+pub mod telemetry;
 pub mod tree;
 
 pub use ann::{MlpOptions, MlpRegressor};
@@ -47,3 +48,4 @@ pub use gbrt::{GbrtKernel, GbrtOptions, GbrtRegressor};
 pub use linear::{Lasso, LassoOptions};
 pub use model::Regressor;
 pub use scaler::StandardScaler;
+pub use telemetry::ModelTelemetry;

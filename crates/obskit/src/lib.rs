@@ -43,11 +43,15 @@
 
 pub mod clock;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod sink;
+pub mod sketch;
 pub mod span;
 
+pub use ledger::{HistSummary, RunRecord, RUN_SCHEMA};
 pub use metrics::{
     is_timing_metric, HistogramSnapshot, MetricsSnapshot, Registry, DEFAULT_BUCKETS,
 };
+pub use sketch::QuantileSketch;
 pub use span::{Collector, ObsRecord, OwnedSpan, SpanEvent, SpanGuard};

@@ -21,6 +21,10 @@
 //!                       [--gbrt-kernel histogram|exact] [--gbrt-bins N]
 //! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
 //!                       [--gbrt-kernel histogram|exact] [--gbrt-bins N]
+//! hls-congest drift     <fp_a.json> <fp_b.json>      compare two dataset
+//!                                                   fingerprints (per-feature
+//!                                                   PSI + quantile shift;
+//!                                                   nonzero exit on drift)
 //! hls-congest --version                             crate version + git hash
 //! ```
 //!
@@ -30,8 +34,13 @@
 //! ```text
 //! --trace-out <trace.json>     Chrome trace-event JSON (chrome://tracing, Perfetto)
 //! --metrics-out <metrics.json> flat metrics snapshot (obskit.metrics.v1)
+//! --ledger-out <runs.jsonl>    append one obskit.run.v1 record for this run
 //! --profile                    per-span wall-clock table on stdout
 //! ```
+//!
+//! `dataset` additionally takes `--fingerprint-out <fp.json>`: a
+//! `congest.fingerprint.v1` distribution fingerprint of the built dataset
+//! (per-column quantile sketches + matrix digest), consumed by `drift`.
 
 use fpga_hls_congestion::obskit;
 use fpga_hls_congestion::prelude::*;
@@ -64,12 +73,13 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "dataset" => dataset_cmd(rest),
         "train" => train_cmd(rest),
         "predict" => predict_cmd(rest),
+        "drift" => drift_cmd(rest),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> Box<dyn std::error::Error> {
-    "usage: hls-congest <compile|synth|implement|dataset|train|predict> ... (see --help in README)"
+    "usage: hls-congest <compile|synth|implement|dataset|train|predict|drift> ... (see --help in README)"
         .into()
 }
 
@@ -106,6 +116,38 @@ fn emit_observability(
     if bool_flag(args, "--profile") {
         println!("{}", obskit::sink::profile_table(rec));
     }
+    Ok(())
+}
+
+/// Honour `--ledger-out`: append one `obskit.run.v1` record for this run —
+/// identity stamps, config digest, active kernels, and the run's metric
+/// snapshot — then let `extra` add command-specific content (stage
+/// timings, model telemetry, fingerprint digests) before the line lands.
+fn append_ledger(
+    args: &[String],
+    kind: &str,
+    config_digest: u64,
+    kernels: &[(&str, &str)],
+    rec: &obskit::ObsRecord,
+    extra: impl FnOnce(&mut obskit::RunRecord),
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = flag(args, "--ledger-out") else {
+        return Ok(());
+    };
+    let mut run_rec = obskit::RunRecord::new(
+        "hls-congest",
+        kind,
+        env!("CARGO_PKG_VERSION"),
+        option_env!("GIT_HASH").unwrap_or("unknown"),
+    );
+    run_rec.config_digest = format!("{config_digest:016x}");
+    for (which, choice) in kernels {
+        run_rec.kernel(which, choice);
+    }
+    run_rec.absorb_metrics(&rec.metrics);
+    extra(&mut run_rec);
+    run_rec.append_to(std::path::Path::new(path))?;
+    eprintln!("appended run record to {path}");
     Ok(())
 }
 
@@ -314,6 +356,50 @@ fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         congestion_core::stats::dataset_stats(ds, Target::Average)
     );
     println!("wrote {} samples to {out}", ds.len());
+    // Distribution fingerprint: per-column quantile sketches + matrix
+    // digest, byte-identical for any worker count. `drift` compares two.
+    let fingerprint =
+        if flag(args, "--fingerprint-out").is_some() || flag(args, "--ledger-out").is_some() {
+            Some(ds.fingerprint())
+        } else {
+            None
+        };
+    if let (Some(path), Some(fp)) = (flag(args, "--fingerprint-out"), &fingerprint) {
+        std::fs::write(path, fp.to_json())?;
+        eprintln!("wrote dataset fingerprint to {path}");
+    }
+    let totals = report.stage_totals();
+    append_ledger(
+        args,
+        "dataset",
+        flow.config_digest(),
+        &[
+            ("extract", flow.extract.name()),
+            ("place", flow.par.placer.kernel.name()),
+            ("route", flow.par.router.kernel.name()),
+        ],
+        &report.obs,
+        |rec| {
+            for (stage, d) in [
+                ("hls", totals.hls),
+                ("place", totals.place),
+                ("route", totals.route),
+                ("congestion", totals.congestion),
+                ("timing", totals.timing),
+                ("features", totals.features),
+            ] {
+                rec.stage_ms(stage, d.as_secs_f64() * 1e3);
+            }
+            rec.stage_ms("total", report.wall.as_secs_f64() * 1e3);
+            rec.note("designs", &report.designs.len().to_string());
+            rec.note("succeeded", &report.succeeded().to_string());
+            rec.note("samples", &report.dataset.len().to_string());
+            rec.note("workers", &report.workers.to_string());
+            if let Some(fp) = &fingerprint {
+                rec.note("fingerprint", &fp.matrix_digest);
+            }
+        },
+    )?;
     emit_observability(args, &report.obs)
 }
 
@@ -365,13 +451,8 @@ fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     let (train, test) = filtered.kept.split(0.2, 42);
     let obs = Collector::new();
-    let model = CongestionPredictor::train_observed(
-        kind,
-        target,
-        &train,
-        &parse_train_options(args)?,
-        &obs,
-    );
+    let opts = parse_train_options(args)?;
+    let model = CongestionPredictor::train_observed(kind, target, &train, &opts, &obs);
     let acc = model.evaluate(&test);
     println!(
         "{} on {}: MAE {:.2}%, MedAE {:.2}% (held-out 20%)",
@@ -380,7 +461,61 @@ fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         acc.mae,
         acc.medae
     );
-    emit_observability(args, &obs.finish())
+    let rec = obs.finish();
+    // Ledger: model identity + held-out accuracy + telemetry (split-gain
+    // importance, prediction/residual sketches) under one run record.
+    let config = format!(
+        "{}|{}|{:?}|{}|{}",
+        kind.name(),
+        target.name(),
+        opts.gbrt_kernel,
+        opts.gbrt_bins,
+        path
+    );
+    append_ledger(
+        args,
+        "train",
+        fpga_hls_congestion::faultkit::fnv1a(&[b"hls-congest-train-v1", config.as_bytes()]),
+        &[("gbrt", opts.gbrt_kernel.name())],
+        &rec,
+        |run_rec| {
+            run_rec.note("model", kind.name());
+            run_rec.note("target", target.name());
+            run_rec.gauges.insert("eval.mae".to_string(), acc.mae);
+            run_rec.gauges.insert("eval.medae".to_string(), acc.medae);
+            let names = congestion_core::features::feature_names();
+            model.telemetry(&test).record(run_rec, Some(&names), 10);
+        },
+    )?;
+    emit_observability(args, &rec)
+}
+
+/// Compare two dataset fingerprints written by `dataset --fingerprint-out`.
+/// Prints the per-feature drift table; exits nonzero when any feature's
+/// population-stability index crosses the major-drift threshold.
+fn drift_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let files = positional(args);
+    let [a, b] = files.as_slice() else {
+        return Err("drift needs exactly two fingerprint files".into());
+    };
+    let load =
+        |path: &str| -> Result<congestion_core::DatasetFingerprint, Box<dyn std::error::Error>> {
+            let text = std::fs::read_to_string(path)?;
+            congestion_core::DatasetFingerprint::from_json(&text)
+                .map_err(|e| format!("{path}: {e}").into())
+        };
+    let fa = load(a)?;
+    let fb = load(b)?;
+    let report = congestion_core::drift(&fa, &fb)?;
+    println!("{}", report.render(10));
+    if report.severe() {
+        return Err(format!(
+            "severe distribution drift: {} feature(s) over the PSI threshold",
+            report.drifted
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn predict_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

@@ -9,7 +9,9 @@
 //! require.
 
 use fpga_hls_congestion::obskit;
+use fpga_hls_congestion::obskit::QuantileSketch;
 use fpga_hls_congestion::prelude::*;
+use proptest::prelude::*;
 
 /// A Rosetta suite group (face detection, no directives) plus two small
 /// inline designs: enough shape diversity to exercise every stage span
@@ -104,6 +106,101 @@ fn chrome_trace_export_keeps_pinned_fields() {
     );
     assert_eq!(trace.matches('{').count(), trace.matches('}').count());
     assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+}
+
+#[test]
+fn fingerprint_and_ledger_are_bit_identical_across_worker_counts() {
+    // The quality-sentinel artifacts inherit the worker-count determinism
+    // contract: the dataset fingerprint (per-column sketches + matrix
+    // digest) and the deterministic half of a ledger record serialize to
+    // the same bytes whether the build ran on 1 worker or 8.
+    let modules = modules();
+    let run = |workers| {
+        CongestionFlow::fast()
+            .with_workers(workers)
+            .build_dataset_report(&modules)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+
+    let fp_serial = serial.dataset.fingerprint();
+    let fp_parallel = parallel.dataset.fingerprint();
+    assert_eq!(
+        fp_serial.matrix_digest, fp_parallel.matrix_digest,
+        "matrix digest must not depend on worker count"
+    );
+    assert_eq!(
+        fp_serial.to_json(),
+        fp_parallel.to_json(),
+        "full fingerprint serialization must be byte-identical"
+    );
+    // ... and the fingerprint round-trips through its own JSON.
+    let reparsed =
+        congestion_core::DatasetFingerprint::from_json(&fp_serial.to_json()).expect("round-trip");
+    assert_eq!(reparsed.to_json(), fp_serial.to_json());
+    let report = congestion_core::drift(&fp_serial, &fp_parallel).expect("same columns");
+    assert!(report.identical && !report.severe());
+
+    // Ledger records built from the two runs agree on every deterministic
+    // field (counters; kernels; identity stamps). Gauges and stage
+    // timings are wall-clock and excluded, same as the metrics digest.
+    let record = |report: &congestion_core::pipeline::DatasetBuildReport| {
+        let mut rec = obskit::RunRecord::new("test", "dataset", "0.0.0", "deadbeef");
+        rec.kernel("extract", "soa");
+        rec.absorb_metrics(&report.obs.metrics);
+        rec.gauges.clear(); // wall-clock
+        rec.hists
+            .retain(|k, _| !k.ends_with("_ms") && !k.ends_with("_us") && !k.ends_with("_ns"));
+        rec.to_json_line()
+    };
+    assert_eq!(record(&serial), record(&parallel));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sketch_merge_is_invariant_to_partitioning(
+        values in prop::collection::vec(-1e6f64..1e6, 1..200),
+        parts in 1usize..9,
+    ) {
+        // Satellite contract: merging per-worker sketches (chunks merged
+        // in input order, the parkit rule) yields bin-for-bin the same
+        // sketch as one stream, for any worker count. Quantiles are then
+        // bit-identical.
+        let mut single = QuantileSketch::new();
+        for v in &values {
+            single.observe(*v);
+        }
+        let chunk = values.len().div_ceil(parts);
+        let mut merged = QuantileSketch::new();
+        for c in values.chunks(chunk.max(1)) {
+            let mut unit = QuantileSketch::new();
+            for v in c {
+                unit.observe(*v);
+            }
+            merged.merge(&unit);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.zero_count(), single.zero_count());
+        prop_assert_eq!(
+            merged.pos_bins().collect::<Vec<_>>(),
+            single.pos_bins().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            merged.neg_bins().collect::<Vec<_>>(),
+            single.neg_bins().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q).to_bits(),
+                single.quantile(q).to_bits(),
+                "quantile {} differs", q
+            );
+        }
+    }
 }
 
 #[test]
