@@ -4,7 +4,7 @@
 //! experiments [--fast] [--grid-search] [--gbrt-kernel <histogram|exact>] [--gbrt-bins <n>]
 //!             [--place-kernel <delta|reference>] [--extract-kernel <soa|reference>]
 //!             [--pipeline-depth <n>]
-//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|place-bench|router-bench|train-bench|pipeline-bench|all>
+//!             <table1|table3|table4|table5|table6|fig1|fig5|fig6|dataset|ablation|place-bench|router-bench|train-bench|pipeline-bench|serve-bench|all>
 //! experiments --version
 //! ```
 //!
@@ -340,6 +340,25 @@ fn main() {
                 obs.absorb(obskit::ObsRecord {
                     events: Vec::new(),
                     metrics: train_bench::to_metrics(&rows),
+                });
+            }
+            "serve-bench" => {
+                // congestd serving benchmark: in-process throughput (p50/p99,
+                // predictions/s) plus a paced 2× overload run measuring the
+                // shed rate and the every-request-answered invariant. Full
+                // effort refreshes the BENCH_serve.json baseline.
+                let bench = serve_bench::run(effort);
+                emit("serve_bench", &serve_bench::render(&bench));
+                let json = serve_bench::to_json(&bench, effort);
+                artifact::write_bench(
+                    "serve_bench.json",
+                    "BENCH_serve.json",
+                    &json,
+                    effort == Effort::Full,
+                );
+                obs.absorb(obskit::ObsRecord {
+                    events: Vec::new(),
+                    metrics: serve_bench::to_metrics(&bench),
                 });
             }
             "regress" => {

@@ -19,6 +19,7 @@
 //! | [`pipeline_bench`] | dataset-build stack comparison recorded in BENCH_pipeline.json |
 //! | [`router_bench`] | routing-kernel comparison recorded in BENCH_route.json |
 //! | [`train_bench`] | GBRT training-kernel comparison recorded in BENCH_train.json |
+//! | [`serve_bench`] | `congestd` latency/shed-rate run recorded in BENCH_serve.json |
 
 pub mod ablation;
 pub mod artifact;
@@ -31,6 +32,7 @@ pub mod pipeline_bench;
 pub mod place_bench;
 pub mod regress;
 pub mod router_bench;
+pub mod serve_bench;
 pub mod table1;
 pub mod table3;
 pub mod table4;

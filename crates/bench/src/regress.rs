@@ -31,6 +31,7 @@ pub const BASELINES: &[(&str, &str)] = &[
     ("BENCH_route.json", "router_bench.json"),
     ("BENCH_train.json", "train_bench.json"),
     ("BENCH_pipeline.json", "pipeline_bench.json"),
+    ("BENCH_serve.json", "serve_bench.json"),
 ];
 
 /// One violated invariant or tolerance band.
@@ -352,6 +353,86 @@ fn pipeline_checks(name: &str, doc: &Value) -> Vec<Finding> {
     f
 }
 
+fn serve_checks(name: &str, doc: &Value) -> Vec<Finding> {
+    let mut f = Vec::new();
+    // Liveness invariant: every request submitted during the paced 2×
+    // overload run received exactly one typed reply. This is the serving
+    // contract (shed-oldest answers with `overloaded`, never a stall), so
+    // the check is exact, not banded.
+    match counter(doc, "serve_bench.overload.every_request_answered") {
+        Some(1) => {}
+        Some(v) => f.push(Finding::new(
+            name,
+            "liveness",
+            format!("overload run dropped replies (every_request_answered = {v})"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.overload.every_request_answered".to_string(),
+        )),
+    }
+    let submitted = counter(doc, "serve_bench.overload.submitted");
+    let answered = counter(doc, "serve_bench.overload.answered");
+    match (submitted, answered) {
+        (Some(s), Some(a)) if s == a => {}
+        (Some(s), Some(a)) => f.push(Finding::new(
+            name,
+            "liveness",
+            format!("overload answered {a} of {s} submitted requests"),
+        )),
+        _ => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.overload.submitted/answered".to_string(),
+        )),
+    }
+    // Shed-rate band: at 2× offered load with shed-oldest admission the
+    // steady-state shed rate sits near 0.5; the wide band only rejects a
+    // queue that stopped shedding (underload) or shed everything (wedged
+    // worker), not scheduler jitter.
+    match gauge(doc, "serve_bench.overload.shed_rate") {
+        Some(r) if (0.05..=0.95).contains(&r) => {}
+        Some(r) => f.push(Finding::new(
+            name,
+            "quality",
+            format!("2x-overload shed rate {r:.2} outside the (0.05, 0.95) band"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.overload.shed_rate".to_string(),
+        )),
+    }
+    // Perf floor: batched compiled-ensemble inference through the full
+    // request path (committed ~1M predictions/s); the floor is ~20× under
+    // the committed figure to absorb CI-machine noise.
+    floor_band(
+        &mut f,
+        name,
+        doc,
+        "serve_bench.throughput.predictions_per_sec",
+        50_000.0,
+    );
+    // Latency sanity: the server-side sketch must be populated and ordered.
+    let p50 = gauge(doc, "serve_bench.throughput.p50_ms");
+    let p99 = gauge(doc, "serve_bench.throughput.p99_ms");
+    match (p50, p99) {
+        (Some(a), Some(b)) if b + 1e-9 >= a => {}
+        (Some(a), Some(b)) => f.push(Finding::new(
+            name,
+            "quality",
+            format!("p99 {b:.3} ms below p50 {a:.3} ms"),
+        )),
+        _ => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.throughput.p50_ms/p99_ms".to_string(),
+        )),
+    }
+    f
+}
+
 /// All checks for one parsed bench document, dispatched on the baseline
 /// file name. Exposed so the perturbation test (and future tooling) can
 /// gate an in-memory document without touching the filesystem.
@@ -368,6 +449,8 @@ pub fn check_metrics_doc(name: &str, doc: &Value) -> Vec<Finding> {
         f.extend(train_checks(name, doc));
     } else if name.contains("pipeline") {
         f.extend(pipeline_checks(name, doc));
+    } else if name.contains("serve") {
+        f.extend(serve_checks(name, doc));
     }
     f
 }
@@ -523,7 +606,7 @@ mod tests {
     #[test]
     fn committed_baselines_pass_the_gate() {
         let report = run(&repo_root(), None);
-        assert!(report.checked.len() >= 4, "{}", report.render());
+        assert!(report.checked.len() >= 5, "{}", report.render());
         assert!(report.ok(), "{}", report.render());
     }
 
@@ -570,6 +653,39 @@ mod tests {
         }
         let f = check_metrics_doc("BENCH_pipeline.json", &doc);
         assert!(f.iter().any(|x| x.check == "determinism"), "{f:?}");
+    }
+
+    #[test]
+    fn dropped_reply_trips_the_serve_gate() {
+        let text = fs::read_to_string(repo_root().join("BENCH_serve.json")).unwrap();
+        let mut doc = parse(&text).unwrap();
+        assert!(check_metrics_doc("BENCH_serve.json", &doc).is_empty());
+        // A lost reply shows up as answered < submitted and a zeroed
+        // every_request_answered verdict — both must trip the gate.
+        if let Value::Obj(top) = &mut doc {
+            if let Some(Value::Obj(counters)) = top.get_mut("counters") {
+                counters.insert(
+                    "serve_bench.overload.every_request_answered".to_string(),
+                    Value::Num(0.0),
+                );
+                let s = counters["serve_bench.overload.submitted"].as_u64().unwrap();
+                counters.insert(
+                    "serve_bench.overload.answered".to_string(),
+                    Value::Num((s - 1) as f64),
+                );
+            }
+        }
+        let f = check_metrics_doc("BENCH_serve.json", &doc);
+        assert!(
+            f.iter().filter(|x| x.check == "liveness").count() >= 2,
+            "dropped reply must trip the liveness checks: {f:?}"
+        );
+        // Shed rate collapsing to zero (queue never sheds under 2×) is a
+        // quality finding.
+        let mut doc = parse(&text).unwrap();
+        set_gauge(&mut doc, "serve_bench.overload.shed_rate", 0.0);
+        let f = check_metrics_doc("BENCH_serve.json", &doc);
+        assert!(f.iter().any(|x| x.check == "quality"), "{f:?}");
     }
 
     #[test]

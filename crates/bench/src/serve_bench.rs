@@ -1,0 +1,330 @@
+//! `congestd` serving benchmark: in-process load generation against the
+//! real [`servekit::Server`]. Produces the rows recorded in
+//! `BENCH_serve.json`.
+//!
+//! Two phases:
+//!
+//! 1. **Throughput** — a burst of batched predict requests against an
+//!    unconstrained queue; reports p50/p99 request latency (from the
+//!    server's own DDSketch) and predictions/second.
+//! 2. **2× overload** — a single worker whose per-request service time is
+//!    pinned by an injected `serve.predict` delay, driven by a paced
+//!    arrival loop at twice the service rate against a small queue. Under
+//!    sustained 2× overload the shed-oldest policy must shed roughly half
+//!    the offered load — and *every* submitted request must still receive
+//!    exactly one typed reply (`ok` or `overloaded`, never a stall).
+//!
+//! The model under test is a real GBRT ensemble fitted on a synthetic
+//! 302-wide dataset, so the predict path exercises the compiled flat-node
+//! inference kernel, not a stub.
+
+use crate::designs::Effort;
+use faultkit::{serve_stages, FaultKind, FaultPlan, FaultRule};
+use mlkit::{GbrtOptions, GbrtRegressor, Matrix, Regressor};
+use servekit::{ModelArtifact, ReplyStatus, Request, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+/// Results of the paced 2× overload phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadRun {
+    /// Requests submitted by the load generator.
+    pub submitted: usize,
+    /// `overloaded` replies (shed-oldest victims).
+    pub shed: usize,
+    /// `ok` replies.
+    pub ok: usize,
+    /// Any other typed reply (degraded / deadline / error).
+    pub other: usize,
+    /// Injected per-request service time, milliseconds.
+    pub service_ms: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl OverloadRun {
+    /// Fraction of the offered load that was shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.submitted as f64
+    }
+
+    /// True when every submitted request received exactly one typed reply.
+    pub fn every_request_answered(&self) -> bool {
+        self.shed + self.ok + self.other == self.submitted
+    }
+}
+
+/// The full serve-bench result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// Throughput-phase request count.
+    pub requests: usize,
+    /// Feature rows per predict request.
+    pub batch_rows: usize,
+    /// Feature columns (the paper's 302).
+    pub features: usize,
+    /// Boosting stages per target ensemble.
+    pub trees: usize,
+    /// Median request latency, milliseconds (server-side sketch).
+    pub p50_ms: f64,
+    /// Tail request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Throughput-phase wall clock, milliseconds.
+    pub wall_ms: f64,
+    /// Per-op predictions per second ((requests × batch) / wall).
+    pub predictions_per_sec: f64,
+    /// The overload phase.
+    pub overload: OverloadRun,
+}
+
+/// Deterministic synthetic feature matrix + labels (no RNG dependency:
+/// a splitmix-style integer mix keyed by (row, col)).
+fn synthetic(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+    let mix = |a: u64, b: u64| {
+        let mut z = a
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z ^= z >> 30;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z
+    };
+    let mut x = Matrix::with_cols(cols);
+    let mut y = Vec::with_capacity(rows);
+    let mut row = vec![0.0f64; cols];
+    for i in 0..rows {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = (mix(i as u64, j as u64) % 1000) as f64 / 100.0;
+        }
+        // Label mixes a linear term, an interaction, and a threshold —
+        // enough structure that the GBRT grows real trees.
+        y.push(3.0 * row[1] + 0.8 * row[5] * row[9] + if row[40] > 5.0 { 12.0 } else { 0.0 });
+        x.push_row(&row);
+    }
+    (x, y)
+}
+
+fn fitted_artifact(train_rows: usize, cols: usize, trees: usize) -> ModelArtifact {
+    let (x, y) = synthetic(train_rows, cols);
+    let fit = |seed_shift: f64| {
+        let shifted: Vec<f64> = y.iter().map(|v| v * seed_shift).collect();
+        let mut m = GbrtRegressor::new(GbrtOptions {
+            n_estimators: trees,
+            workers: 1,
+            ..Default::default()
+        });
+        m.fit(&x, &shifted);
+        m.compiled().clone()
+    };
+    ModelArtifact {
+        name: "gbrt-bench".into(),
+        version: 1,
+        feature_count: cols,
+        trained_on: "synthetic".into(),
+        vertical: fit(1.0),
+        horizontal: fit(0.5),
+    }
+}
+
+/// Run the serve benchmark at `effort`.
+pub fn run(effort: Effort) -> ServeBench {
+    let cols = congestion_core::features::FEATURE_COUNT;
+    let (train_rows, trees, requests, batch_rows, overload_requests) = match effort {
+        Effort::Full => (600, 120, 120, 64, 240),
+        Effort::Fast => (150, 20, 24, 16, 60),
+    };
+    let artifact = fitted_artifact(train_rows, cols, trees);
+    let (batch_x, _) = synthetic(batch_rows, cols);
+    let batch: Vec<Vec<f64>> = batch_x.iter_rows().map(<[f64]>::to_vec).collect();
+
+    // Phase 1: throughput. Queue sized to the burst, two workers.
+    let mut cfg = ServeConfig {
+        queue_capacity: requests.max(8),
+        workers: 2,
+        ..Default::default()
+    };
+    cfg.gate.expected_features = cols;
+    let (server, report) = Server::start(cfg, Some(artifact.clone()), None).expect("start");
+    assert!(report.install_error.is_none(), "{report:?}");
+    let started = Instant::now();
+    let rxs: Vec<_> = (0..requests)
+        .map(|i| server.submit(Request::predict(i as u64, batch.clone())))
+        .collect();
+    for rx in rxs {
+        let reply = rx.recv().expect("throughput reply");
+        assert_eq!(reply.status, ReplyStatus::Ok, "{reply:?}");
+    }
+    let wall = started.elapsed();
+    let snap = server.metrics();
+    let gauge = |k: &str| snap.gauges.get(k).copied().unwrap_or(0.0);
+    let (p50_ms, p99_ms) = (gauge("serve.latency_ms.p50"), gauge("serve.latency_ms.p99"));
+    server.shutdown();
+    let predictions_per_sec = (requests * batch_rows) as f64 / wall.as_secs_f64().max(1e-9);
+
+    // Phase 2: 2× overload. One worker, service time pinned by an injected
+    // delay at serve.predict, arrivals paced at twice the service rate.
+    let service_ms = 4u64;
+    let queue_capacity = 8usize;
+    let mut cfg = ServeConfig {
+        queue_capacity,
+        workers: 1,
+        ..Default::default()
+    };
+    cfg.gate.expected_features = cols;
+    cfg.plan = Some(std::sync::Arc::new(
+        FaultPlan::new(7).with_rule(
+            FaultRule::once(
+                "*",
+                serve_stages::PREDICT,
+                FaultKind::Delay(Duration::from_millis(service_ms)),
+            )
+            .for_attempts(u32::MAX),
+        ),
+    ));
+    let (server, _) = Server::start(cfg, Some(artifact), None).expect("start overload");
+    let interval = Duration::from_millis(service_ms) / 2;
+    let small_batch: Vec<Vec<f64>> = batch.iter().take(4).cloned().collect();
+    let rxs: Vec<_> = (0..overload_requests)
+        .map(|i| {
+            let rx = server.submit(Request::predict(i as u64, small_batch.clone()));
+            std::thread::sleep(interval);
+            rx
+        })
+        .collect();
+    let mut overload = OverloadRun {
+        submitted: overload_requests,
+        shed: 0,
+        ok: 0,
+        other: 0,
+        service_ms,
+        queue_capacity,
+    };
+    // An unanswered request fails every_request_answered below.
+    for rx in rxs {
+        if let Ok(reply) = rx.recv_timeout(Duration::from_secs(30)) {
+            match reply.status {
+                ReplyStatus::Overloaded => overload.shed += 1,
+                ReplyStatus::Ok => overload.ok += 1,
+                _ => overload.other += 1,
+            }
+        }
+    }
+    server.shutdown();
+
+    ServeBench {
+        requests,
+        batch_rows,
+        features: cols,
+        trees,
+        p50_ms,
+        p99_ms,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        predictions_per_sec,
+        overload,
+    }
+}
+
+/// Flatten into the `obskit.metrics.v1` counter/gauge namespace.
+pub fn to_metrics(b: &ServeBench) -> obskit::MetricsSnapshot {
+    let mut reg = obskit::Registry::new();
+    reg.inc("serve_bench.throughput.requests", b.requests as u64);
+    reg.inc(
+        "serve_bench.throughput.predictions",
+        (b.requests * b.batch_rows) as u64,
+    );
+    reg.inc("serve_bench.model.features", b.features as u64);
+    reg.inc("serve_bench.model.trees", b.trees as u64);
+    reg.set_gauge("serve_bench.throughput.p50_ms", b.p50_ms);
+    reg.set_gauge("serve_bench.throughput.p99_ms", b.p99_ms);
+    reg.set_gauge("serve_bench.throughput.wall_ms", b.wall_ms);
+    reg.set_gauge(
+        "serve_bench.throughput.predictions_per_sec",
+        b.predictions_per_sec,
+    );
+    reg.inc(
+        "serve_bench.overload.submitted",
+        b.overload.submitted as u64,
+    );
+    reg.inc("serve_bench.overload.shed", b.overload.shed as u64);
+    reg.inc("serve_bench.overload.ok", b.overload.ok as u64);
+    reg.inc(
+        "serve_bench.overload.answered",
+        (b.overload.shed + b.overload.ok + b.overload.other) as u64,
+    );
+    reg.inc(
+        "serve_bench.overload.every_request_answered",
+        u64::from(b.overload.every_request_answered()),
+    );
+    reg.set_gauge("serve_bench.overload.shed_rate", b.overload.shed_rate());
+    reg.inc("serve_bench.overload.service_ms", b.overload.service_ms);
+    reg.inc(
+        "serve_bench.overload.queue_capacity",
+        b.overload.queue_capacity as u64,
+    );
+    reg.into_snapshot()
+}
+
+/// Serialize through the canonical bench-artifact writer schema.
+pub fn to_json(b: &ServeBench, effort: Effort) -> String {
+    crate::artifact::bench_json("experiments serve-bench", effort, &to_metrics(b))
+}
+
+/// Human-readable report.
+pub fn render(b: &ServeBench) -> String {
+    let mut out = String::from("SERVE BENCH (congestd, in-process)\n");
+    out.push_str(&format!(
+        "  throughput: {} requests x {} rows ({} features, {} trees/target)\n",
+        b.requests, b.batch_rows, b.features, b.trees
+    ));
+    out.push_str(&format!(
+        "    p50 {:.2} ms | p99 {:.2} ms | {:.0} predictions/s ({:.0} ms wall)\n",
+        b.p50_ms, b.p99_ms, b.predictions_per_sec, b.wall_ms
+    ));
+    out.push_str(&format!(
+        "  2x overload: {} submitted at {} ms service / {} queue -> {} ok, {} shed, {} other\n",
+        b.overload.submitted,
+        b.overload.service_ms,
+        b.overload.queue_capacity,
+        b.overload.ok,
+        b.overload.shed,
+        b.overload.other
+    ));
+    out.push_str(&format!(
+        "    shed rate {:.2} | every request answered: {}\n",
+        b.overload.shed_rate(),
+        b.overload.every_request_answered()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_serve_bench_sheds_under_overload_and_answers_everything() {
+        let b = run(Effort::Fast);
+        assert!(b.predictions_per_sec > 0.0);
+        assert!(b.p99_ms >= b.p50_ms);
+        assert!(
+            b.overload.every_request_answered(),
+            "no request may be dropped without a typed reply: {:?}",
+            b.overload
+        );
+        assert!(
+            b.overload.shed > 0,
+            "2x overload must shed: {:?}",
+            b.overload
+        );
+        let snap = to_metrics(&b);
+        assert_eq!(
+            snap.counters["serve_bench.overload.every_request_answered"],
+            1
+        );
+        let json = to_json(&b, Effort::Fast);
+        assert!(json.contains("\"schema\": \"obskit.metrics.v1\""));
+        assert!(json.contains("serve_bench.overload.shed_rate"));
+    }
+}

@@ -341,6 +341,16 @@ impl CongestionPredictor {
         out
     }
 
+    /// The flattened inference engine, when this predictor is a GBRT.
+    /// Serving exports this into a `servekit` model artifact so `congestd`
+    /// predicts without carrying the training-side ensemble.
+    pub fn compiled_ensemble(&self) -> Option<&mlkit::CompiledEnsemble> {
+        match &self.model {
+            Model::Gbrt(m) => Some(m.compiled()),
+            _ => None,
+        }
+    }
+
     /// GBRT split-count feature importance (None for other models).
     pub fn feature_importance(&self) -> Option<Vec<f64>> {
         match &self.model {
@@ -359,6 +369,38 @@ impl CongestionPredictor {
             other => mlkit::ModelTelemetry::of_regressor(other.as_regressor(), &ml.x, &ml.y),
         }
     }
+}
+
+/// Extract one feature row per operation of a synthesized design — the
+/// serving-path twin of [`CongestionPredictor::predict_design`]: identical
+/// extraction (same graph, same SoA kernel), but the raw rows come back
+/// (paired with their source lines) instead of being pushed through a
+/// model, so `congestd` can batch them through whatever artifact is
+/// active.
+pub fn extract_feature_rows(
+    design: &SynthesizedDesign,
+    device: &Device,
+) -> (Vec<Vec<f64>>, Vec<u32>) {
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    let mut row = [0.0f64; FEATURE_COUNT];
+    for fid in design.module.bottom_up_order() {
+        let f = design.module.function(fid);
+        let binding = &design.bindings[&fid];
+        let graph = DepGraph::build(f, Some(binding), true);
+        let ctx = ExtractCtx::new(&graph, design, fid, device);
+        for (ni, node) in graph.nodes.iter().enumerate() {
+            if node.is_port || node.ops.is_empty() {
+                continue;
+            }
+            ctx.extract_into(ni, &mut row);
+            for &op in &node.ops {
+                rows.push(row.to_vec());
+                lines.push(f.op(op).loc.map(|l| l.line).unwrap_or(0));
+            }
+        }
+    }
+    (rows, lines)
 }
 
 /// A per-operation congestion prediction.

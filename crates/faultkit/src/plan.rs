@@ -254,6 +254,24 @@ fn parse_rule(v: &Value, i: usize) -> Result<FaultRule, PlanParseError> {
     })
 }
 
+/// Canonical injection-point names inside the serving daemon (`congestd`),
+/// so chaos plans, the server, and tests agree on spelling. Stage names in
+/// a [`FaultPlan`] are free strings — these constants are the serve-side
+/// vocabulary, the way `hls`/`route`/`backtrace`/`features` are the
+/// dataset-side one.
+pub mod serve_stages {
+    /// Request admission: queue push, framing, request decode.
+    pub const ADMISSION: &str = "serve.admission";
+    /// On-the-fly feature extraction for `Source` requests.
+    pub const EXTRACT: &str = "serve.extract";
+    /// Batched ensemble inference (`predict_into`).
+    pub const PREDICT: &str = "serve.predict";
+    /// Model-registry hot-swap (load, validate, commit).
+    pub const SWAP: &str = "serve.swap";
+    /// Every serve-side injection point, in lifecycle order.
+    pub const ALL: &[&str] = &[ADMISSION, EXTRACT, PREDICT, SWAP];
+}
+
 /// FNV-1a over an arbitrary byte stream — the only "randomness" in
 /// faultkit, and a convenient stable digest for callers keying
 /// checkpoints or deriving jitter.
@@ -353,6 +371,26 @@ mod tests {
     }
 
     #[test]
+    fn serve_stage_points_match_and_roundtrip() {
+        let mut plan = FaultPlan::new(3);
+        for (i, stage) in serve_stages::ALL.iter().enumerate() {
+            plan.rules.push(FaultRule {
+                attempts_below: i as u32 + 1,
+                ..FaultRule::once("*", stage, FaultKind::Error)
+            });
+        }
+        for stage in serve_stages::ALL {
+            assert!(
+                plan.fault_for("req-17", stage, 0).is_some(),
+                "serve stage `{stage}` must be targetable"
+            );
+        }
+        assert!(plan.fault_for("req-17", "serve.reply", 0).is_none());
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back, "serve-stage plans survive the JSON round-trip");
+    }
+
+    #[test]
     fn bad_plans_rejected_with_context() {
         for (text, needle) in [
             ("[]", "object"),                             // not an object
@@ -398,7 +436,12 @@ mod tests {
             for i in 0..n {
                 plan.rules.push(FaultRule {
                     design: format!("design-{i}"),
-                    stage: if i % 2 == 0 { "hls".into() } else { "*".into() },
+                    stage: match i % 4 {
+                        0 => "hls".into(),
+                        1 => "*".into(),
+                        2 => serve_stages::PREDICT.into(),
+                        _ => serve_stages::ADMISSION.into(),
+                    },
                     kind: kind.clone(),
                     attempts_below: attempts,
                     probability: f64::from(prob_pct) / 100.0,

@@ -95,6 +95,109 @@ impl CompiledEnsemble {
         c
     }
 
+    /// Rebuild an ensemble from its raw parts — the deserialization path
+    /// for serialized model artifacts (`servekit.model.v1`). Unlike
+    /// [`Self::from_trees`], the input is untrusted (a file on disk), so
+    /// every structural invariant the traversal relies on is checked:
+    ///
+    /// * every root index is inside the node table;
+    /// * every split node's children are inside the table **and** strictly
+    ///   after the node itself (the push-order layout `from_trees`
+    ///   produces), which also proves the table is acyclic — a corrupt
+    ///   artifact can therefore never hang or out-of-bounds a traversal;
+    /// * every split feature is below `n_features`;
+    /// * `base`/`scale` and all thresholds are finite.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn from_raw(
+        base: f64,
+        scale: f64,
+        roots: Vec<u32>,
+        nodes: Vec<(u32, u32, u32, f64)>,
+        n_features: usize,
+    ) -> Result<CompiledEnsemble, String> {
+        if !base.is_finite() || !scale.is_finite() {
+            return Err("base/scale must be finite".to_string());
+        }
+        let len = nodes.len();
+        for (i, &root) in roots.iter().enumerate() {
+            if root as usize >= len {
+                return Err(format!(
+                    "tree {i}: root {root} outside the {len}-node table"
+                ));
+            }
+        }
+        let compiled: Vec<CompiledNode> = nodes
+            .iter()
+            .map(|&(feature, left, right, threshold)| CompiledNode {
+                feature,
+                left,
+                right,
+                threshold,
+            })
+            .collect();
+        for (i, n) in compiled.iter().enumerate() {
+            if !n.threshold.is_finite() {
+                return Err(format!("node {i}: non-finite threshold/leaf value"));
+            }
+            if n.feature == LEAF {
+                continue;
+            }
+            if n.feature as usize >= n_features {
+                return Err(format!(
+                    "node {i}: split feature {} outside the {n_features}-feature space",
+                    n.feature
+                ));
+            }
+            for child in [n.left, n.right] {
+                if child as usize >= len {
+                    return Err(format!(
+                        "node {i}: child {child} outside the {len}-node table"
+                    ));
+                }
+                // Children strictly after parents is the layout from_trees
+                // emits; enforcing it proves acyclicity in one pass.
+                if child as usize <= i {
+                    return Err(format!(
+                        "node {i}: child {child} does not follow its parent (cycle risk)"
+                    ));
+                }
+            }
+        }
+        Ok(CompiledEnsemble {
+            base,
+            scale,
+            nodes: compiled,
+            roots,
+        })
+    }
+
+    /// Constant prediction offset (the training-target mean).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Shrinkage applied to the summed tree outputs.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Root node index of each tree, in boosting-stage order.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// The packed node table as `(feature, left, right, threshold)` rows,
+    /// in table order. Leaves carry [`u32::MAX`] in the feature field and
+    /// their value in the threshold field — the exact shape
+    /// [`Self::from_raw`] accepts, so serialize/deserialize round-trips.
+    pub fn nodes_raw(&self) -> impl Iterator<Item = (u32, u32, u32, f64)> + '_ {
+        self.nodes
+            .iter()
+            .map(|n| (n.feature, n.left, n.right, n.threshold))
+    }
+
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.roots.len()
@@ -237,6 +340,53 @@ mod tests {
         // A binary tree with s splits has s+1 leaves => 2s+1 nodes.
         assert_eq!(c.n_nodes(), expected);
         assert_eq!(c.n_trees(), 4);
+    }
+
+    #[test]
+    fn raw_round_trip_is_bitwise() {
+        let (x, y) = wavy(150, 4);
+        let trees = fit_forest(&x, &y, 5);
+        let c = CompiledEnsemble::from_trees(0.7, 0.09, &trees);
+        let back = CompiledEnsemble::from_raw(
+            c.base(),
+            c.scale(),
+            c.roots().to_vec(),
+            c.nodes_raw().collect(),
+            x.cols(),
+        )
+        .unwrap();
+        for row in x.iter_rows() {
+            assert_eq!(
+                back.predict_row(row).to_bits(),
+                c.predict_row(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn from_raw_rejects_corrupt_tables() {
+        let split = |f: u32, l: u32, r: u32| (f, l, r, 0.5);
+        let leaf = (LEAF, 0, 0, 1.0);
+        // Root outside the table.
+        let e = CompiledEnsemble::from_raw(0.0, 1.0, vec![3], vec![leaf], 4).unwrap_err();
+        assert!(e.contains("root"), "{e}");
+        // Child outside the table.
+        let e = CompiledEnsemble::from_raw(0.0, 1.0, vec![0], vec![split(0, 1, 9)], 4).unwrap_err();
+        assert!(e.contains("outside"), "{e}");
+        // Self-referencing child (cycle).
+        let e = CompiledEnsemble::from_raw(0.0, 1.0, vec![0], vec![split(0, 0, 0)], 4).unwrap_err();
+        assert!(e.contains("cycle"), "{e}");
+        // Split feature outside the feature space.
+        let e = CompiledEnsemble::from_raw(0.0, 1.0, vec![0], vec![split(7, 1, 1), leaf], 4)
+            .unwrap_err();
+        assert!(e.contains("feature"), "{e}");
+        // Non-finite leaf value.
+        let e = CompiledEnsemble::from_raw(0.0, 1.0, vec![0], vec![(LEAF, 0, 0, f64::NAN)], 4)
+            .unwrap_err();
+        assert!(e.contains("finite"), "{e}");
+        // Non-finite scale.
+        let e = CompiledEnsemble::from_raw(0.0, f64::INFINITY, vec![], vec![], 4).unwrap_err();
+        assert!(e.contains("finite"), "{e}");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sink;
 pub mod sketch;
 pub mod span;
 
-pub use ledger::{HistSummary, RunRecord, RUN_SCHEMA};
+pub use ledger::{read_jsonl, HistSummary, LedgerRead, RunRecord, RUN_SCHEMA};
 pub use metrics::{
     is_timing_metric, HistogramSnapshot, MetricsSnapshot, Registry, DEFAULT_BUCKETS,
 };

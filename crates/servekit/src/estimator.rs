@@ -1,0 +1,98 @@
+//! The analytic pre-route congestion estimator — the bottom rung of the
+//! degradation ladder.
+//!
+//! When the model path fails terminally (no valid artifact, persistent
+//! injected faults, poisoned swap with no last-good), the daemon still
+//! answers: a fixed linear estimate over the feature families the paper
+//! identifies as congestion-correlated (interconnection density and global
+//! routing demand), clamped to the congestion scale. It is deliberately
+//! simple — no fitted state, no file, no failure modes — so it is *always*
+//! available, and replies that used it are stamped `degraded=true`.
+
+/// Feature-range weights of the analytic estimate. The ranges mirror
+/// `congestion_core::features::FeatureCategory` for the default 302-wide
+/// rows but are carried explicitly so servekit stays decoupled from the
+/// extractor crate (and keeps working for any row width in tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticEstimator {
+    /// Half-open feature range summarizing local interconnection density.
+    pub interconnection: (usize, usize),
+    /// Half-open feature range summarizing global routing demand.
+    pub global: (usize, usize),
+}
+
+/// The model name stamped on degraded replies answered by the estimator.
+pub const ANALYTIC_MODEL: &str = "analytic";
+
+impl Default for AnalyticEstimator {
+    fn default() -> Self {
+        // FeatureCategory ranges of the 302-feature extractor:
+        // Interconnection occupies columns 1..19, Global 276..302.
+        AnalyticEstimator {
+            interconnection: (1, 19),
+            global: (276, 302),
+        }
+    }
+}
+
+impl AnalyticEstimator {
+    fn range_mean(row: &[f64], (lo, hi): (usize, usize)) -> f64 {
+        let hi = hi.min(row.len());
+        if lo >= hi {
+            return 0.0;
+        }
+        let slice = &row[lo..hi];
+        let sum: f64 = slice.iter().filter(|v| v.is_finite()).sum();
+        sum / slice.len() as f64
+    }
+
+    /// Estimate `(vertical, horizontal)` congestion (%) for one feature
+    /// row. Pure, total, and clamped to `[0, 200]` — it cannot panic or
+    /// return non-finite values for any input.
+    pub fn predict(&self, row: &[f64]) -> (f64, f64) {
+        let inter = Self::range_mean(row, self.interconnection);
+        let global = Self::range_mean(row, self.global);
+        // Vertical tracks interconnection pressure slightly harder than
+        // horizontal (the paper's V maps saturate first); both pick up the
+        // global-demand term.
+        let v = (14.0 + 2.2 * inter + 0.6 * global).clamp(0.0, 200.0);
+        let h = (12.0 + 1.8 * inter + 0.5 * global).clamp(0.0, 200.0);
+        (v, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_are_total_and_clamped() {
+        let e = AnalyticEstimator::default();
+        for row in [
+            vec![],
+            vec![0.0; 4],
+            vec![f64::NAN; 302],
+            vec![1e12; 302],
+            vec![-1e12; 302],
+        ] {
+            let (v, h) = e.predict(&row);
+            assert!(v.is_finite() && h.is_finite(), "{row:?}");
+            assert!((0.0..=200.0).contains(&v));
+            assert!((0.0..=200.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn denser_interconnection_estimates_hotter() {
+        let e = AnalyticEstimator::default();
+        let mut cool = vec![0.0; 302];
+        let mut hot = vec![0.0; 302];
+        for i in 1..19 {
+            cool[i] = 1.0;
+            hot[i] = 20.0;
+        }
+        let (vc, hc) = e.predict(&cool);
+        let (vh, hh) = e.predict(&hot);
+        assert!(vh > vc && hh > hc);
+    }
+}

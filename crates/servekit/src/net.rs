@@ -1,0 +1,283 @@
+//! Wire transport for `congestd`.
+//!
+//! Native protocol: 4-byte little-endian length prefix followed by one
+//! JSON-encoded [`Request`]; the reply comes back the same way. One
+//! request per frame, many frames per connection. Frames are capped so a
+//! hostile (or torn) prefix cannot make the daemon allocate gigabytes.
+//!
+//! Convenience protocol: the accept loop sniffs the first bytes of each
+//! connection — `POST`/`GET ` switches to a minimal HTTP/1.1 handler so
+//! `curl -d '{...}' http://addr/` works for demos and smoke tests. This is
+//! deliberately not a web server: one request per connection, only
+//! `Content-Length` bodies, JSON in, JSON out.
+
+use crate::proto::{Reply, Request};
+use crate::server::Server;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted frame (64 MiB — a full-design batch is well under).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Write one length-prefixed JSON frame.
+pub fn write_frame(w: &mut impl Write, json: &str) -> std::io::Result<()> {
+    let bytes = json.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                bytes.len()
+            ),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one length-prefixed JSON frame. `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Bind `addr` and serve until the server shuts down. Returns the bound
+/// address immediately via `on_bound` (so callers can bind port 0), then
+/// blocks in the accept loop: one thread per connection, shutdown polled
+/// between accepts.
+pub fn serve_tcp(
+    server: Arc<Server>,
+    addr: &str,
+    on_bound: impl FnOnce(SocketAddr),
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    on_bound(listener.local_addr()?);
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !server.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = server.clone();
+                conns.push(std::thread::spawn(move || {
+                    let _ = handle_conn(&server, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle_conn(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    // Sniff the protocol: an HTTP verb in the first bytes means a human
+    // with curl; anything else is a native length-prefixed peer.
+    let mut head = [0u8; 4];
+    let n = stream.peek(&mut head)?;
+    if n >= 4 && (&head == b"POST" || &head == b"GET ") {
+        return handle_http(server, stream);
+    }
+    handle_native(server, stream)
+}
+
+fn handle_native(server: &Server, mut stream: TcpStream) -> std::io::Result<()> {
+    while let Some(json) = read_frame(&mut stream)? {
+        let reply = dispatch(server, &json);
+        write_frame(&mut stream, &reply.to_json())?;
+        if server.is_shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Parse-or-reject, then run the request through the server. A frame that
+/// does not parse still gets a typed `Error` reply (id 0).
+fn dispatch(server: &Server, json: &str) -> Reply {
+    match Request::from_json(json) {
+        Ok(req) => server.call(req),
+        Err(e) => Reply::error(0, format!("bad request: {e}")),
+    }
+}
+
+fn handle_http(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let is_get = request_line.starts_with("GET ");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v;
+        }
+    }
+    let reply = if is_get {
+        // `curl http://addr/` — a bare status probe.
+        server.call(Request {
+            id: 0,
+            deadline_ms: None,
+            body: crate::proto::RequestBody::Status,
+        })
+    } else if content_length as u64 > MAX_FRAME as u64 {
+        Reply::error(0, "request body exceeds the frame cap")
+    } else {
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        match String::from_utf8(body) {
+            Ok(json) => dispatch(server, &json),
+            Err(_) => Reply::error(0, "request body is not UTF-8"),
+        }
+    };
+    let json = reply.to_json();
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        json.len(),
+        json
+    )?;
+    stream.flush()
+}
+
+/// Client helper: connect, send one request, read one reply.
+///
+/// # Errors
+/// Socket/framing errors; a reply that fails to parse maps to
+/// `InvalidData`.
+pub fn request(addr: impl ToSocketAddrs, req: &Request) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &req.to_json())?;
+    let json = read_frame(&mut stream)?.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before reply",
+        )
+    })?;
+    Reply::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ReplyStatus;
+    use crate::server::ServeConfig;
+
+    fn started() -> Arc<Server> {
+        let (s, _) = Server::start(ServeConfig::default(), None, None).unwrap();
+        Arc::new(s)
+    }
+
+    fn spawn_server(server: Arc<Server>) -> SocketAddr {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            serve_tcp(srv, "127.0.0.1:0", move |addr| {
+                let _ = tx.send(addr);
+            })
+            .unwrap();
+        });
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap_is_enforced() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"x\":1}").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), "{\"x\":1}");
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let e = read_frame(&mut std::io::Cursor::new(oversized)).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn native_protocol_serves_and_shuts_down() {
+        let server = started();
+        let addr = spawn_server(server.clone());
+        let reply = request(addr, &Request::predict(7, vec![vec![1.0; 8]])).unwrap();
+        assert_eq!(reply.id, 7);
+        assert_eq!(reply.status, ReplyStatus::Degraded, "no model installed");
+        // Garbage frame gets a typed error, not a dropped connection.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, "not json").unwrap();
+        let r = Reply::from_json(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+        assert_eq!(r.status, ReplyStatus::Error);
+        // Shutdown request stops the accept loop.
+        let r = request(
+            addr,
+            &Request {
+                id: 9,
+                deadline_ms: None,
+                body: crate::proto::RequestBody::Shutdown,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, ReplyStatus::Ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_fallback_answers_curl_style_requests() {
+        let server = started();
+        let addr = spawn_server(server.clone());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = "{\"id\":3,\"kind\":\"status\"}";
+        write!(
+            stream,
+            "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        let json = resp.split("\r\n\r\n").nth(1).unwrap();
+        let reply = Reply::from_json(json).unwrap();
+        assert_eq!(reply.id, 3);
+        assert_eq!(reply.model, "analytic");
+        server.shutdown();
+    }
+}

@@ -19,8 +19,22 @@
 //!     --resume                    replay verdicts committed by a prior run
 //! hls-congest train     <data.csv> [--model linear|ann|gbrt] [--target v|h|avg]
 //!                       [--gbrt-kernel histogram|exact] [--gbrt-bins N]
+//!                       [--model-out artifact.json] [--model-version N]
+//!                                                   export a servekit model
+//!                                                   artifact (GBRT V + H)
 //! hls-congest predict   <file.mhls> --data data.csv  hottest source lines + fixes
 //!                       [--gbrt-kernel histogram|exact] [--gbrt-bins N]
+//! hls-congest serve     [--model artifact.json] [--addr 127.0.0.1:0]
+//!                       [--golden data.csv] [--mae-band PP] [--expect-features N]
+//!                       [--queue-capacity N] [--serve-workers N] [--deadline-ms MS]
+//!                       [--journal journal.jsonl] [--fault-plan plan.json]
+//!                       [--max-retries N] [--ledger-out runs.jsonl]
+//!                                                   run congestd: the crash-only,
+//!                                                   load-shedding prediction daemon
+//! hls-congest serve-client --addr HOST:PORT
+//!                       (--status | --shutdown | --rollback | --swap artifact.json
+//!                        | --rows-from data.csv [--limit N] | --source file.mhls)
+//!                       [--deadline-ms MS] [--id N]   one request against congestd
 //! hls-congest drift     <fp_a.json> <fp_b.json>      compare two dataset
 //!                                                   fingerprints (per-feature
 //!                                                   PSI + quantile shift;
@@ -74,12 +88,14 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "train" => train_cmd(rest),
         "predict" => predict_cmd(rest),
         "drift" => drift_cmd(rest),
+        "serve" => serve_cmd(rest),
+        "serve-client" => serve_client_cmd(rest),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> Box<dyn std::error::Error> {
-    "usage: hls-congest <compile|synth|implement|dataset|train|predict|drift> ... (see --help in README)"
+    "usage: hls-congest <compile|synth|implement|dataset|train|predict|drift|serve|serve-client> ... (see --help in README)"
         .into()
 }
 
@@ -170,7 +186,15 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that take no value; `positional()` must not swallow the token
 /// that follows them.
-const BOOL_FLAGS: &[&str] = &["--router-stats", "--profile", "--version", "--resume"];
+const BOOL_FLAGS: &[&str] = &[
+    "--router-stats",
+    "--profile",
+    "--version",
+    "--resume",
+    "--status",
+    "--shutdown",
+    "--rollback",
+];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -284,6 +308,192 @@ fn implement_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         result.congestion.render(true)
     );
     emit_observability(args, &obs.finish())
+}
+
+/// `serve` — run `congestd`. Binds the address (port 0 picks a free
+/// port), prints one `congestd listening on ...` line once bound, then
+/// serves until a `shutdown` request arrives. Every flag maps onto
+/// [`servekit::ServeConfig`]; `--golden` + `--mae-band` configure the
+/// hot-swap validation gate, `--journal` enables crash-only recovery,
+/// and `--fault-plan` arms chaos injection at the `serve.*` stages.
+fn serve_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use fpga_hls_congestion::servekit::{
+        self, GoldenBatch, LedgerSink, ModelArtifact, ServeConfig,
+    };
+    let mut cfg = ServeConfig::default();
+    cfg.gate.expected_features = congestion_core::features::FEATURE_COUNT;
+    if let Some(n) = flag(args, "--expect-features") {
+        cfg.gate.expected_features = n.parse()?;
+    }
+    cfg.gate.mae_band = match flag(args, "--mae-band") {
+        Some(s) => s.parse()?,
+        None => 25.0,
+    };
+    if let Some(path) = flag(args, "--golden") {
+        let ds = congestion_core::persist::load(path)?;
+        let rows: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.features_of(i).to_vec()).collect();
+        let v: Vec<f64> = ds.samples.iter().map(|s| s.vertical).collect();
+        let h: Vec<f64> = ds.samples.iter().map(|s| s.horizontal).collect();
+        cfg.gate.golden = Some(GoldenBatch::new(rows, v, h, 512));
+        eprintln!(
+            "gate: golden batch of {} rows from {path}",
+            ds.len().min(512)
+        );
+    }
+    if let Some(n) = flag(args, "--queue-capacity") {
+        cfg.queue_capacity = n.parse()?;
+    }
+    if let Some(n) = flag(args, "--serve-workers") {
+        cfg.workers = n.parse()?;
+    }
+    if let Some(ms) = flag(args, "--deadline-ms") {
+        cfg.default_deadline = Some(std::time::Duration::from_millis(ms.parse()?));
+    }
+    if let Some(path) = flag(args, "--journal") {
+        cfg.journal_path = Some(path.into());
+    }
+    if let Some(path) = flag(args, "--fault-plan") {
+        let text = std::fs::read_to_string(path)?;
+        let plan = fpga_hls_congestion::faultkit::FaultPlan::from_json(&text)?;
+        eprintln!("armed fault plan {path} (seed {})", plan.seed);
+        cfg.plan = Some(std::sync::Arc::new(plan));
+    }
+    if let Some(n) = flag(args, "--max-retries") {
+        cfg.policy.max_retries = n.parse()?;
+    }
+    if let Some(ms) = flag(args, "--stage-timeout-ms") {
+        cfg.policy.stage_timeout = Some(std::time::Duration::from_millis(ms.parse()?));
+    }
+    if let Some(path) = flag(args, "--ledger-out") {
+        cfg.ledger = Some(LedgerSink {
+            path: path.into(),
+            tool: "congestd".into(),
+            version: env!("CARGO_PKG_VERSION").into(),
+            git: option_env!("GIT_HASH").unwrap_or("unknown").into(),
+        });
+    }
+    let initial = match flag(args, "--model") {
+        Some(path) => Some(
+            ModelArtifact::load(std::path::Path::new(path))
+                .map_err(|e| format!("--model {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    // The MiniHLS front-end for `source` requests: compile + synthesize +
+    // extract, all inside the supervised serve.extract stage.
+    let extractor: std::sync::Arc<servekit::SourceExtractor> =
+        std::sync::Arc::new(|name: &str, text: &str| {
+            let module = compile_named(text, name).map_err(|e| e.to_string())?;
+            let flow = CongestionFlow::new();
+            let design = flow.synthesize(&module).map_err(|e| e.to_string())?;
+            Ok(congestion_core::extract_feature_rows(&design, &flow.device))
+        });
+    let (server, report) = servekit::Server::start(cfg, initial, Some(extractor))?;
+    if let Some(e) = &report.install_error {
+        eprintln!("warning: initial model rejected ({e}); serving degraded");
+    }
+    if report.recovered.records > 0 {
+        eprintln!(
+            "recovered journal: model {}, {} lost in flight, {} torn line(s){}",
+            report.recovered.last_model.as_deref().unwrap_or("analytic"),
+            report.recovered.lost_in_flight,
+            report.recovered.torn_lines,
+            if report.recovered.clean_shutdown {
+                " (clean shutdown)"
+            } else {
+                ""
+            }
+        );
+    }
+    let server = std::sync::Arc::new(server);
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:0");
+    let model_name = server.active_model();
+    servekit::serve_tcp(server.clone(), addr, |bound| {
+        // One parseable line for scripts/CI to scrape the bound port from.
+        println!("congestd listening on {bound} (model {model_name})");
+    })?;
+    let summary = server.shutdown();
+    println!(
+        "served {} requests ({} shed, {} degraded, {} deadline-missed, {} errors); swaps {}, rejects {}, rollbacks {}; model {}",
+        summary.metrics.completed,
+        summary.metrics.shed,
+        summary.metrics.degraded,
+        summary.metrics.deadline_missed,
+        summary.metrics.errors,
+        summary.swaps,
+        summary.rejects,
+        summary.rollbacks,
+        summary.model,
+    );
+    if let Some(path) = flag(args, "--metrics-out") {
+        let meta = [
+            ("tool", "congestd"),
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git", option_env!("GIT_HASH").unwrap_or("unknown")),
+        ];
+        std::fs::write(path, obskit::sink::metrics_json(&server.metrics(), &meta))?;
+        eprintln!("wrote serve metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
+/// `serve-client` — one request against a running `congestd`, reply JSON
+/// on stdout. Exits nonzero only for transport failures and `error`
+/// replies; `overloaded` / `degraded` / `deadline_exceeded` are valid
+/// service answers and exit 0.
+fn serve_client_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use fpga_hls_congestion::servekit::{self, ReplyStatus, Request, RequestBody};
+    let addr = flag(args, "--addr").ok_or("serve-client needs --addr HOST:PORT")?;
+    let id = match flag(args, "--id") {
+        Some(s) => s.parse()?,
+        None => 1,
+    };
+    let body = if bool_flag(args, "--status") {
+        RequestBody::Status
+    } else if bool_flag(args, "--shutdown") {
+        RequestBody::Shutdown
+    } else if bool_flag(args, "--rollback") {
+        RequestBody::Rollback
+    } else if let Some(path) = flag(args, "--swap") {
+        RequestBody::Swap { path: path.into() }
+    } else if let Some(path) = flag(args, "--rows-from") {
+        let ds = congestion_core::persist::load(path)?;
+        let limit = match flag(args, "--limit") {
+            Some(s) => s.parse()?,
+            None => ds.len(),
+        };
+        let rows = (0..ds.len().min(limit))
+            .map(|i| ds.features_of(i).to_vec())
+            .collect();
+        RequestBody::Predict { rows }
+    } else if let Some(path) = flag(args, "--source") {
+        let text = std::fs::read_to_string(path)?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("design")
+            .to_string();
+        RequestBody::Source { name, text }
+    } else {
+        return Err(
+            "serve-client needs one of --status --shutdown --rollback --swap --rows-from --source"
+                .into(),
+        );
+    };
+    let req = Request {
+        id,
+        deadline_ms: flag(args, "--deadline-ms").map(str::parse).transpose()?,
+        body,
+    };
+    let reply = servekit::request(addr, &req)?;
+    println!("{}", reply.to_json());
+    if reply.status == ReplyStatus::Error {
+        return Err(reply
+            .error
+            .unwrap_or_else(|| "server returned an error reply".into())
+            .into());
+    }
+    Ok(())
 }
 
 fn dataset_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -487,7 +697,50 @@ fn train_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             model.telemetry(&test).record(run_rec, Some(&names), 10);
         },
     )?;
+    if let Some(out) = flag(args, "--model-out") {
+        export_model_artifact(args, &train, path, out)?;
+    }
     emit_observability(args, &rec)
+}
+
+/// `train --model-out`: fit GBRT ensembles for *both* congestion targets
+/// and write them as one versioned `servekit.model.v1` artifact — the unit
+/// `congestd` loads, gates, and hot-swaps.
+fn export_model_artifact(
+    args: &[String],
+    train: &congestion_core::CongestionDataset,
+    data_path: &str,
+    out: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use fpga_hls_congestion::servekit::ModelArtifact;
+    let opts = parse_train_options(args)?;
+    let version = match flag(args, "--model-version") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--model-version takes an integer, got `{s}`"))?,
+        None => 1,
+    };
+    let fit = |target| {
+        let p = CongestionPredictor::train(ModelKind::Gbrt, target, train, &opts);
+        p.compiled_ensemble()
+            .cloned()
+            .ok_or("GBRT predictor produced no compiled ensemble")
+    };
+    let artifact = ModelArtifact {
+        name: "gbrt".into(),
+        version,
+        feature_count: congestion_core::features::FEATURE_COUNT,
+        trained_on: data_path.to_string(),
+        vertical: fit(Target::Vertical)?,
+        horizontal: fit(Target::Horizontal)?,
+    };
+    artifact.save(std::path::Path::new(out))?;
+    println!(
+        "wrote model artifact {} to {out} (digest {:016x})",
+        artifact.display_name(),
+        artifact.digest()
+    );
+    Ok(())
 }
 
 /// Compare two dataset fingerprints written by `dataset --fingerprint-out`.

@@ -12,7 +12,10 @@
 //! * [`rosetta_gen`] — the six synthetic Rosetta-style benchmarks;
 //! * [`congestion_core`] — the paper's contribution: back-tracing, the 302
 //!   features, marginal filtering, prediction, source-level localization and
-//!   congestion resolution.
+//!   congestion resolution;
+//! * [`servekit`] — `congestd`, the crash-only, load-shedding prediction
+//!   service: hot-swap model registry, bounded admission, degradation
+//!   ladder, crash-recovery journal.
 //!
 //! This facade crate re-exports all of them and hosts the runnable examples
 //! (`examples/`) and cross-crate integration tests (`tests/`).
@@ -51,6 +54,7 @@ pub use hls_synth;
 pub use mlkit;
 pub use obskit;
 pub use rosetta_gen;
+pub use servekit;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
