@@ -404,6 +404,97 @@ fn serve_checks(name: &str, doc: &Value) -> Vec<Finding> {
             "missing serve_bench.overload.shed_rate".to_string(),
         )),
     }
+    // Determinism: the overload phase is driven by a virtual clock (one
+    // drain permit released per trace step), so the live shed set must
+    // equal `shed_plan(capacity, trace)` verbatim — exact, not banded.
+    match counter(doc, "serve_bench.overload.matches_shed_plan") {
+        Some(1) => {}
+        Some(v) => f.push(Finding::new(
+            name,
+            "determinism",
+            format!("overload shed set diverged from shed_plan (matches_shed_plan = {v})"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.overload.matches_shed_plan".to_string(),
+        )),
+    }
+    // Coalescing contract: merged micro-batch replies are bit-for-bit the
+    // per-request replies (exact), and batching a saturated queue of
+    // single-row requests must pay off. The committed speedup is well
+    // above 2×; 1.5× is the acceptance floor with margin for CI noise.
+    match counter(doc, "serve_bench.coalesce.identical") {
+        Some(1) => {}
+        Some(v) => f.push(Finding::new(
+            name,
+            "determinism",
+            format!("coalesced replies diverged from per-request serving (identical = {v})"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.coalesce.identical".to_string(),
+        )),
+    }
+    match gauge(doc, "serve_bench.coalesce.speedup") {
+        Some(s) if s >= 1.5 => {}
+        Some(s) => f.push(Finding::new(
+            name,
+            "perf",
+            format!("coalescing speedup {s:.2}x below the 1.5x floor"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.coalesce.speedup".to_string(),
+        )),
+    }
+    // Cache accounting: hits + misses == lookups always (the counters are
+    // written under one lock), hit replies are bitwise the miss-path
+    // replies, and the hot swap must have invalidated at least once.
+    let lookups = counter(doc, "serve_bench.cache.lookups");
+    let hits = counter(doc, "serve_bench.cache.hits");
+    let misses = counter(doc, "serve_bench.cache.misses");
+    match (lookups, hits, misses) {
+        (Some(l), Some(h), Some(m)) if h + m == l && h > 0 => {}
+        (Some(l), Some(h), Some(m)) => f.push(Finding::new(
+            name,
+            "quality",
+            format!("cache accounting broken: {h} hits + {m} misses vs {l} lookups"),
+        )),
+        _ => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.cache.lookups/hits/misses".to_string(),
+        )),
+    }
+    match counter(doc, "serve_bench.cache.identical") {
+        Some(1) => {}
+        Some(v) => f.push(Finding::new(
+            name,
+            "determinism",
+            format!("cache-hit replies diverged from miss-path replies (identical = {v})"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.cache.identical".to_string(),
+        )),
+    }
+    match counter(doc, "serve_bench.cache.invalidations") {
+        Some(v) if v >= 1 => {}
+        Some(v) => f.push(Finding::new(
+            name,
+            "quality",
+            format!("hot swap did not invalidate the feature cache (invalidations = {v})"),
+        )),
+        None => f.push(Finding::new(
+            name,
+            "coverage",
+            "missing serve_bench.cache.invalidations".to_string(),
+        )),
+    }
     // Perf floor: batched compiled-ensemble inference through the full
     // request path (committed ~1M predictions/s); the floor is ~20× under
     // the committed figure to absorb CI-machine noise.
@@ -684,6 +775,54 @@ mod tests {
         // quality finding.
         let mut doc = parse(&text).unwrap();
         set_gauge(&mut doc, "serve_bench.overload.shed_rate", 0.0);
+        let f = check_metrics_doc("BENCH_serve.json", &doc);
+        assert!(f.iter().any(|x| x.check == "quality"), "{f:?}");
+    }
+
+    #[test]
+    fn perturbed_coalesce_and_cache_rows_trip_the_serve_gate() {
+        let text = fs::read_to_string(repo_root().join("BENCH_serve.json")).unwrap();
+        // Divergent batched replies are a determinism finding.
+        let mut doc = parse(&text).unwrap();
+        if let Value::Obj(top) = &mut doc {
+            if let Some(Value::Obj(counters)) = top.get_mut("counters") {
+                counters.insert(
+                    "serve_bench.coalesce.identical".to_string(),
+                    Value::Num(0.0),
+                );
+            }
+        }
+        let f = check_metrics_doc("BENCH_serve.json", &doc);
+        assert!(f.iter().any(|x| x.check == "determinism"), "{f:?}");
+        // A coalescing speedup under the 1.5× acceptance floor is a perf
+        // finding.
+        let mut doc = parse(&text).unwrap();
+        set_gauge(&mut doc, "serve_bench.coalesce.speedup", 1.1);
+        let f = check_metrics_doc("BENCH_serve.json", &doc);
+        assert!(f.iter().any(|x| x.check == "perf"), "{f:?}");
+        // A shed set that diverges from shed_plan is a determinism finding.
+        let mut doc = parse(&text).unwrap();
+        if let Value::Obj(top) = &mut doc {
+            if let Some(Value::Obj(counters)) = top.get_mut("counters") {
+                counters.insert(
+                    "serve_bench.overload.matches_shed_plan".to_string(),
+                    Value::Num(0.0),
+                );
+            }
+        }
+        let f = check_metrics_doc("BENCH_serve.json", &doc);
+        assert!(f.iter().any(|x| x.check == "determinism"), "{f:?}");
+        // Broken hit/miss accounting is a quality finding.
+        let mut doc = parse(&text).unwrap();
+        if let Value::Obj(top) = &mut doc {
+            if let Some(Value::Obj(counters)) = top.get_mut("counters") {
+                let l = counters["serve_bench.cache.lookups"].as_u64().unwrap();
+                counters.insert(
+                    "serve_bench.cache.hits".to_string(),
+                    Value::Num((l + 7) as f64),
+                );
+            }
+        }
         let f = check_metrics_doc("BENCH_serve.json", &doc);
         assert!(f.iter().any(|x| x.check == "quality"), "{f:?}");
     }

@@ -50,4 +50,4 @@ pub use persist::{
 pub use pipeline::{
     CheckpointConfig, CongestionFlow, DatasetBuildReport, DesignFailure, DesignReport, StageTimings,
 };
-pub use predict::{extract_feature_rows, CongestionPredictor, ModelKind};
+pub use predict::{extract_feature_rows, source_digest, CongestionPredictor, ModelKind};

@@ -403,6 +403,27 @@ pub fn extract_feature_rows(
     (rows, lines)
 }
 
+/// The digest-keyed extraction entry point for serving-layer caches:
+/// a stable 64-bit key over `(design name, source text)`, stamped with the
+/// feature schema width and the active extract kernel so a schema or
+/// kernel change can never alias a cache entry produced under different
+/// extraction semantics. `congestd` wires this in as the feature-cache
+/// key function; two processes (or two runs) computing the key for the
+/// same source always agree.
+pub fn source_digest(name: &str, text: &str) -> u64 {
+    let width = FEATURE_COUNT.to_le_bytes();
+    let kernel = crate::features::ExtractKernel::default().name();
+    faultkit::fnv1a(&[
+        b"congestion-core.source.v1",
+        &width,
+        kernel.as_bytes(),
+        b"\0",
+        name.as_bytes(),
+        b"\0",
+        text.as_bytes(),
+    ])
+}
+
 /// A per-operation congestion prediction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpPrediction {
@@ -450,6 +471,20 @@ mod tests {
             );
         }
         ds
+    }
+
+    #[test]
+    fn source_digest_is_stable_and_discriminating() {
+        let a = source_digest("fir", "int32 f() { return 1; }");
+        assert_eq!(
+            a,
+            source_digest("fir", "int32 f() { return 1; }"),
+            "same inputs, same key — across calls and across processes"
+        );
+        assert_ne!(a, source_digest("fir2", "int32 f() { return 1; }"));
+        assert_ne!(a, source_digest("fir", "int32 f() { return 2; }"));
+        // Name/text boundary cannot alias.
+        assert_ne!(source_digest("ab", "c"), source_digest("a", "bc"));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Digest-keyed in-memory feature cache for repeated `source` requests.
+//!
+//! Extraction (MiniHLS parse → synthesis → 302-wide feature rows) is by
+//! far the most expensive serve stage, and HLS iteration loops resubmit
+//! the same source text many times. The cache maps a **source digest**
+//! (computed by the configured key function — the binary wires
+//! `congestion_core::source_digest` in) to the extracted feature matrix
+//! plus line map, so repeated `source` requests skip extraction entirely.
+//!
+//! **Swap-aware invalidation.** Every entry is stamped with the cache
+//! *generation* at the time its extraction began. A model hot-swap (or
+//! rollback, or mid-request demotion) bumps the generation and clears the
+//! map, so a hot-swap can never serve rows extracted under stale
+//! semantics; the stamp additionally closes the race where an extraction
+//! started before a swap tries to insert after it — the stale insert is
+//! dropped on the floor. The proptest suite in `tests/serve_conformance.rs`
+//! drives arbitrary `source`/`predict`/`swap` interleavings against these
+//! rules.
+//!
+//! **Determinism.** All decisions (hit/miss, LRU victim, generation
+//! check) happen under one lock, so for a fixed operation order the cache
+//! contents and the `serve.cache.*` counters are a pure function of that
+//! order. The counters satisfy `hits + misses == lookups` by
+//! construction: every lookup increments exactly one of the two.
+
+use mlkit::Matrix;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A cached extraction result: the feature matrix ready for
+/// `predict_into` plus the per-op source-line map echoed in replies.
+#[derive(Debug)]
+pub struct CachedFeatures {
+    /// Extracted per-op feature rows.
+    pub matrix: Matrix,
+    /// Source line of each row.
+    pub lines: Vec<u32>,
+}
+
+/// `serve.cache.*` counter snapshot. `hits + misses == lookups` always.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache probes (disabled caches probe nothing).
+    pub lookups: u64,
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that fell through to extraction.
+    pub misses: u64,
+    /// Entries dropped to stay within capacity (LRU victim).
+    pub evictions: u64,
+    /// Entries dropped by generation bumps (swap/rollback/demote), plus
+    /// stale inserts from extractions that straddled a swap.
+    pub invalidations: u64,
+}
+
+struct CacheInner {
+    map: HashMap<u64, (u64, Arc<CachedFeatures>)>, // key -> (generation, value)
+    lru: VecDeque<u64>,                            // front = coldest
+    generation: u64,
+    stats: CacheStats,
+}
+
+/// Bounded LRU feature cache with generation-stamped entries.
+/// Capacity 0 disables the cache (every call is a no-op miss-free path).
+pub struct FeatureCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `capacity` designs; 0 disables caching.
+    pub fn new(capacity: usize) -> FeatureCache {
+        FeatureCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                generation: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// True when capacity is 0 and the cache never stores anything.
+    pub fn disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Current generation; pass this to [`Self::insert`] so an extraction
+    /// that straddles a swap cannot poison the post-swap cache.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().generation
+    }
+
+    /// Probe for `key`. Counts exactly one hit or one miss per call.
+    pub fn lookup(&self, key: u64) -> Option<Arc<CachedFeatures>> {
+        if self.disabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.lookups += 1;
+        match inner.map.get(&key).map(|(_, v)| v.clone()) {
+            Some(v) => {
+                inner.stats.hits += 1;
+                // Refresh LRU position: move key to the hot end.
+                if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                    inner.lru.remove(pos);
+                }
+                inner.lru.push_back(key);
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `value` under `key` if `generation` is still current —
+    /// a stale generation means a swap landed while the extraction ran,
+    /// and the rows were produced under pre-swap semantics.
+    pub fn insert(&self, key: u64, generation: u64, value: Arc<CachedFeatures>) {
+        if self.disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if generation != inner.generation {
+            inner.stats.invalidations += 1; // stale insert dropped
+            return;
+        }
+        if inner.map.insert(key, (generation, value)).is_none() {
+            inner.lru.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(cold) = inner.lru.pop_front() {
+                    inner.map.remove(&cold);
+                    inner.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Bump the generation and drop every entry. Called on swap commit,
+    /// rollback, and mid-request demotion.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.generation += 1;
+        let dropped = inner.map.len() as u64;
+        inner.stats.invalidations += dropped;
+        inner.map.clear();
+        inner.lru.clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(tag: f64) -> Arc<CachedFeatures> {
+        let mut m = Matrix::with_cols(2);
+        m.push_row(&[tag, tag + 1.0]);
+        Arc::new(CachedFeatures {
+            matrix: m,
+            lines: vec![tag as u32],
+        })
+    }
+
+    #[test]
+    fn hit_miss_accounting_balances() {
+        let c = FeatureCache::new(4);
+        assert!(c.lookup(1).is_none());
+        c.insert(1, c.generation(), features(1.0));
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(2).is_none());
+        let s = c.stats();
+        assert_eq!(s.lookups, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits + s.misses, s.lookups);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        let c = FeatureCache::new(2);
+        let g = c.generation();
+        c.insert(1, g, features(1.0));
+        c.insert(2, g, features(2.0));
+        assert!(c.lookup(1).is_some()); // 1 is now hot, 2 is coldest
+        c.insert(3, g, features(3.0));
+        assert!(c.lookup(2).is_none(), "coldest entry evicted");
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_everything_and_bumps_generation() {
+        let c = FeatureCache::new(4);
+        let g0 = c.generation();
+        c.insert(1, g0, features(1.0));
+        c.insert(2, g0, features(2.0));
+        c.invalidate();
+        assert_eq!(c.len(), 0);
+        assert!(c.lookup(1).is_none());
+        assert_eq!(c.generation(), g0 + 1);
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn stale_insert_is_dropped() {
+        let c = FeatureCache::new(4);
+        let g0 = c.generation();
+        c.invalidate(); // swap lands while "extraction" is in flight
+        c.insert(9, g0, features(9.0));
+        assert!(c.lookup(9).is_none(), "pre-swap rows must not be served");
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c = FeatureCache::new(0);
+        c.insert(1, c.generation(), features(1.0));
+        assert!(c.lookup(1).is_none());
+        let s = c.stats();
+        assert_eq!(s.lookups, 0, "disabled cache counts nothing");
+    }
+}

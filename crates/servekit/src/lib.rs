@@ -15,17 +15,21 @@
 //!
 //! Module map:
 //! - [`proto`] — request/reply wire types (JSON).
-//! - [`queue`] — bounded admission with deterministic shed-oldest.
+//! - [`queue`] — bounded admission with deterministic shed-oldest,
+//!   micro-batch coalescing, and the [`queue::WorkGate`] pacing gate.
+//! - [`cache`] — digest-keyed feature cache with swap-aware invalidation.
 //! - [`registry`] — hot-swap model registry, validation gate, rollback.
 //! - [`artifact`] — versioned on-disk model artifacts.
 //! - [`journal`] — append-only crash-recovery journal.
 //! - [`estimator`] — the analytic degraded-path estimator.
 //! - [`server`] — the request engine tying it together.
-//! - [`net`] — TCP framing, accept loop, client helper.
+//! - [`net`] — TCP framing, thread-per-conn and event-loop front-ends,
+//!   client helper.
 
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cache;
 pub mod estimator;
 pub mod journal;
 pub mod net;
@@ -35,12 +39,14 @@ pub mod registry;
 pub mod server;
 
 pub use artifact::{ModelArtifact, MODEL_SCHEMA};
+pub use cache::{CacheStats, CachedFeatures, FeatureCache};
 pub use estimator::{AnalyticEstimator, ANALYTIC_MODEL};
 pub use journal::{Journal, JournalEvent, RecoveredState, JOURNAL_SCHEMA};
-pub use net::{read_frame, request, serve_tcp, write_frame, MAX_FRAME};
+pub use net::{read_frame, request, serve_event_loop, serve_tcp, write_frame, MAX_FRAME};
 pub use proto::{Reply, ReplyStatus, Request, RequestBody};
-pub use queue::{shed_plan, AdmissionQueue, Admit, TraceStep};
+pub use queue::{coalesce_plan, shed_plan, AdmissionQueue, Admit, TraceStep, WorkGate};
 pub use registry::{GateOutcome, GoldenBatch, ModelRegistry, ValidationGate};
 pub use server::{
-    LedgerSink, ServeConfig, ServeMetrics, ServeSummary, Server, SourceExtractor, StartReport,
+    LedgerSink, ServeConfig, ServeMetrics, ServeSummary, Server, SourceExtractor, SourceKeyFn,
+    StartReport,
 };

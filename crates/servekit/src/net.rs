@@ -10,12 +10,24 @@
 //! `curl -d '{...}' http://addr/` works for demos and smoke tests. This is
 //! deliberately not a web server: one request per connection, only
 //! `Content-Length` bodies, JSON in, JSON out.
+//!
+//! Two front-ends share these protocols:
+//! - [`serve_tcp`] — thread-per-connection; simple, fine for a handful of
+//!   peers.
+//! - [`serve_event_loop`] — a single acceptor plus a readiness-polled
+//!   event loop over nonblocking sockets. Connections are plain state
+//!   machines (read buffer → in-order pending replies → write buffer) and
+//!   requests enter the same admission queue via the nonblocking
+//!   [`Server::submit`], so connection count is bounded by memory, not by
+//!   threads, and per-connection pipelining falls out for free. Only HTTP
+//!   stragglers get a thread (they are demo traffic by definition).
 
 use crate::proto::{Reply, Request};
 use crate::server::Server;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// Largest accepted frame (64 MiB — a full-design batch is well under).
@@ -106,6 +118,221 @@ fn handle_conn(server: &Server, stream: TcpStream) -> std::io::Result<()> {
     handle_native(server, stream)
 }
 
+/// Bind `addr` and serve until the server shuts down, using a single
+/// acceptor plus a readiness-polled event loop over nonblocking sockets.
+/// Same wire protocols as [`serve_tcp`]; replies per connection are
+/// written in request order. Returns once shutdown is observed and every
+/// in-flight reply has been flushed.
+pub fn serve_event_loop(
+    server: Arc<Server>,
+    addr: &str,
+    on_bound: impl FnOnce(SocketAddr),
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    on_bound(listener.local_addr()?);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut http_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let mut progressed = false;
+        let shutting_down = server.is_shutting_down();
+        if !shutting_down {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true)?;
+                        conns.push(Conn::new(stream));
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].step(&server) {
+                ConnStep::Keep(p) => {
+                    progressed |= p;
+                    i += 1;
+                }
+                ConnStep::Close => {
+                    conns.swap_remove(i);
+                    progressed = true;
+                }
+                ConnStep::Http => {
+                    let conn = conns.swap_remove(i);
+                    let server = server.clone();
+                    http_threads.push(std::thread::spawn(move || {
+                        let _ = handle_http_prefixed(&server, conn.stream, conn.read_buf);
+                    }));
+                    progressed = true;
+                }
+            }
+        }
+        if shutting_down && conns.iter().all(Conn::drained) {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        http_threads.retain(|h| !h.is_finished());
+    }
+    for h in http_threads {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+enum ConnStep {
+    /// Connection stays registered; `true` when any byte or reply moved.
+    Keep(bool),
+    /// Connection finished (EOF + drained) or errored; drop it.
+    Close,
+    /// First bytes were an HTTP verb; hand the stream to a thread.
+    Http,
+}
+
+/// Per-connection state machine for the event loop: bytes in, frames
+/// parsed, requests submitted (nonblocking), replies polled in order,
+/// bytes out — every step tolerates `WouldBlock`.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    pending: VecDeque<mpsc::Receiver<Reply>>,
+    write_buf: Vec<u8>,
+    written: usize,
+    sniffed: bool,
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            pending: VecDeque::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            sniffed: false,
+            eof: false,
+        }
+    }
+
+    /// No replies owed and nothing left to flush.
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.written >= self.write_buf.len()
+    }
+
+    fn step(&mut self, server: &Server) -> ConnStep {
+        let mut progressed = false;
+        // 1. Pull whatever bytes are ready (bounded per pass so one chatty
+        //    peer cannot starve the loop).
+        let mut scratch = [0u8; 4096];
+        let mut pulled = 0usize;
+        while !self.eof && pulled < 256 * 1024 {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    pulled += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return ConnStep::Close,
+            }
+        }
+        // 2. Protocol sniff, once.
+        if !self.sniffed && self.read_buf.len() >= 4 {
+            self.sniffed = true;
+            if &self.read_buf[..4] == b"POST" || &self.read_buf[..4] == b"GET " {
+                return ConnStep::Http;
+            }
+        }
+        // 3. Parse complete frames and submit them; the reply receiver
+        //    queues in arrival order so responses cannot reorder.
+        while self.sniffed && self.read_buf.len() >= 4 {
+            let len = u32::from_le_bytes(self.read_buf[..4].try_into().unwrap());
+            if len > MAX_FRAME {
+                self.enqueue_now(Reply::error(
+                    0,
+                    format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+                ));
+                self.eof = true; // poison the stream: flush then close
+                self.read_buf.clear();
+                progressed = true;
+                break;
+            }
+            let total = 4 + len as usize;
+            if self.read_buf.len() < total {
+                break;
+            }
+            let frame: Vec<u8> = self.read_buf.drain(..total).skip(4).collect();
+            match String::from_utf8(frame) {
+                Ok(json) => match Request::from_json(&json) {
+                    Ok(req) => self.pending.push_back(server.submit(req)),
+                    Err(e) => self.enqueue_now(Reply::error(0, format!("bad request: {e}"))),
+                },
+                Err(_) => self.enqueue_now(Reply::error(0, "frame is not UTF-8")),
+            }
+            progressed = true;
+        }
+        // 4. Move ready replies (front first — strict request order) into
+        //    the write buffer.
+        while let Some(rx) = self.pending.front() {
+            match rx.try_recv() {
+                Ok(reply) => {
+                    self.pending.pop_front();
+                    let json = reply.to_json();
+                    self.write_buf
+                        .extend_from_slice(&(json.len() as u32).to_le_bytes());
+                    self.write_buf.extend_from_slice(json.as_bytes());
+                    progressed = true;
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    // Should not happen (exactly-one-reply contract), but
+                    // never wedge the connection on it.
+                    self.pending.pop_front();
+                    let json = Reply::error(0, "reply channel closed").to_json();
+                    self.write_buf
+                        .extend_from_slice(&(json.len() as u32).to_le_bytes());
+                    self.write_buf.extend_from_slice(json.as_bytes());
+                    progressed = true;
+                }
+            }
+        }
+        // 5. Flush as much as the socket accepts.
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => return ConnStep::Close,
+                Ok(n) => {
+                    self.written += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return ConnStep::Close,
+            }
+        }
+        if self.written >= self.write_buf.len() && !self.write_buf.is_empty() {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+        if self.eof && self.drained() {
+            return ConnStep::Close;
+        }
+        ConnStep::Keep(progressed)
+    }
+
+    /// Queue an immediately-available reply without going through the
+    /// server, preserving the in-order pending discipline.
+    fn enqueue_now(&mut self, reply: Reply) {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(reply);
+        self.pending.push_back(rx);
+    }
+}
+
 fn handle_native(server: &Server, mut stream: TcpStream) -> std::io::Result<()> {
     while let Some(json) = read_frame(&mut stream)? {
         let reply = dispatch(server, &json);
@@ -127,7 +354,29 @@ fn dispatch(server: &Server, json: &str) -> Reply {
 }
 
 fn handle_http(server: &Server, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
+    let write_half = stream.try_clone()?;
+    http_exchange(server, BufReader::new(stream), write_half)
+}
+
+/// HTTP handoff from the event loop: `prefix` holds bytes already pulled
+/// off the (nonblocking) socket; the stream goes back to blocking mode
+/// for the thread that owns it from here on.
+fn handle_http_prefixed(
+    server: &Server,
+    stream: TcpStream,
+    prefix: Vec<u8>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let write_half = stream.try_clone()?;
+    let reader = BufReader::new(std::io::Cursor::new(prefix).chain(stream));
+    http_exchange(server, reader, write_half)
+}
+
+fn http_exchange(
+    server: &Server,
+    mut reader: impl BufRead,
+    mut stream: TcpStream,
+) -> std::io::Result<()> {
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     let is_get = request_line.starts_with("GET ");
@@ -168,7 +417,6 @@ fn handle_http(server: &Server, stream: TcpStream) -> std::io::Result<()> {
         }
     };
     let json = reply.to_json();
-    let mut stream = reader.into_inner();
     write!(
         stream,
         "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -255,6 +503,77 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.status, ReplyStatus::Ok);
+        server.shutdown();
+    }
+
+    fn spawn_event_loop(server: Arc<Server>) -> SocketAddr {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let srv = server.clone();
+        std::thread::spawn(move || {
+            serve_event_loop(srv, "127.0.0.1:0", move |addr| {
+                let _ = tx.send(addr);
+            })
+            .unwrap();
+        });
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn event_loop_serves_pipelined_frames_in_order() {
+        let server = started();
+        let addr = spawn_event_loop(server.clone());
+        // Pipeline several frames on one connection without reading
+        // between writes — the threaded front-end cannot do this.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for id in 1..=5u64 {
+            write_frame(
+                &mut stream,
+                &Request::predict(id, vec![vec![id as f64; 4]]).to_json(),
+            )
+            .unwrap();
+        }
+        for id in 1..=5u64 {
+            let json = read_frame(&mut stream).unwrap().unwrap();
+            let reply = Reply::from_json(&json).unwrap();
+            assert_eq!(reply.id, id, "replies must come back in request order");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_holds_many_idle_connections() {
+        let server = started();
+        let addr = spawn_event_loop(server.clone());
+        // Far more connections than worker threads (the server has 1).
+        let idle: Vec<TcpStream> = (0..64).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let reply = request(addr, &Request::predict(42, vec![vec![1.0; 4]])).unwrap();
+        assert_eq!(reply.id, 42);
+        drop(idle);
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_answers_http_and_garbage_frames() {
+        let server = started();
+        let addr = spawn_event_loop(server.clone());
+        // HTTP straggler handed off to a thread.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = "{\"id\":3,\"kind\":\"status\"}";
+        write!(
+            stream,
+            "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        // Garbage native frame gets a typed error reply.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, "not json").unwrap();
+        let r = Reply::from_json(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+        assert_eq!(r.status, ReplyStatus::Error);
         server.shutdown();
     }
 

@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Outcome of a non-blocking admission attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -106,6 +107,173 @@ impl<T> AdmissionQueue<T> {
     pub fn close(&self) {
         self.inner.lock().unwrap().closed = true;
         self.ready.notify_all();
+    }
+
+    /// Pop a micro-batch: block for the first item, then coalesce the
+    /// contiguous run of *coalescible* items behind it (those for which
+    /// `weight_of` returns `Some(rows)`) while the summed weight stays
+    /// within `max_weight`. A non-coalescible head (`None`) is returned
+    /// alone; one encountered mid-queue ends the batch — batches are
+    /// always contiguous queue prefixes, so FIFO order is preserved and
+    /// the partition is decided entirely under the queue lock from the
+    /// queue contents at drain time (see [`coalesce_plan`]).
+    ///
+    /// When the queue runs dry before the weight budget is filled and
+    /// `max_wait` is nonzero, the pop lingers up to `max_wait` for more
+    /// arrivals to join the batch. `max_wait = 0` takes what is there.
+    ///
+    /// Returns `None` once the queue is closed and drained, like
+    /// [`Self::pop`]. A batch is never empty.
+    pub fn pop_batch<F>(
+        &self,
+        max_weight: usize,
+        max_wait: Duration,
+        weight_of: F,
+    ) -> Option<Vec<T>>
+    where
+        F: Fn(&T) -> Option<usize>,
+    {
+        let mut inner = self.inner.lock().unwrap();
+        let first = loop {
+            if let Some(item) = inner.items.pop_front() {
+                break item;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        };
+        let Some(first_weight) = weight_of(&first) else {
+            return Some(vec![first]); // barrier request runs alone
+        };
+        let mut weight = first_weight.max(1);
+        let mut batch = vec![first];
+        if max_weight <= 1 {
+            return Some(batch); // coalescing off: per-request drain
+        }
+        let linger = (max_wait > Duration::ZERO).then(|| Instant::now() + max_wait);
+        loop {
+            while let Some(front) = inner.items.front() {
+                let Some(w) = weight_of(front) else {
+                    return Some(batch); // barrier stops the batch
+                };
+                if weight + w.max(1) > max_weight {
+                    return Some(batch);
+                }
+                weight += w.max(1);
+                batch.push(inner.items.pop_front().expect("front observed"));
+            }
+            // Queue dry: linger for more arrivals if allowed.
+            let Some(deadline) = linger else {
+                return Some(batch);
+            };
+            if inner.closed {
+                return Some(batch);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(batch);
+            }
+            let (guard, timeout) = self.ready.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                return Some(batch);
+            }
+        }
+    }
+}
+
+/// The reference model of micro-batch coalescing, the batching twin of
+/// [`shed_plan`]: replay the *served* id sequence (in FIFO order, with
+/// per-id row weights) and return the batch partition a single drainer
+/// would form with `max_weight` and no linger (`max_wait = 0`, queue
+/// pre-filled). Like shedding, the partition is decided entirely under
+/// the queue lock from queue contents, so for a fixed drain interleaving
+/// it is a pure function of (trace, config); the conformance suite pins
+/// the live queue against this model.
+pub fn coalesce_plan(max_weight: usize, weights: &[usize]) -> Vec<Vec<u64>> {
+    let mut batches: Vec<Vec<u64>> = Vec::new();
+    let mut current: Vec<u64> = Vec::new();
+    let mut weight = 0usize;
+    for (id, &w) in weights.iter().enumerate() {
+        let w = w.max(1);
+        if !current.is_empty() && (max_weight <= 1 || weight + w > max_weight) {
+            batches.push(std::mem::take(&mut current));
+            weight = 0;
+        }
+        current.push(id as u64);
+        weight += w;
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// A counting permit gate for deterministic worker pacing: the virtual
+/// clock of the serve-bench overload scenario. Workers acquire one permit
+/// per queue drain *before* popping, so a trace player that alternates
+/// "push `arrivals`, release `drains`" reproduces [`shed_plan`] exactly —
+/// no wall-clock sleeps, no flaky shed rates on slow runners.
+///
+/// A gate starts **open** (unlimited permits, zero cost on the hot path);
+/// [`WorkGate::close`] arms it. [`WorkGate::open`] releases every waiter,
+/// which [`crate::Server::shutdown`] relies on to avoid wedging workers.
+#[derive(Debug, Default)]
+pub struct WorkGate {
+    // None = open (unlimited); Some(n) = n permits outstanding.
+    permits: Mutex<Option<u64>>,
+    ready: Condvar,
+}
+
+impl WorkGate {
+    /// A gate in the open (ungated) state.
+    pub fn new() -> WorkGate {
+        WorkGate::default()
+    }
+
+    /// A gate armed with zero permits: workers block until `release`.
+    pub fn closed() -> WorkGate {
+        WorkGate {
+            permits: Mutex::new(Some(0)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Arm the gate with zero permits.
+    pub fn close(&self) {
+        *self.permits.lock().unwrap() = Some(0);
+    }
+
+    /// Disarm: unlimited permits; wakes every waiter.
+    pub fn open(&self) {
+        *self.permits.lock().unwrap() = None;
+        self.ready.notify_all();
+    }
+
+    /// Grant `n` permits.
+    pub fn release(&self, n: u64) {
+        let mut p = self.permits.lock().unwrap();
+        if let Some(count) = p.as_mut() {
+            *count += n;
+            drop(p);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Take one permit, blocking while the gate is armed and empty.
+    pub fn acquire(&self) {
+        let mut p = self.permits.lock().unwrap();
+        loop {
+            match p.as_mut() {
+                None => return,
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    return;
+                }
+                Some(_) => p = self.ready.wait(p).unwrap(),
+            }
+        }
     }
 }
 
@@ -222,6 +390,110 @@ mod tests {
         assert_eq!(all, (0..40).collect::<Vec<_>>(), "no duplicates, no loss");
         // Pure function: same trace, same partition.
         assert_eq!(shed_plan(4, &trace), (served, shed));
+    }
+
+    #[test]
+    fn pop_batch_coalesces_contiguous_weighted_prefix() {
+        let q = AdmissionQueue::new(16);
+        for w in [2usize, 3, 4, 5] {
+            q.push(w);
+        }
+        // Budget 9 takes 2+3+4, leaves 5 for the next batch.
+        let weigh = |w: &usize| Some(*w);
+        let b = q.pop_batch(9, Duration::ZERO, weigh).unwrap();
+        assert_eq!(b, vec![2, 3, 4]);
+        assert_eq!(q.pop_batch(9, Duration::ZERO, weigh).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn pop_batch_barrier_runs_alone_and_stops_batches() {
+        // Weight None marks a barrier (swap/status style request).
+        let q = AdmissionQueue::new(16);
+        for v in [1i32, 2, -1, 3, -2, 4] {
+            q.push(v);
+        }
+        let weigh = |v: &i32| (*v > 0).then_some(1usize);
+        assert_eq!(q.pop_batch(100, Duration::ZERO, weigh).unwrap(), vec![1, 2]);
+        assert_eq!(q.pop_batch(100, Duration::ZERO, weigh).unwrap(), vec![-1]);
+        assert_eq!(q.pop_batch(100, Duration::ZERO, weigh).unwrap(), vec![3]);
+        assert_eq!(q.pop_batch(100, Duration::ZERO, weigh).unwrap(), vec![-2]);
+        assert_eq!(q.pop_batch(100, Duration::ZERO, weigh).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn pop_batch_budget_one_is_per_request() {
+        let q = AdmissionQueue::new(16);
+        q.push(7);
+        q.push(8);
+        let weigh = |_: &i32| Some(1usize);
+        assert_eq!(q.pop_batch(1, Duration::ZERO, weigh).unwrap(), vec![7]);
+        assert_eq!(q.pop_batch(1, Duration::ZERO, weigh).unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_late_arrivals() {
+        let q = Arc::new(AdmissionQueue::new(16));
+        q.push(1);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.push(2);
+        });
+        let b = q
+            .pop_batch(10, Duration::from_millis(500), |_| Some(1usize))
+            .unwrap();
+        h.join().unwrap();
+        assert_eq!(b, vec![1, 2], "late arrival joins the lingering batch");
+    }
+
+    #[test]
+    fn pop_batch_none_after_close_and_drain() {
+        let q = AdmissionQueue::new(4);
+        q.push(1);
+        q.close();
+        let weigh = |_: &i32| Some(1usize);
+        assert_eq!(
+            q.pop_batch(8, Duration::from_millis(50), weigh).unwrap(),
+            vec![1]
+        );
+        assert_eq!(q.pop_batch(8, Duration::from_millis(50), weigh), None);
+    }
+
+    #[test]
+    fn coalesce_plan_partitions_all_ids_in_order() {
+        let weights = [1usize, 1, 1, 4, 2, 2, 9, 1];
+        let plan = coalesce_plan(4, &weights);
+        assert_eq!(
+            plan,
+            vec![
+                vec![0, 1, 2],
+                vec![3],
+                vec![4, 5],
+                vec![6], // oversized request still forms its own batch
+                vec![7],
+            ]
+        );
+        let flat: Vec<u64> = plan.into_iter().flatten().collect();
+        assert_eq!(flat, (0..8).collect::<Vec<_>>(), "FIFO preserved");
+        // Budget 1 degenerates to per-request.
+        assert_eq!(coalesce_plan(1, &weights).len(), weights.len());
+    }
+
+    #[test]
+    fn work_gate_paces_acquires() {
+        let g = Arc::new(WorkGate::closed());
+        let g2 = g.clone();
+        let h = std::thread::spawn(move || {
+            g2.acquire();
+            g2.acquire();
+            77
+        });
+        g.release(2);
+        assert_eq!(h.join().unwrap(), 77);
+        // Open gate never blocks.
+        g.open();
+        g.acquire();
+        g.acquire();
     }
 
     #[test]

@@ -147,6 +147,11 @@ pub struct ModelRegistry {
     pub rejects: u64,
     /// Fallbacks to last-good (gate failures and predict-path demotions).
     pub rollbacks: u64,
+    /// Monotonic model epoch: bumped on every change to the *active* slot
+    /// (install commit, rollback, demotion). Gate rejects do **not** bump
+    /// it — the active model is unchanged. The feature cache keys its
+    /// swap-aware invalidation off this counter.
+    pub generation: u64,
 }
 
 impl ModelRegistry {
@@ -160,6 +165,7 @@ impl ModelRegistry {
             swaps: 0,
             rejects: 0,
             rollbacks: 0,
+            generation: 0,
         }
     }
 
@@ -192,6 +198,7 @@ impl ModelRegistry {
                 self.last_good = self.active.take().or_else(|| Some(incoming.clone()));
                 self.active = Some(incoming);
                 self.swaps += 1;
+                self.generation += 1;
                 Ok(outcome)
             }
             Err(reason) => {
@@ -210,6 +217,7 @@ impl ModelRegistry {
         let last = self.last_good.clone()?;
         self.active = Some(last.clone());
         self.rollbacks += 1;
+        self.generation += 1;
         Some(last)
     }
 
@@ -221,6 +229,7 @@ impl ModelRegistry {
         let active_digest = self.active.as_ref().map(|m| m.digest());
         self.active = None;
         self.rollbacks += 1;
+        self.generation += 1;
         match (&self.last_good, active_digest) {
             (Some(last), Some(d)) if last.digest() != d => {
                 self.active = Some(last.clone());

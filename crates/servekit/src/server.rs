@@ -19,10 +19,11 @@
 //! mode — injected panic, poisoned model, overload, deadline — exits the
 //! process.
 
+use crate::cache::{CacheStats, CachedFeatures, FeatureCache};
 use crate::estimator::{AnalyticEstimator, ANALYTIC_MODEL};
 use crate::journal::{Journal, JournalEvent, RecoveredState};
 use crate::proto::{Reply, ReplyStatus, Request, RequestBody};
-use crate::queue::{AdmissionQueue, Admit};
+use crate::queue::{AdmissionQueue, Admit, WorkGate};
 use crate::registry::{ModelRegistry, ValidationGate};
 use crate::ModelArtifact;
 use faultkit::{serve_stages, FaultPlan, StageFailure, Supervisor, SupervisorPolicy};
@@ -45,6 +46,16 @@ const PREDICT_CHUNK: usize = 2048;
 pub type SourceExtractor =
     dyn Fn(&str, &str) -> Result<(Vec<Vec<f64>>, Vec<u32>), String> + Send + Sync;
 
+/// Pluggable source-digest function: maps `(design name, source text)` to
+/// the feature-cache key. The binary wires
+/// `congestion_core::source_digest` in (stamped with the feature schema);
+/// the default is a plain FNV-1a over both strings.
+pub type SourceKeyFn = dyn Fn(&str, &str) -> u64 + Send + Sync;
+
+fn default_source_key(name: &str, text: &str) -> u64 {
+    faultkit::fnv1a(&[name.as_bytes(), b"\0", text.as_bytes()])
+}
+
 /// Where swap events additionally land as `obskit.run.v1` ledger records
 /// (`--ledger-out`).
 #[derive(Debug, Clone)]
@@ -60,7 +71,7 @@ pub struct LedgerSink {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Admission queue capacity (shed-oldest past this).
     pub queue_capacity: usize,
@@ -82,6 +93,49 @@ pub struct ServeConfig {
     pub estimator: AnalyticEstimator,
     /// Optional run-ledger sink for swap records.
     pub ledger: Option<LedgerSink>,
+    /// Coalescing row budget per micro-batch: a worker drains the
+    /// contiguous run of queued `predict` requests whose summed row count
+    /// fits, and answers them with one merged `predict_into` call.
+    /// `1` disables coalescing (per-request drain, the pre-batching path).
+    pub batch_max_rows: usize,
+    /// How long a worker lingers for more arrivals once the queue runs dry
+    /// before the row budget is filled. Zero (the default) takes whatever
+    /// is queued — opportunistic batching with no added latency.
+    pub batch_max_wait: Duration,
+    /// Feature-cache capacity in designs for `source` requests;
+    /// 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Source-digest function keying the feature cache; `None` uses a
+    /// plain FNV-1a over `(name, text)`.
+    pub cache_key: Option<Arc<SourceKeyFn>>,
+    /// Deterministic worker pacing gate: when set, each queue drain first
+    /// takes one permit. Benches and conformance tests use this as a
+    /// virtual clock to reproduce `shed_plan` exactly; production leaves
+    /// it `None`. [`Server::shutdown`] opens the gate so workers never
+    /// wedge on it.
+    pub pace_gate: Option<Arc<WorkGate>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("workers", &self.workers)
+            .field("default_deadline", &self.default_deadline)
+            .field("policy", &self.policy)
+            .field("plan", &self.plan)
+            .field("journal_path", &self.journal_path)
+            .field("journal_flush_every", &self.journal_flush_every)
+            .field("gate", &self.gate)
+            .field("estimator", &self.estimator)
+            .field("ledger", &self.ledger)
+            .field("batch_max_rows", &self.batch_max_rows)
+            .field("batch_max_wait", &self.batch_max_wait)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_key", &self.cache_key.as_ref().map(|_| "<fn>"))
+            .field("pace_gate", &self.pace_gate)
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -97,6 +151,11 @@ impl Default for ServeConfig {
             gate: ValidationGate::default(),
             estimator: AnalyticEstimator::default(),
             ledger: None,
+            batch_max_rows: 256,
+            batch_max_wait: Duration::ZERO,
+            cache_capacity: 64,
+            cache_key: None,
+            pace_gate: None,
         }
     }
 }
@@ -122,14 +181,29 @@ pub struct ServeMetrics {
     pub retries: u64,
     /// Peak queue depth observed at admission.
     pub queue_depth_peak: u64,
+    /// Multi-request micro-batches formed by coalescing workers.
+    pub batches: u64,
+    /// Requests answered as members of a multi-request micro-batch.
+    pub coalesced: u64,
+    /// Rows merged into coalesced `predict_into` calls.
+    pub batch_rows: u64,
+    /// Largest micro-batch observed, in requests.
+    pub batch_peak: u64,
     /// Request latency (admission → reply), milliseconds.
     pub latency_ms: QuantileSketch,
 }
 
 impl ServeMetrics {
     /// Export as an obskit registry snapshot (`serve.*` namespace),
-    /// folding in the registry's swap counters.
-    pub fn snapshot(&self, swaps: u64, rejects: u64, rollbacks: u64) -> obskit::MetricsSnapshot {
+    /// folding in the registry's swap counters and the feature-cache
+    /// counters (`serve.cache.*`, where `hits + misses == lookups`).
+    pub fn snapshot(
+        &self,
+        swaps: u64,
+        rejects: u64,
+        rollbacks: u64,
+        cache: CacheStats,
+    ) -> obskit::MetricsSnapshot {
         let mut r = obskit::Registry::new();
         r.inc("serve.admitted", self.admitted);
         r.inc("serve.completed", self.completed);
@@ -142,7 +216,16 @@ impl ServeMetrics {
         r.inc("serve.swap.committed", swaps);
         r.inc("serve.swap.rejected", rejects);
         r.inc("serve.swap.rollbacks", rollbacks);
+        r.inc("serve.batch.formed", self.batches);
+        r.inc("serve.batch.coalesced_requests", self.coalesced);
+        r.inc("serve.batch.rows", self.batch_rows);
+        r.inc("serve.cache.lookups", cache.lookups);
+        r.inc("serve.cache.hits", cache.hits);
+        r.inc("serve.cache.misses", cache.misses);
+        r.inc("serve.cache.evictions", cache.evictions);
+        r.inc("serve.cache.invalidations", cache.invalidations);
         r.set_gauge("serve.queue_depth_peak", self.queue_depth_peak as f64);
+        r.set_gauge("serve.batch.peak_requests", self.batch_peak as f64);
         if self.latency_ms.count() > 0 {
             r.set_gauge("serve.latency_ms.p50", self.latency_ms.quantile(0.50));
             r.set_gauge("serve.latency_ms.p99", self.latency_ms.quantile(0.99));
@@ -165,6 +248,7 @@ struct ServerState {
     metrics: Mutex<ServeMetrics>,
     shutdown: AtomicBool,
     extractor: Option<Arc<SourceExtractor>>,
+    cache: FeatureCache,
     recovered: RecoveredState,
 }
 
@@ -192,6 +276,8 @@ pub struct ServeSummary {
     pub rollbacks: u64,
     /// Model active at shutdown.
     pub model: String,
+    /// Feature-cache counters at shutdown.
+    pub cache: CacheStats,
 }
 
 /// The running daemon: worker pool + shared state. `submit` is `&self`
@@ -255,6 +341,7 @@ impl Server {
             metrics: Mutex::new(metrics),
             shutdown: AtomicBool::new(false),
             extractor,
+            cache: FeatureCache::new(cfg.cache_capacity),
             recovered: report.recovered.clone(),
             cfg,
         });
@@ -367,11 +454,17 @@ impl Server {
             let r = self.state.registry.lock().unwrap();
             (r.swaps, r.rejects, r.rollbacks)
         };
-        self.state
-            .metrics
-            .lock()
-            .unwrap()
-            .snapshot(swaps, rejects, rollbacks)
+        self.state.metrics.lock().unwrap().snapshot(
+            swaps,
+            rejects,
+            rollbacks,
+            self.state.cache.stats(),
+        )
+    }
+
+    /// Feature-cache counter snapshot (`hits + misses == lookups`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache.stats()
     }
 
     /// Display name of the model currently answering.
@@ -384,6 +477,9 @@ impl Server {
     pub fn shutdown(&self) -> ServeSummary {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
+        if let Some(g) = &self.state.cfg.pace_gate {
+            g.open(); // never leave workers wedged on the pacing gate
+        }
         for h in self.workers.lock().unwrap().drain(..) {
             let _ = h.join();
         }
@@ -407,35 +503,250 @@ impl Server {
             rejects,
             rollbacks,
             model,
+            cache: self.state.cache.stats(),
         }
     }
 }
 
 fn worker_loop(state: &Arc<ServerState>) {
-    while let Some(job) = state.queue.pop() {
-        let id = job.req.id;
-        let started = job.admitted_at;
-        // Last-resort isolation: even a bug outside the supervised stages
-        // becomes a typed Error reply, never a dead worker.
-        let reply = catch_unwind(AssertUnwindSafe(|| process(state, &job)))
-            .unwrap_or_else(|_| Reply::error(id, "internal panic (isolated)"));
-        let flush = {
-            let mut m = state.metrics.lock().unwrap();
-            m.completed += 1;
-            match reply.status {
-                ReplyStatus::Degraded => m.degraded += 1,
-                ReplyStatus::DeadlineExceeded => m.deadline_missed += 1,
-                ReplyStatus::Error => m.errors += 1,
-                _ => {}
-            }
-            m.latency_ms.observe(started.elapsed().as_secs_f64() * 1e3);
-            m.completed
-                .is_multiple_of(state.cfg.journal_flush_every.max(1))
-        };
-        let _ = job.reply_to.send(reply);
-        if flush {
-            journal_progress(state);
+    loop {
+        // Virtual-clock pacing: one permit per drain (benches/tests only).
+        if let Some(g) = &state.cfg.pace_gate {
+            g.acquire();
         }
+        // Coalesce the contiguous run of predict requests at the queue
+        // head into one micro-batch; everything else is a barrier and
+        // runs alone. The partition is decided under the queue lock, so
+        // it is a pure function of (arrival trace, config) — and replies
+        // are bitwise-identical either way (see `process_batch`).
+        let Some(batch) = state.queue.pop_batch(
+            state.cfg.batch_max_rows,
+            state.cfg.batch_max_wait,
+            |job: &Job| match &job.req.body {
+                RequestBody::Predict { rows } => Some(rows.len().max(1)),
+                _ => None,
+            },
+        ) else {
+            break;
+        };
+        if batch.len() == 1 {
+            let job = &batch[0];
+            let id = job.req.id;
+            // Last-resort isolation: even a bug outside the supervised
+            // stages becomes a typed Error reply, never a dead worker.
+            let reply = catch_unwind(AssertUnwindSafe(|| process(state, job)))
+                .unwrap_or_else(|_| Reply::error(id, "internal panic (isolated)"));
+            finish(state, job, reply);
+        } else {
+            process_batch(state, batch);
+        }
+    }
+}
+
+/// Per-reply bookkeeping shared by the singleton and coalesced paths:
+/// completion counters, latency sketch, reply delivery, journal cadence.
+fn finish(state: &Arc<ServerState>, job: &Job, reply: Reply) {
+    let flush = {
+        let mut m = state.metrics.lock().unwrap();
+        m.completed += 1;
+        match reply.status {
+            ReplyStatus::Degraded => m.degraded += 1,
+            ReplyStatus::DeadlineExceeded => m.deadline_missed += 1,
+            ReplyStatus::Error => m.errors += 1,
+            _ => {}
+        }
+        m.latency_ms
+            .observe(job.admitted_at.elapsed().as_secs_f64() * 1e3);
+        m.completed
+            .is_multiple_of(state.cfg.journal_flush_every.max(1))
+    };
+    let _ = job.reply_to.send(reply);
+    if flush {
+        journal_progress(state);
+    }
+}
+
+/// Answer a coalesced micro-batch of predict requests. Per-request
+/// validation (deadline at dequeue, row widths) mirrors the singleton
+/// path exactly; the surviving members' rows are merged into one matrix
+/// and answered by a **single** `predict_into` call per channel, then the
+/// output is split back along request boundaries. `predict_into`
+/// accumulates per row in tree order, so every member's floats are
+/// bit-for-bit what per-request serving would have produced.
+fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
+    // Crash-only accounting: a progress record *before* the merged work
+    // makes `lost_in_flight` after a SIGKILL reflect the whole admitted
+    // batch (the chaos suite pins this).
+    journal_progress(state);
+    let replies =
+        catch_unwind(AssertUnwindSafe(|| batch_replies(state, &batch))).unwrap_or_else(|_| {
+            batch
+                .iter()
+                .map(|j| Reply::error(j.req.id, "internal panic (isolated)"))
+                .collect()
+        });
+    {
+        let mut m = state.metrics.lock().unwrap();
+        m.batches += 1;
+        m.coalesced += batch.len() as u64;
+        m.batch_peak = m.batch_peak.max(batch.len() as u64);
+    }
+    for (job, reply) in batch.iter().zip(replies) {
+        finish(state, job, reply);
+    }
+}
+
+/// Compute one reply per batch member, in member order.
+fn batch_replies(state: &Arc<ServerState>, batch: &[Job]) -> Vec<Reply> {
+    let mut replies: Vec<Option<Reply>> = Vec::with_capacity(batch.len());
+    // Members that survive validation, with their row range in the merged
+    // matrix: (index into batch, row offset, row count).
+    let mut members: Vec<(usize, usize, usize)> = Vec::new();
+    let expected = state.cfg.gate.expected_features;
+    let mut cols = 0usize;
+    let mut total_rows = 0usize;
+    for (i, job) in batch.iter().enumerate() {
+        let id = job.req.id;
+        let RequestBody::Predict { rows } = &job.req.body else {
+            unreachable!("pop_batch only coalesces predict requests");
+        };
+        if past(deadline_of(state, job)) {
+            replies.push(Some(Reply::status_only(id, ReplyStatus::DeadlineExceeded)));
+            continue;
+        }
+        let Some(first) = rows.first() else {
+            let mut r = Reply::status_only(id, ReplyStatus::Ok);
+            r.model = state.registry.lock().unwrap().active_name();
+            replies.push(Some(r));
+            continue;
+        };
+        let width = first.len();
+        if let Some((j, row)) = rows.iter().enumerate().find(|(_, r)| r.len() != width) {
+            replies.push(Some(Reply::error(
+                id,
+                format!("row {j} is {}-wide, row 0 is {width}", row.len()),
+            )));
+            continue;
+        }
+        if expected != 0 && width != expected {
+            replies.push(Some(Reply::error(
+                id,
+                format!("rows are {width}-wide, server expects {expected}"),
+            )));
+            continue;
+        }
+        if members.is_empty() {
+            cols = width;
+        } else if width != cols {
+            // Ragged widths can only happen with no gate constraint;
+            // answer the odd one out on the singleton path.
+            let (status, model, v, h) = {
+                let mut m = Matrix::with_cols(width);
+                for row in rows {
+                    m.push_row(row);
+                }
+                predict_ladder(state, id, &m, None)
+            };
+            replies.push(Some(Reply {
+                id,
+                status,
+                model,
+                vertical: v,
+                horizontal: h,
+                ..Default::default()
+            }));
+            continue;
+        }
+        members.push((i, total_rows, rows.len()));
+        total_rows += rows.len();
+        replies.push(None);
+    }
+    if !members.is_empty() {
+        let mut merged = Matrix::with_cols(cols);
+        for &(i, _, _) in &members {
+            let RequestBody::Predict { rows } = &batch[i].req.body else {
+                unreachable!()
+            };
+            for row in rows {
+                merged.push_row(row);
+            }
+        }
+        let first_id = batch[members[0].0].req.id;
+        let (status, model, v, h) = predict_merged(state, first_id, &merged);
+        for &(i, offset, n) in &members {
+            replies[i] = Some(Reply {
+                id: batch[i].req.id,
+                status,
+                model: model.clone(),
+                vertical: v[offset..offset + n].to_vec(),
+                horizontal: h[offset..offset + n].to_vec(),
+                ..Default::default()
+            });
+        }
+    }
+    replies
+        .into_iter()
+        .map(|r| r.expect("every batch member answered"))
+        .collect()
+}
+
+/// The merged-batch rung of the degradation ladder: one supervised
+/// `predict_into` call over the whole merged matrix (members already
+/// passed their dequeue deadline check; a coalesced member runs to
+/// completion). Terminal model failure demotes once and answers the whole
+/// batch on the analytic rung, stamped `Degraded` — exactly what each
+/// member would have seen per-request.
+fn predict_merged(
+    state: &Arc<ServerState>,
+    first_id: u64,
+    merged: &Matrix,
+) -> (ReplyStatus, String, Vec<f64>, Vec<f64>) {
+    let active = state.registry.lock().unwrap().active();
+    if let Some(model) = active {
+        let sup = Supervisor::new(
+            state.cfg.policy.clone(),
+            state.cfg.plan.clone(),
+            &format!("req-{first_id}"),
+        );
+        let run = sup.run_stage(
+            serve_stages::PREDICT,
+            |_| {
+                faultkit::inject(serve_stages::PREDICT).map_err(|f| f.to_string())?;
+                let n = merged.rows();
+                let mut v = vec![0.0; n];
+                let mut h = vec![0.0; n];
+                model.vertical.predict_into(merged, &mut v);
+                model.horizontal.predict_into(merged, &mut h);
+                Ok((v, h))
+            },
+            |_: &String| true,
+        );
+        {
+            let mut met = state.metrics.lock().unwrap();
+            met.injected += u64::from(run.log.injected);
+            met.retries += u64::from(run.log.retries());
+        }
+        match run.result {
+            Ok((v, h)) => return (ReplyStatus::Ok, model.display_name(), v, h),
+            Err(_) => demote_active(state),
+        }
+    }
+    let (v, h) = analytic_predict(state, merged);
+    (ReplyStatus::Degraded, ANALYTIC_MODEL.to_string(), v, h)
+}
+
+/// Terminal model-path failure: demote (last-good takes over for future
+/// requests), journal the rollback, and invalidate the feature cache —
+/// the active-model epoch changed.
+fn demote_active(state: &Arc<ServerState>) {
+    let name = {
+        let mut reg = state.registry.lock().unwrap();
+        reg.demote();
+        reg.active_name()
+    };
+    state.cache.invalidate();
+    if let Some(j) = state.journal.lock().unwrap().as_mut() {
+        let _ = j.append(&JournalEvent::Rollback { model: name });
     }
 }
 
@@ -604,16 +915,7 @@ fn predict_ladder(
                 // Terminal model-path failure: demote (last-good takes
                 // over for *future* requests) and answer this one on the
                 // analytic rung.
-                let next = {
-                    let mut reg = state.registry.lock().unwrap();
-                    let next = reg.demote();
-                    (next, reg.active_name())
-                };
-                if let Some(j) = state.journal.lock().unwrap().as_mut() {
-                    let _ = j.append(&JournalEvent::Rollback {
-                        model: next.1.clone(),
-                    });
-                }
+                demote_active(state);
             }
         }
     }
@@ -642,6 +944,31 @@ fn source_request(
     let Some(extractor) = state.extractor.clone() else {
         return Reply::error(id, "this server was started without MiniHLS source support");
     };
+    // Feature-cache probe, keyed by source digest. The generation is read
+    // *before* the lookup/extraction so a swap that lands mid-extraction
+    // turns the eventual insert into a dropped stale write.
+    let key = match &state.cfg.cache_key {
+        Some(f) => f(name, text),
+        None => default_source_key(name, text),
+    };
+    let generation = state.cache.generation();
+    if let Some(cached) = state.cache.lookup(key) {
+        if past(deadline) {
+            return Reply::status_only(id, ReplyStatus::DeadlineExceeded);
+        }
+        let (status, model, v, h) = predict_ladder(state, id, &cached.matrix, deadline);
+        let mut r = Reply {
+            id,
+            status,
+            model,
+            vertical: v,
+            horizontal: h,
+            lines: cached.lines.clone(),
+            ..Default::default()
+        };
+        r.info.insert("cache".into(), "hit".into());
+        return r;
+    }
     let sup = Supervisor::new(
         state.cfg.policy.clone(),
         state.cfg.plan.clone(),
@@ -673,16 +1000,22 @@ fn source_request(
     for row in &rows {
         m.push_row(row);
     }
-    let (status, model, v, h) = predict_ladder(state, id, &m, deadline);
-    Reply {
+    let cached = Arc::new(CachedFeatures { matrix: m, lines });
+    state.cache.insert(key, generation, cached.clone());
+    let (status, model, v, h) = predict_ladder(state, id, &cached.matrix, deadline);
+    let mut r = Reply {
         id,
         status,
         model,
         vertical: v,
         horizontal: h,
-        lines,
+        lines: cached.lines.clone(),
         ..Default::default()
+    };
+    if !state.cache.disabled() {
+        r.info.insert("cache".into(), "miss".into());
     }
+    r
 }
 
 fn swap_request(state: &Arc<ServerState>, id: u64, path: &str) -> Reply {
@@ -727,6 +1060,9 @@ fn swap_request(state: &Arc<ServerState>, id: u64, path: &str) -> Reply {
     let active_now = state.registry.lock().unwrap().active_name();
     match outcome {
         Ok((name, gate)) => {
+            // The active-model epoch changed: rows extracted before the
+            // swap must never answer post-swap requests.
+            state.cache.invalidate();
             if let Some(j) = state.journal.lock().unwrap().as_mut() {
                 let _ = j.append(&JournalEvent::SwapCommit {
                     model: name.clone(),
@@ -776,13 +1112,12 @@ fn ledger_swap(state: &ServerState, kind: &str, model: &str, reason: Option<&str
         let r = state.registry.lock().unwrap();
         (r.swaps, r.rejects, r.rollbacks)
     };
-    rec.absorb_metrics(
-        &state
-            .metrics
-            .lock()
-            .unwrap()
-            .snapshot(swaps, rejects, rollbacks),
-    );
+    rec.absorb_metrics(&state.metrics.lock().unwrap().snapshot(
+        swaps,
+        rejects,
+        rollbacks,
+        state.cache.stats(),
+    ));
     let _ = rec.append_to(&sink.path);
 }
 
@@ -790,6 +1125,7 @@ fn rollback_request(state: &Arc<ServerState>, id: u64) -> Reply {
     let rolled = state.registry.lock().unwrap().rollback();
     match rolled {
         Some(model) => {
+            state.cache.invalidate();
             let name = model.display_name();
             if let Some(j) = state.journal.lock().unwrap().as_mut() {
                 let _ = j.append(&JournalEvent::Rollback {
@@ -813,6 +1149,7 @@ fn status_request(state: &Arc<ServerState>, id: u64) -> Reply {
         info.insert("swaps".into(), reg.swaps.to_string());
         info.insert("rejects".into(), reg.rejects.to_string());
         info.insert("rollbacks".into(), reg.rollbacks.to_string());
+        info.insert("model_generation".into(), reg.generation.to_string());
     }
     {
         let m = state.metrics.lock().unwrap();
@@ -821,6 +1158,16 @@ fn status_request(state: &Arc<ServerState>, id: u64) -> Reply {
         info.insert("shed".into(), m.shed.to_string());
         info.insert("degraded".into(), m.degraded.to_string());
         info.insert("deadline_missed".into(), m.deadline_missed.to_string());
+        info.insert("batches".into(), m.batches.to_string());
+        info.insert("coalesced".into(), m.coalesced.to_string());
+    }
+    {
+        let c = state.cache.stats();
+        info.insert("cache_lookups".into(), c.lookups.to_string());
+        info.insert("cache_hits".into(), c.hits.to_string());
+        info.insert("cache_misses".into(), c.misses.to_string());
+        info.insert("cache_evictions".into(), c.evictions.to_string());
+        info.insert("cache_invalidations".into(), c.invalidations.to_string());
     }
     info.insert("queue_depth".into(), state.queue.depth().to_string());
     info.insert(
@@ -913,6 +1260,113 @@ mod tests {
         assert_eq!(r.status, ReplyStatus::DeadlineExceeded);
         let sum = s.shutdown();
         assert_eq!(sum.metrics.deadline_missed, 1);
+    }
+
+    #[test]
+    fn coalesced_batch_replies_match_per_request_bits() {
+        // Hold the worker on the pacing gate while requests pile up, so a
+        // real multi-request batch forms; then compare against the
+        // unbatched config, bit for bit.
+        let gate = Arc::new(WorkGate::closed());
+        let cfg = ServeConfig {
+            batch_max_rows: 64,
+            pace_gate: Some(gate.clone()),
+            ..ServeConfig::default()
+        };
+        let s = start_simple(cfg);
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| {
+                Request::predict(
+                    i + 1,
+                    vec![vec![i as f64; 4], vec![9.0 - i as f64, 0.0, 0.0, 0.0]],
+                )
+            })
+            .collect();
+        let rxs: Vec<_> = reqs.iter().map(|r| s.submit(r.clone())).collect();
+        gate.open();
+        let batched: Vec<Reply> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        let sum = s.shutdown();
+        assert!(sum.metrics.batches >= 1, "a multi-request batch must form");
+        assert!(sum.metrics.coalesced >= 2);
+
+        let single = start_simple(ServeConfig {
+            batch_max_rows: 1,
+            ..ServeConfig::default()
+        });
+        for (req, b) in reqs.iter().zip(&batched) {
+            let r = single.call(req.clone());
+            assert_eq!(r.status, b.status);
+            assert_eq!(r.model, b.model);
+            assert_eq!(
+                r.vertical.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.vertical.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "vertical bits must match for id {}",
+                req.id
+            );
+            assert_eq!(
+                r.horizontal.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.horizontal.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        single.shutdown();
+    }
+
+    #[test]
+    fn source_cache_hits_skip_extraction_and_swaps_invalidate() {
+        use std::sync::atomic::AtomicU64;
+        let extractions = Arc::new(AtomicU64::new(0));
+        let counter = extractions.clone();
+        let extractor: Arc<SourceExtractor> = Arc::new(move |_name, text: &str| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok((vec![vec![text.len() as f64; 4]], vec![1]))
+        });
+        let dir = std::env::temp_dir().join(format!("servekit-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v2 = dir.join("v2.json");
+        stump_artifact(2, 4).save(&v2).unwrap();
+        let (s, _) = Server::start(
+            ServeConfig::default(),
+            Some(stump_artifact(1, 4)),
+            Some(extractor),
+        )
+        .unwrap();
+        let src = |id| Request {
+            id,
+            deadline_ms: None,
+            body: RequestBody::Source {
+                name: "d".into(),
+                text: "int32 f() { return 1; }".into(),
+            },
+        };
+        let r1 = s.call(src(1));
+        assert_eq!(r1.info.get("cache").map(String::as_str), Some("miss"));
+        let r2 = s.call(src(2));
+        assert_eq!(r2.info.get("cache").map(String::as_str), Some("hit"));
+        assert_eq!(
+            extractions.load(Ordering::SeqCst),
+            1,
+            "hit skips extraction"
+        );
+        assert_eq!(r1.vertical, r2.vertical, "cached rows answer identically");
+        // Swap invalidates: the same design re-extracts under the new
+        // model epoch.
+        let swap = s.call(Request {
+            id: 3,
+            deadline_ms: None,
+            body: RequestBody::Swap {
+                path: v2.to_string_lossy().into_owned(),
+            },
+        });
+        assert_eq!(swap.status, ReplyStatus::Ok, "{swap:?}");
+        let r3 = s.call(src(4));
+        assert_eq!(r3.info.get("cache").map(String::as_str), Some("miss"));
+        assert_eq!(r3.model, "gbrt@v2");
+        assert_eq!(extractions.load(Ordering::SeqCst), 2);
+        let stats = s.cache_stats();
+        assert_eq!(stats.hits + stats.misses, stats.lookups);
+        assert_eq!(stats.invalidations, 1);
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! hls-congest serve     [--model artifact.json] [--addr 127.0.0.1:0]
 //!                       [--golden data.csv] [--mae-band PP] [--expect-features N]
 //!                       [--queue-capacity N] [--serve-workers N] [--deadline-ms MS]
+//!                       [--batch-max-rows N] [--batch-max-wait-ms MS]
+//!                       [--cache-capacity N] [--frontend event-loop|threads]
 //!                       [--journal journal.jsonl] [--fault-plan plan.json]
 //!                       [--max-retries N] [--ledger-out runs.jsonl]
 //!                                                   run congestd: the crash-only,
@@ -349,6 +351,20 @@ fn serve_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(ms) = flag(args, "--deadline-ms") {
         cfg.default_deadline = Some(std::time::Duration::from_millis(ms.parse()?));
     }
+    if let Some(n) = flag(args, "--batch-max-rows") {
+        cfg.batch_max_rows = n.parse()?;
+    }
+    if let Some(ms) = flag(args, "--batch-max-wait-ms") {
+        cfg.batch_max_wait = std::time::Duration::from_millis(ms.parse()?);
+    }
+    if let Some(n) = flag(args, "--cache-capacity") {
+        cfg.cache_capacity = n.parse()?;
+    }
+    // The feature cache keys on the core source digest (stamped with the
+    // feature schema + extract kernel), not the servekit default FNV.
+    cfg.cache_key = Some(std::sync::Arc::new(|name: &str, text: &str| {
+        congestion_core::source_digest(name, text)
+    }));
     if let Some(path) = flag(args, "--journal") {
         cfg.journal_path = Some(path.into());
     }
@@ -408,10 +424,16 @@ fn serve_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let server = std::sync::Arc::new(server);
     let addr = flag(args, "--addr").unwrap_or("127.0.0.1:0");
     let model_name = server.active_model();
-    servekit::serve_tcp(server.clone(), addr, |bound| {
+    let frontend = flag(args, "--frontend").unwrap_or("event-loop");
+    let on_bound = |bound: std::net::SocketAddr| {
         // One parseable line for scripts/CI to scrape the bound port from.
         println!("congestd listening on {bound} (model {model_name})");
-    })?;
+    };
+    match frontend {
+        "event-loop" => servekit::serve_event_loop(server.clone(), addr, on_bound)?,
+        "threads" => servekit::serve_tcp(server.clone(), addr, on_bound)?,
+        other => return Err(format!("--frontend {other}: expected event-loop or threads").into()),
+    }
     let summary = server.shutdown();
     println!(
         "served {} requests ({} shed, {} degraded, {} deadline-missed, {} errors); swaps {}, rejects {}, rollbacks {}; model {}",
@@ -424,6 +446,16 @@ fn serve_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         summary.rejects,
         summary.rollbacks,
         summary.model,
+    );
+    println!(
+        "coalescing: {} batches ({} requests, {} rows); cache: {} hits / {} lookups ({} evicted, {} invalidated)",
+        summary.metrics.batches,
+        summary.metrics.coalesced,
+        summary.metrics.batch_rows,
+        summary.cache.hits,
+        summary.cache.lookups,
+        summary.cache.evictions,
+        summary.cache.invalidations,
     );
     if let Some(path) = flag(args, "--metrics-out") {
         let meta = [

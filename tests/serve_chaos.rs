@@ -428,3 +428,133 @@ fn shed_victims_get_overloaded_replies_while_server_is_wedged() {
     );
     let _ = std::io::stdout().flush();
 }
+
+#[test]
+fn sigkill_mid_coalesced_batch_reports_the_whole_batch_lost() {
+    // Wedge the real daemon *inside* a coalesced batch: five pipelined
+    // single-row predicts linger into one micro-batch (300 ms window,
+    // 1024-row budget), then an injected delay holds the merged
+    // `predict_into` long enough to SIGKILL the process mid-batch. The
+    // batch-start progress record must make restart recovery report
+    // `lost_in_flight` equal to the batch's admitted size — and the seq
+    // chain must stay duplicate-free across both lives.
+    let dir = tmp("sigkill_batch");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+    let model = dir.join("model.json");
+    stump_artifact(1, 4).save(&model).unwrap();
+    let plan_path = dir.join("plan.json");
+    let plan = FaultPlan::new(11).with_rule(
+        FaultRule::once(
+            "*",
+            fpga_hls_congestion::faultkit::serve_stages::PREDICT,
+            FaultKind::Delay(Duration::from_millis(4000)),
+        )
+        .for_attempts(u32::MAX),
+    );
+    std::fs::write(&plan_path, plan.to_json()).unwrap();
+    let base_args = vec![
+        "--model".to_string(),
+        model.display().to_string(),
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--journal".to_string(),
+        journal.display().to_string(),
+        "--expect-features".to_string(),
+        "4".to_string(),
+        "--frontend".to_string(),
+        "event-loop".to_string(),
+        "--batch-max-rows".to_string(),
+        "1024".to_string(),
+        "--batch-max-wait-ms".to_string(),
+        "300".to_string(),
+    ];
+    let mut wedged_args = base_args.clone();
+    wedged_args.extend(["--fault-plan".to_string(), plan_path.display().to_string()]);
+
+    // First life: pipeline the whole burst on one connection. The event
+    // loop admits every frame without waiting for replies, the worker
+    // lingers them into a single batch, journals batch-start progress,
+    // then hits the injected delay — that's when SIGKILL lands.
+    let batch_size = 5u64;
+    let (mut child, addr) = spawn_congestd(&wedged_args);
+    {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        for i in 0..batch_size {
+            fpga_hls_congestion::servekit::write_frame(
+                &mut stream,
+                &Request::predict(i, vec![vec![9.0; 4]]).to_json(),
+            )
+            .expect("write frame");
+        }
+        // Linger (300 ms) + a margin inside the 4 s delay window.
+        std::thread::sleep(Duration::from_millis(1500));
+        child.kill().expect("SIGKILL congestd");
+        child.wait().unwrap();
+    }
+    let after_kill = std::fs::read_to_string(&journal).unwrap();
+    assert!(!after_kill.contains("\"shutdown\""), "{after_kill}");
+    assert!(
+        after_kill.contains("\"progress\""),
+        "batch start must journal progress before the merged predict: {after_kill}"
+    );
+
+    // Second life, no faults: recovery must account the wedged batch as
+    // lost in flight — all five admitted, none completed, none shed.
+    let (mut child, addr) = spawn_congestd(&base_args);
+    let status = fpga_hls_congestion::servekit::request(
+        &addr,
+        &Request {
+            id: 90,
+            deadline_ms: None,
+            body: RequestBody::Status,
+        },
+    )
+    .expect("status over tcp");
+    assert_eq!(status.status, ReplyStatus::Ok, "{status:?}");
+    let shutdown = fpga_hls_congestion::servekit::request(
+        &addr,
+        &Request {
+            id: 91,
+            deadline_ms: None,
+            body: RequestBody::Shutdown,
+        },
+    )
+    .expect("shutdown over tcp");
+    assert_eq!(shutdown.status, ReplyStatus::Ok);
+    assert!(child.wait().unwrap().success());
+
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let mut seqs = Vec::new();
+    let mut recovered_lost = None;
+    for line in text.lines() {
+        let doc = fpga_hls_congestion::faultkit::json::parse(line).unwrap();
+        seqs.push(
+            doc.get("seq")
+                .and_then(fpga_hls_congestion::faultkit::json::Value::as_u64)
+                .expect("every record carries a seq"),
+        );
+        if doc
+            .get("event")
+            .and_then(fpga_hls_congestion::faultkit::json::Value::as_str)
+            == Some("recover")
+        {
+            recovered_lost = doc
+                .get("lost_in_flight")
+                .and_then(fpga_hls_congestion::faultkit::json::Value::as_u64);
+        }
+    }
+    assert_eq!(
+        recovered_lost,
+        Some(batch_size),
+        "recovery must report the whole wedged batch: {text}"
+    );
+    let unique: BTreeSet<_> = seqs.iter().copied().collect();
+    assert_eq!(unique.len(), seqs.len(), "duplicate seq in {seqs:?}");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seqs must increase: {seqs:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
